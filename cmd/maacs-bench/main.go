@@ -1,0 +1,220 @@
+// Command maacs-bench regenerates the paper's evaluation (Section VI):
+// Tables I–IV and the four series of Figures 3 and 4, plus the revocation
+// comparison and the decrypt-aggregation ablation.
+//
+// Usage:
+//
+//	maacs-bench                     # everything, paper-scale parameters
+//	maacs-bench -what tables        # only Tables I–IV
+//	maacs-bench -what fig3,fig4     # only the timing figures
+//	maacs-bench -what revocation    # only the revocation experiment
+//	maacs-bench -points 2,5,8 -trials 3
+//	maacs-bench -fast               # small test curve (CI smoke run)
+//	maacs-bench -csv dir            # also write CSV series into dir
+//
+// Absolute times depend on the host; the paper's claims are about shapes
+// (who wins, linear growth), which the tool checks and reports explicitly.
+package main
+
+import (
+	"crypto/rand"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"maacs/internal/bench"
+	"maacs/internal/pairing"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "maacs-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("maacs-bench", flag.ContinueOnError)
+	what := fs.String("what", "tables,fig3,fig4,revocation,ablation,scale", "comma-separated experiments to run")
+	points := fs.String("points", "2,5,8,11,14,17,20", "sweep values for the figures (paper: 2..20)")
+	fixed := fs.Int("fixed", 5, "value of the non-swept axis (paper: 5)")
+	trials := fs.Int("trials", 2, "trials per sweep point (paper: 20)")
+	ciphertexts := fs.Int("ciphertexts", 4, "stored ciphertexts in the revocation experiment")
+	fast := fs.Bool("fast", false, "use the small test curve instead of paper-scale parameters")
+	csvDir := fs.String("csv", "", "directory to write CSV series into (optional)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	params := pairing.Default()
+	if *fast {
+		params = pairing.Test()
+	}
+	xs, err := parsePoints(*points)
+	if err != nil {
+		return err
+	}
+	spec := bench.SweepSpec{Params: params, Rnd: rand.Reader, Xs: xs, Fixed: *fixed, Trials: *trials}
+	want := make(map[string]bool)
+	for _, w := range strings.Split(*what, ",") {
+		want[strings.TrimSpace(w)] = true
+	}
+
+	fmt.Fprintf(out, "maacs-bench: |r|=%d bits, |q|=%d bits, points=%v, fixed=%d, trials=%d\n\n",
+		params.R.BitLen(), params.Q.BitLen(), xs, *fixed, *trials)
+
+	if want["tables"] {
+		cfg := bench.Config{Params: params, Authorities: *fixed, AttrsPerAuthority: *fixed, Rnd: rand.Reader}
+		report, err := bench.MeasureSizes(cfg)
+		if err != nil {
+			return fmt.Errorf("tables: %w", err)
+		}
+		fmt.Fprintln(out, report.RenderAll())
+		_, verdicts := report.CheckSizeShapes()
+		for _, v := range verdicts {
+			fmt.Fprintln(out, "  shape:", v)
+		}
+		fmt.Fprintln(out)
+		acct, err := bench.LiveTable4(cfg)
+		if err != nil {
+			return fmt.Errorf("live table 4: %w", err)
+		}
+		bench.RenderLiveTable4(out, acct, cfg)
+		fmt.Fprintln(out)
+	}
+
+	runSweep := func(name string, sweep func(bench.SweepSpec, bool) (*bench.Series, *bench.Series, error)) error {
+		enc, dec, err := sweep(spec, true)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		for _, s := range []*bench.Series{enc, dec} {
+			s.Render(out)
+			op := bench.OpEncrypt
+			if s == dec {
+				op = bench.OpDecrypt
+			}
+			_, verdict := s.CheckShape(op)
+			fmt.Fprintln(out, "  shape:", verdict)
+			fmt.Fprintln(out)
+			s.Plot(out, 12)
+			fmt.Fprintln(out)
+			if *csvDir != "" {
+				path := filepath.Join(*csvDir, s.Name+".csv")
+				if err := os.WriteFile(path, []byte(s.CSV()), 0o644); err != nil {
+					return err
+				}
+				fmt.Fprintf(out, "  wrote %s\n", path)
+			}
+		}
+		return nil
+	}
+
+	if want["fig3"] {
+		if err := runSweep("fig3", sweepFig3); err != nil {
+			return err
+		}
+	}
+	if want["fig4"] {
+		if err := runSweep("fig4", sweepFig4); err != nil {
+			return err
+		}
+	}
+
+	if want["revocation"] {
+		cfg := bench.Config{Params: params, Authorities: 2, AttrsPerAuthority: *fixed, Rnd: rand.Reader}
+		res, err := bench.MeasureRevocation(cfg, *ciphertexts)
+		if err != nil {
+			return fmt.Errorf("revocation: %w", err)
+		}
+		res.Render(out)
+		_, verdict := res.CheckShape()
+		fmt.Fprintln(out, "  shape:", verdict)
+		fmt.Fprintln(out)
+	}
+
+	if want["ablation"] {
+		if err := ablation(out, params, *fixed); err != nil {
+			return fmt.Errorf("ablation: %w", err)
+		}
+	}
+
+	if want["scale"] {
+		points := bench.ScaleSweep(params, []int{8, 64, 512, 4096, 32768}, *fixed)
+		bench.RenderScale(out, points, *fixed)
+		fmt.Fprintln(out)
+	}
+	return nil
+}
+
+func sweepFig3(spec bench.SweepSpec, _ bool) (*bench.Series, *bench.Series, error) {
+	enc, err := bench.SweepAuthorities(spec, bench.OpEncrypt)
+	if err != nil {
+		return nil, nil, err
+	}
+	dec, err := bench.SweepAuthorities(spec, bench.OpDecrypt)
+	if err != nil {
+		return nil, nil, err
+	}
+	return enc, dec, nil
+}
+
+func sweepFig4(spec bench.SweepSpec, _ bool) (*bench.Series, *bench.Series, error) {
+	enc, err := bench.SweepAttrs(spec, bench.OpEncrypt)
+	if err != nil {
+		return nil, nil, err
+	}
+	dec, err := bench.SweepAttrs(spec, bench.OpDecrypt)
+	if err != nil {
+		return nil, nil, err
+	}
+	return enc, dec, nil
+}
+
+// ablation compares the faithful Eq. 1 decryption against the aggregated
+// 3-pairing DecryptFast extension.
+func ablation(out io.Writer, params *pairing.Params, n int) error {
+	cfg := bench.Config{Params: params, Authorities: n, AttrsPerAuthority: n, Rnd: rand.Reader}
+	w, err := bench.SetupOurs(cfg)
+	if err != nil {
+		return err
+	}
+	ct, _, err := w.Encrypt()
+	if err != nil {
+		return err
+	}
+	slow, err := w.Decrypt(ct)
+	if err != nil {
+		return err
+	}
+	prepared, err := w.DecryptPrepared(ct)
+	if err != nil {
+		return err
+	}
+	fast, err := w.DecryptFast(ct)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "Ablation — decryption with n_A=%d, n_k=%d (l=%d)\n", n, n, n*n)
+	fmt.Fprintf(out, "%-46s %14s\n", "Eq. 1 as printed (2l+n_A pairings)", slow)
+	fmt.Fprintf(out, "%-46s %14s %6.1fx\n", "Eq. 1 + pairing_pp preprocessing (extension)", prepared, float64(slow)/float64(prepared))
+	fmt.Fprintf(out, "%-46s %14s %6.1fx\n", "aggregated multi-pairing (2 Millers, extension)", fast, float64(slow)/float64(fast))
+	fmt.Fprintln(out)
+	return nil
+}
+
+func parsePoints(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad sweep point %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

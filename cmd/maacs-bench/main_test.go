@@ -1,0 +1,34 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestBenchToolSmoke runs the whole tool on the fast curve with a minimal
+// sweep and checks every experiment section renders with a shape verdict.
+func TestBenchToolSmoke(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-fast", "-points", "2,3", "-trials", "1", "-fixed", "2", "-ciphertexts", "2"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"Table I", "Table II", "Table III", "Table IV", "measured live",
+		"Fig3a", "Fig3b", "Fig4a", "Fig4b", "shape:",
+		"Revocation", "pirretti", "Ablation", "pairing_pp",
+		"key-distribution cost vs population",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q", want)
+		}
+	}
+}
+
+func TestBenchToolRejectsBadPoints(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-fast", "-points", "2,zero"}, &sb); err == nil {
+		t.Fatal("bad points accepted")
+	}
+}

@@ -1,0 +1,128 @@
+// Command maacs-demo narrates the paper's running example end to end: a
+// hospital (data owner) shares a patient record with components guarded by
+// policies over two independent authorities, users with different attribute
+// sets see different granularities, and an attribute revocation plays out
+// through key update and server-side proxy re-encryption.
+//
+// Usage:
+//
+//	maacs-demo          # paper-scale parameters (a few seconds)
+//	maacs-demo -fast    # small test curve (instant)
+package main
+
+import (
+	"crypto/rand"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"maacs/internal/cloud"
+	"maacs/internal/core"
+	"maacs/internal/pairing"
+)
+
+func main() {
+	fast := flag.Bool("fast", false, "use the small test curve")
+	flag.Parse()
+	if err := run(*fast, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "maacs-demo:", err)
+		os.Exit(1)
+	}
+}
+
+func run(fast bool, out io.Writer) error {
+	params := pairing.Default()
+	if fast {
+		params = pairing.Test()
+	}
+	env := cloud.NewEnv(core.NewSystem(params), rand.Reader)
+
+	fmt.Fprintln(out, "== Setup: CA, two independent authorities, one owner ==")
+	med, err := env.AddAuthority("med", []string{"doctor", "nurse"})
+	if err != nil {
+		return err
+	}
+	trial, err := env.AddAuthority("trial", []string{"researcher", "admin"})
+	if err != nil {
+		return err
+	}
+	hospital, err := env.AddOwner("hospital")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "   authorities: med{doctor,nurse}, trial{researcher,admin}")
+
+	fmt.Fprintln(out, "== Enrolment ==")
+	alice, err := env.AddUser("dr-alice")
+	if err != nil {
+		return err
+	}
+	if err := med.GrantAttributes(alice, []string{"doctor"}); err != nil {
+		return err
+	}
+	if err := trial.GrantAttributes(alice, []string{"researcher"}); err != nil {
+		return err
+	}
+	nurse, err := env.AddUser("nurse-bob")
+	if err != nil {
+		return err
+	}
+	if err := med.GrantAttributes(nurse, []string{"nurse"}); err != nil {
+		return err
+	}
+	if err := trial.GrantAttributes(nurse, nil); err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "   dr-alice: med:doctor + trial:researcher; nurse-bob: med:nurse")
+
+	fmt.Fprintln(out, "== Upload (Fig. 2 record format) ==")
+	if _, err := hospital.Upload("patient-7", []cloud.UploadComponent{
+		{Label: "name", Data: []byte("Alice Liddell"), Policy: "med:doctor OR med:nurse"},
+		{Label: "diagnosis", Data: []byte("hypertension"), Policy: "med:doctor"},
+		{Label: "trial-data", Data: []byte("cohort B, responder"), Policy: "med:doctor AND trial:researcher"},
+	}); err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "   3 components, each with its own content key + CP-ABE ciphertext")
+
+	fmt.Fprintln(out, "== Fine-grained download ==")
+	for _, u := range []*cloud.UserClient{alice, nurse} {
+		visible, err := u.DownloadRecord("patient-7")
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "   %s sees %d/3 components: ", u.PK.UID, len(visible))
+		for label := range visible {
+			fmt.Fprintf(out, "%s ", label)
+		}
+		fmt.Fprintln(out)
+	}
+
+	fmt.Fprintln(out, "== Revocation: dr-alice loses med:doctor ==")
+	report, err := med.RevokeAttribute("dr-alice", "doctor")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "   version %d→%d, %d users updated, %d ciphertexts proxy-re-encrypted (%d rows)\n",
+		report.NewVersion-1, report.NewVersion, report.UsersUpdated, report.CiphertextsHit, report.RowsReencrypted)
+	visible, err := alice.DownloadRecord("patient-7")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "   dr-alice now sees %d/3 components\n", len(visible))
+	if len(visible) != 0 {
+		return fmt.Errorf("revocation failed: alice still sees %d components", len(visible))
+	}
+	visible, err = nurse.DownloadRecord("patient-7")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "   nurse-bob still sees %d/3 components\n", len(visible))
+
+	fmt.Fprintln(out, "== Communication accounting (Table IV channels) ==")
+	for _, ch := range env.Acct.Channels() {
+		fmt.Fprintf(out, "   %-14s %8d bytes in %d messages\n", ch, env.Acct.Bytes(ch), env.Acct.Messages(ch))
+	}
+	return nil
+}

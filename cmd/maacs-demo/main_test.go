@@ -1,0 +1,27 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDemoRunsEndToEnd drives the narrated demo on the fast curve and
+// checks the key outcome lines.
+func TestDemoRunsEndToEnd(t *testing.T) {
+	var sb strings.Builder
+	if err := run(true, &sb); err != nil {
+		t.Fatalf("demo failed: %v\noutput:\n%s", err, sb.String())
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"dr-alice sees 3/3 components",
+		"nurse-bob sees 1/3 components",
+		"dr-alice now sees 0/3 components",
+		"nurse-bob still sees 1/3 components",
+		"Communication accounting",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("demo output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,26 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParamgenProducesValidConstants(t *testing.T) {
+	var sb strings.Builder
+	if err := run(40, 80, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"r: 40 bits", "Q  =", "R  =", "H  =", "GX =", "GY ="} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestParamgenRejectsBadSizes(t *testing.T) {
+	var sb strings.Builder
+	if err := run(8, 16, &sb); err == nil {
+		t.Fatal("tiny sizes accepted")
+	}
+}

@@ -1,0 +1,76 @@
+// Command maacs-server runs a standalone cloud storage server speaking the
+// net/rpc protocol from internal/cloud. It holds no secret key material:
+// it stores ciphertexts, serves downloads, and performs proxy
+// re-encryption on request — the honest-but-curious server of the paper's
+// system model.
+//
+// Usage:
+//
+//	maacs-server -addr 127.0.0.1:7744                        # net/rpc only
+//	maacs-server -addr 127.0.0.1:7744 -http 127.0.0.1:7745   # + HTTP/JSON gateway
+//	maacs-server -addr 127.0.0.1:7744 -fast                  # small test curve
+//
+// Clients must be configured with the same pairing parameters (the built-in
+// defaults on both sides match).
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+
+	"maacs/internal/cloud"
+	"maacs/internal/core"
+	"maacs/internal/pairing"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7744", "net/rpc address to listen on")
+	httpAddr := flag.String("http", "", "optional HTTP/JSON gateway address (e.g. 127.0.0.1:7745)")
+	fast := flag.Bool("fast", false, "use the small test curve")
+	flag.Parse()
+	if err := run(*addr, *httpAddr, *fast); err != nil {
+		fmt.Fprintln(os.Stderr, "maacs-server:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, httpAddr string, fast bool) error {
+	params := pairing.Default()
+	if fast {
+		params = pairing.Test()
+	}
+	sys := core.NewSystem(params)
+	server := cloud.NewServer(sys, cloud.NewAccounting())
+	listener, bound, err := cloud.ServeRPC(sys, server, addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("maacs-server: rpc listening on %s (|r|=%d bits, |q|=%d bits)\n",
+		bound, params.R.BitLen(), params.Q.BitLen())
+
+	var httpSrv *http.Server
+	if httpAddr != "" {
+		httpSrv = &http.Server{Addr: httpAddr, Handler: cloud.NewHTTPHandler(sys, server)}
+		go func() {
+			fmt.Printf("maacs-server: http gateway on %s\n", httpAddr)
+			if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintln(os.Stderr, "maacs-server: http:", err)
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println("maacs-server: shutting down")
+	if httpSrv != nil {
+		if err := httpSrv.Close(); err != nil {
+			return err
+		}
+	}
+	return listener.Close()
+}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCLIDecryptUnknownUser(t *testing.T) {
+	dir := setupCLI(t)
+	plain := filepath.Join(dir, "p.txt")
+	if err := os.WriteFile(plain, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	enc := filepath.Join(dir, "e.enc")
+	cli(t, dir, "encrypt", "-owner", "hospital", "-policy", "med:doctor", "-in", plain, "-out", enc)
+	cliErr(t, dir, "decrypt", "-uid", "ghost", "-in", enc)
+}
+
+func TestCLIKeygenUnknownParties(t *testing.T) {
+	dir := setupCLI(t)
+	cliErr(t, dir, "keygen", "-uid", "ghost", "-aid", "med", "-owner", "hospital", "-attrs", "doctor")
+	cliErr(t, dir, "keygen", "-uid", "alice", "-aid", "ghost", "-owner", "hospital", "-attrs", "doctor")
+	cliErr(t, dir, "keygen", "-uid", "alice", "-aid", "med", "-owner", "ghost", "-attrs", "doctor")
+	cliErr(t, dir, "keygen", "-uid", "alice", "-aid", "med", "-owner", "hospital", "-attrs", "wizard")
+}
+
+func TestCLIEncryptValidation(t *testing.T) {
+	dir := setupCLI(t)
+	// Missing required flags.
+	cliErr(t, dir, "encrypt", "-owner", "hospital")
+	// Unknown policy attribute.
+	plain := filepath.Join(dir, "p.txt")
+	if err := os.WriteFile(plain, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cliErr(t, dir, "encrypt", "-owner", "hospital", "-policy", "med:wizard", "-in", plain,
+		"-out", filepath.Join(dir, "x.enc"))
+	// Missing input file.
+	cliErr(t, dir, "encrypt", "-owner", "hospital", "-policy", "med:doctor",
+		"-in", filepath.Join(dir, "nope.txt"), "-out", filepath.Join(dir, "x.enc"))
+}
+
+func TestCLIInspectRejectsNonContainer(t *testing.T) {
+	dir := setupCLI(t)
+	junk := filepath.Join(dir, "junk.enc")
+	if err := os.WriteFile(junk, []byte("not a container"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cliErr(t, dir, "inspect", "-in", junk)
+}
+
+func TestCLIRevokeValidation(t *testing.T) {
+	dir := setupCLI(t)
+	cliErr(t, dir, "revoke", "-aid", "med", "-uid", "alice") // missing -attr
+	cliErr(t, dir, "revoke", "-aid", "ghost", "-uid", "alice", "-attr", "doctor")
+	cliErr(t, dir, "revoke", "-aid", "med", "-uid", "ghost", "-attr", "doctor")
+}
+
+func TestCLIDecryptRevokedKeyFileIsCurrentButUseless(t *testing.T) {
+	// After revoke, the revoked user's key file is rewritten at the new
+	// version with the reduced set — decryption fails on policy, not on
+	// version (the file stays usable for the attributes that remain).
+	dir := setupCLI(t)
+	plain := filepath.Join(dir, "p.txt")
+	if err := os.WriteFile(plain, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	enc := filepath.Join(dir, "e.enc")
+	cli(t, dir, "encrypt", "-owner", "hospital", "-policy", "med:doctor", "-in", plain, "-out", enc)
+	cli(t, dir, "revoke", "-aid", "med", "-uid", "alice", "-attr", "doctor")
+	err := cliErr(t, dir, "decrypt", "-uid", "alice", "-in", enc)
+	if err == nil || !strings.Contains(err.Error(), "satisfy") {
+		t.Fatalf("expected policy failure, got: %v", err)
+	}
+}

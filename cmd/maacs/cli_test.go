@@ -1,0 +1,198 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// cli runs a subcommand against the test state dir and returns its output.
+func cli(t *testing.T, dir string, args ...string) string {
+	t.Helper()
+	var buf bytes.Buffer
+	full := append(args[:1:1], append([]string{"-dir", dir}, args[1:]...)...)
+	if err := run(full, &buf); err != nil {
+		t.Fatalf("maacs %s: %v", strings.Join(args, " "), err)
+	}
+	return buf.String()
+}
+
+// cliErr runs a subcommand expecting failure.
+func cliErr(t *testing.T, dir string, args ...string) error {
+	t.Helper()
+	var buf bytes.Buffer
+	full := append(args[:1:1], append([]string{"-dir", dir}, args[1:]...)...)
+	err := run(full, &buf)
+	if err == nil {
+		t.Fatalf("maacs %s: expected error", strings.Join(args, " "))
+	}
+	return err
+}
+
+// setupCLI initializes a full scenario: one AA, one owner, two users.
+func setupCLI(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	cli(t, dir, "init", "-fast")
+	cli(t, dir, "new-aa", "-aid", "med", "-attrs", "doctor,nurse")
+	cli(t, dir, "new-owner", "-id", "hospital")
+	cli(t, dir, "new-user", "-uid", "alice")
+	cli(t, dir, "new-user", "-uid", "bob")
+	cli(t, dir, "keygen", "-uid", "alice", "-aid", "med", "-owner", "hospital", "-attrs", "doctor")
+	cli(t, dir, "keygen", "-uid", "bob", "-aid", "med", "-owner", "hospital", "-attrs", "doctor,nurse")
+	return dir
+}
+
+func TestCLIEncryptDecryptRoundTrip(t *testing.T) {
+	dir := setupCLI(t)
+	plain := filepath.Join(dir, "plain.txt")
+	if err := os.WriteFile(plain, []byte("attack at dawn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	enc := filepath.Join(dir, "secret.enc")
+	cli(t, dir, "encrypt", "-owner", "hospital", "-policy", "med:doctor", "-in", plain, "-out", enc)
+
+	outFile := filepath.Join(dir, "plain.out")
+	cli(t, dir, "decrypt", "-uid", "alice", "-in", enc, "-out", outFile)
+	got, err := os.ReadFile(outFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "attack at dawn" {
+		t.Fatalf("got %q", got)
+	}
+
+	// Decrypt to stdout too.
+	if out := cli(t, dir, "decrypt", "-uid", "bob", "-in", enc); out != "attack at dawn" {
+		t.Fatalf("stdout decrypt got %q", out)
+	}
+}
+
+func TestCLIDecryptDeniedWithoutAttribute(t *testing.T) {
+	dir := setupCLI(t)
+	plain := filepath.Join(dir, "p.txt")
+	if err := os.WriteFile(plain, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	enc := filepath.Join(dir, "nurse-only.enc")
+	cli(t, dir, "encrypt", "-owner", "hospital", "-policy", "med:nurse", "-in", plain, "-out", enc)
+	// alice holds only doctor.
+	cliErr(t, dir, "decrypt", "-uid", "alice", "-in", enc)
+}
+
+func TestCLIRevocationEndToEnd(t *testing.T) {
+	dir := setupCLI(t)
+	plain := filepath.Join(dir, "p.txt")
+	if err := os.WriteFile(plain, []byte("classified"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	enc := filepath.Join(dir, "doc.enc")
+	cli(t, dir, "encrypt", "-owner", "hospital", "-policy", "med:doctor", "-in", plain, "-out", enc)
+
+	// Both read it before revocation.
+	if out := cli(t, dir, "decrypt", "-uid", "alice", "-in", enc); out != "classified" {
+		t.Fatal("alice cannot read before revocation")
+	}
+
+	out := cli(t, dir, "revoke", "-aid", "med", "-uid", "alice", "-attr", "doctor")
+	if !strings.Contains(out, "version 0 → 1") || !strings.Contains(out, "1 container(s) re-encrypted") {
+		t.Fatalf("unexpected revoke output: %s", out)
+	}
+
+	// Alice (lost doctor) is denied; bob (updated) still reads.
+	cliErr(t, dir, "decrypt", "-uid", "alice", "-in", enc)
+	if got := cli(t, dir, "decrypt", "-uid", "bob", "-in", enc); got != "classified" {
+		t.Fatalf("bob after revocation got %q", got)
+	}
+
+	// New encryptions are at version 1 and behave the same.
+	enc2 := filepath.Join(dir, "doc2.enc")
+	cli(t, dir, "encrypt", "-owner", "hospital", "-policy", "med:doctor", "-in", plain, "-out", enc2)
+	cliErr(t, dir, "decrypt", "-uid", "alice", "-in", enc2)
+	if got := cli(t, dir, "decrypt", "-uid", "bob", "-in", enc2); got != "classified" {
+		t.Fatalf("bob on new data got %q", got)
+	}
+
+	// Alice's nurse-side access (she had none) — verify her reduced keyfile
+	// exists at the new version with no attributes.
+	inspect := cli(t, dir, "inspect", "-in", enc)
+	if !strings.Contains(inspect, "med at version 1") {
+		t.Fatalf("inspect shows wrong version:\n%s", inspect)
+	}
+}
+
+func TestCLIPartialRevocationKeepsOtherAttr(t *testing.T) {
+	dir := setupCLI(t)
+	plain := filepath.Join(dir, "p.txt")
+	if err := os.WriteFile(plain, []byte("v"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	encN := filepath.Join(dir, "n.enc")
+	cli(t, dir, "encrypt", "-owner", "hospital", "-policy", "med:nurse", "-in", plain, "-out", encN)
+	// bob holds doctor+nurse; revoke only his doctor.
+	cli(t, dir, "revoke", "-aid", "med", "-uid", "bob", "-attr", "doctor")
+	if got := cli(t, dir, "decrypt", "-uid", "bob", "-in", encN); got != "v" {
+		t.Fatalf("bob lost nurse access: %q", got)
+	}
+	encD := filepath.Join(dir, "d.enc")
+	cli(t, dir, "encrypt", "-owner", "hospital", "-policy", "med:doctor", "-in", plain, "-out", encD)
+	cliErr(t, dir, "decrypt", "-uid", "bob", "-in", encD)
+}
+
+func TestCLIValidation(t *testing.T) {
+	dir := t.TempDir()
+	// Commands before init fail cleanly.
+	cliErr(t, dir, "new-user", "-uid", "alice")
+	cli(t, dir, "init", "-fast")
+	// Double init refused.
+	cliErr(t, dir, "init", "-fast")
+	// Bad identifiers refused.
+	cliErr(t, dir, "new-user", "-uid", "a@b")
+	cliErr(t, dir, "new-aa", "-aid", "x/y", "-attrs", "a")
+	cliErr(t, dir, "new-aa", "-aid", "ok") // missing attrs
+	// Unknown command.
+	if err := run([]string{"frobnicate"}, os.Stdout); err == nil {
+		t.Fatal("unknown command accepted")
+	}
+	// Duplicate user.
+	cli(t, dir, "new-user", "-uid", "alice")
+	cliErr(t, dir, "new-user", "-uid", "alice")
+}
+
+func TestCLIList(t *testing.T) {
+	dir := setupCLI(t)
+	plain := filepath.Join(dir, "p.txt")
+	if err := os.WriteFile(plain, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cli(t, dir, "encrypt", "-owner", "hospital", "-policy", "med:doctor", "-in", plain, "-out", filepath.Join(dir, "a.enc"))
+	out := cli(t, dir, "list")
+	for _, want := range []string{
+		"authorities (1):", "med", "doctor, nurse",
+		"owners (1):", "hospital", "1 encryption record(s)",
+		"issued keys (2):", "alice@med@hospital",
+		"containers (1):", `policy "med:doctor"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("list output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLIInspect(t *testing.T) {
+	dir := setupCLI(t)
+	plain := filepath.Join(dir, "p.txt")
+	if err := os.WriteFile(plain, []byte("hello"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	enc := filepath.Join(dir, "x.enc")
+	cli(t, dir, "encrypt", "-owner", "hospital", "-policy", "med:doctor OR med:nurse", "-in", plain, "-out", enc)
+	out := cli(t, dir, "inspect", "-in", enc)
+	for _, want := range []string{"owner:         hospital", "med:doctor OR med:nurse", "rows:          2", "med at version 0"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("inspect output missing %q:\n%s", want, out)
+		}
+	}
+}

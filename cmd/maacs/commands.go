@@ -1,0 +1,585 @@
+package main
+
+import (
+	"crypto/rand"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"maacs/internal/core"
+	"maacs/internal/hybrid"
+	"maacs/internal/pairing"
+)
+
+// run dispatches a subcommand. It is the testable entry point behind main.
+func run(args []string, out io.Writer) error {
+	if len(args) == 0 {
+		return usageError()
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "init":
+		return cmdInit(rest, out)
+	case "new-user":
+		return cmdNewUser(rest, out)
+	case "new-aa":
+		return cmdNewAA(rest, out)
+	case "new-owner":
+		return cmdNewOwner(rest, out)
+	case "keygen":
+		return cmdKeygen(rest, out)
+	case "encrypt":
+		return cmdEncrypt(rest, out)
+	case "decrypt":
+		return cmdDecrypt(rest, out)
+	case "revoke":
+		return cmdRevoke(rest, out)
+	case "inspect":
+		return cmdInspect(rest, out)
+	case "list":
+		return cmdList(rest, out)
+	default:
+		return fmt.Errorf("unknown command %q: %w", cmd, usageError())
+	}
+}
+
+func usageError() error {
+	return fmt.Errorf("usage: maacs <init|new-user|new-aa|new-owner|keygen|encrypt|decrypt|revoke|inspect|list> [flags]")
+}
+
+func cmdList(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("list", flag.ContinueOnError)
+	dir := dirFlag(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	s, err := openStore(*dir)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "state dir %s (|r|=%d bits, |q|=%d bits)\n", *dir, s.params.R.BitLen(), s.params.Q.BitLen())
+
+	aids, err := s.listAAs()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "authorities (%d):\n", len(aids))
+	for _, aid := range aids {
+		aa, err := s.loadAA(aid)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "  %-12s version %d, attributes: %s\n",
+			aid, aa.Version(), strings.Join(aa.AttributeNames(), ", "))
+	}
+
+	owners, err := s.listOwners()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "owners (%d):\n", len(owners))
+	for _, id := range owners {
+		owner, err := s.loadOwner(id)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "  %-12s %d encryption record(s)\n", id, owner.RecordCount())
+	}
+
+	keys, err := s.listKeys("", "", "")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "issued keys (%d):\n", len(keys))
+	for _, sk := range keys {
+		fmt.Fprintf(out, "  %s@%s@%s version %d, %d attribute(s)\n",
+			sk.UID, sk.AID, sk.OwnerID, sk.Version, len(sk.KAttr))
+	}
+
+	containers, err := s.listContainers()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "containers (%d):\n", len(containers))
+	for _, path := range containers {
+		c, err := s.readContainer(path)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "  %s policy %q\n", path, c.CT.Policy)
+	}
+	return nil
+}
+
+func dirFlag(fs *flag.FlagSet) *string {
+	return fs.String("dir", "maacs-state", "state directory")
+}
+
+func cmdInit(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("init", flag.ContinueOnError)
+	dir := dirFlag(fs)
+	fast := fs.Bool("fast", false, "use the small (insecure) test curve")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p := pairing.Default()
+	if *fast {
+		p = pairing.Test()
+	}
+	if _, err := os.Stat(*dir + "/" + paramsFile); err == nil {
+		return fmt.Errorf("state dir %q already initialized", *dir)
+	}
+	if _, err := initStore(*dir, p); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "initialized %s (|r|=%d bits, |q|=%d bits)\n", *dir, p.R.BitLen(), p.Q.BitLen())
+	return nil
+}
+
+func cmdNewUser(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("new-user", flag.ContinueOnError)
+	dir := dirFlag(fs)
+	uid := fs.String("uid", "", "user identifier")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := validID(*uid); err != nil {
+		return err
+	}
+	s, err := openStore(*dir)
+	if err != nil {
+		return err
+	}
+	ca, err := s.loadCA()
+	if err != nil {
+		return err
+	}
+	pk, err := ca.RegisterUser(*uid, rand.Reader)
+	if err != nil {
+		return err
+	}
+	if err := s.saveCA(ca); err != nil {
+		return err
+	}
+	if err := s.saveUserPK(pk); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "registered user %s (public key: users/%s.pk)\n", *uid, *uid)
+	return nil
+}
+
+func cmdNewAA(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("new-aa", flag.ContinueOnError)
+	dir := dirFlag(fs)
+	aid := fs.String("aid", "", "authority identifier")
+	attrs := fs.String("attrs", "", "comma-separated attribute names")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := validID(*aid); err != nil {
+		return err
+	}
+	names := splitList(*attrs)
+	if len(names) == 0 {
+		return fmt.Errorf("-attrs required")
+	}
+	s, err := openStore(*dir)
+	if err != nil {
+		return err
+	}
+	ca, err := s.loadCA()
+	if err != nil {
+		return err
+	}
+	if err := ca.RegisterAA(*aid); err != nil {
+		return err
+	}
+	aa, err := core.NewAA(s.sys, *aid, names, rand.Reader)
+	if err != nil {
+		return err
+	}
+	if err := s.saveCA(ca); err != nil {
+		return err
+	}
+	if err := s.saveAA(aa); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "created authority %s managing %d attributes\n", *aid, len(names))
+	return nil
+}
+
+func cmdNewOwner(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("new-owner", flag.ContinueOnError)
+	dir := dirFlag(fs)
+	id := fs.String("id", "", "owner identifier")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := validID(*id); err != nil {
+		return err
+	}
+	s, err := openStore(*dir)
+	if err != nil {
+		return err
+	}
+	owner, err := core.NewOwner(s.sys, *id, rand.Reader)
+	if err != nil {
+		return err
+	}
+	if err := s.saveOwner(owner); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "created owner %s\n", *id)
+	return nil
+}
+
+func cmdKeygen(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("keygen", flag.ContinueOnError)
+	dir := dirFlag(fs)
+	uid := fs.String("uid", "", "user identifier")
+	aid := fs.String("aid", "", "authority identifier")
+	ownerID := fs.String("owner", "", "owner identifier the key is bound to")
+	attrs := fs.String("attrs", "", "comma-separated local attribute names (may be empty for a base key)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	for _, id := range []string{*uid, *aid, *ownerID} {
+		if err := validID(id); err != nil {
+			return err
+		}
+	}
+	s, err := openStore(*dir)
+	if err != nil {
+		return err
+	}
+	pk, err := s.loadUserPK(*uid)
+	if err != nil {
+		return err
+	}
+	aa, err := s.loadAA(*aid)
+	if err != nil {
+		return err
+	}
+	owner, err := s.loadOwner(*ownerID)
+	if err != nil {
+		return err
+	}
+	sk, err := aa.KeyGen(pk, owner.SecretKeyForAAs(), splitList(*attrs))
+	if err != nil {
+		return err
+	}
+	if err := s.saveKey(sk); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "issued key keys/%s (version %d, %d attributes)\n",
+		keyFileName(*uid, *aid, *ownerID), sk.Version, len(sk.KAttr))
+	return nil
+}
+
+func cmdEncrypt(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("encrypt", flag.ContinueOnError)
+	dir := dirFlag(fs)
+	ownerID := fs.String("owner", "", "owner identifier")
+	policy := fs.String("policy", "", "access policy over qualified attributes")
+	in := fs.String("in", "", "plaintext file")
+	outPath := fs.String("out", "", "container file to write (*.enc)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *policy == "" || *in == "" || *outPath == "" {
+		return fmt.Errorf("-policy, -in and -out are required")
+	}
+	s, err := openStore(*dir)
+	if err != nil {
+		return err
+	}
+	owner, err := s.loadOwner(*ownerID)
+	if err != nil {
+		return err
+	}
+	plaintext, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	key, err := hybrid.NewContentKey(s.params, rand.Reader)
+	if err != nil {
+		return err
+	}
+	sealed, err := key.Seal(plaintext, rand.Reader)
+	if err != nil {
+		return err
+	}
+	ct, err := owner.Encrypt(key.Element, *policy, rand.Reader)
+	if err != nil {
+		return err
+	}
+	if err := s.writeContainer(*outPath, &container{CT: ct, Sealed: sealed}); err != nil {
+		return err
+	}
+	// The encryption record (ciphertext ID → s) must survive for revocation.
+	if err := s.saveOwner(owner); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "encrypted %d bytes under %q → %s (ciphertext %s)\n",
+		len(plaintext), *policy, *outPath, ct.ID[:8])
+	return nil
+}
+
+func cmdDecrypt(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("decrypt", flag.ContinueOnError)
+	dir := dirFlag(fs)
+	uid := fs.String("uid", "", "user identifier")
+	in := fs.String("in", "", "container file")
+	outPath := fs.String("out", "", "plaintext file to write (default: stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := validID(*uid); err != nil {
+		return err
+	}
+	s, err := openStore(*dir)
+	if err != nil {
+		return err
+	}
+	pk, err := s.loadUserPK(*uid)
+	if err != nil {
+		return err
+	}
+	c, err := s.readContainer(*in)
+	if err != nil {
+		return err
+	}
+	keys, err := s.listKeys(*uid, "", c.CT.OwnerID)
+	if err != nil {
+		return err
+	}
+	byAA := make(map[string]*core.SecretKey, len(keys))
+	for _, sk := range keys {
+		byAA[sk.AID] = sk
+	}
+	el, err := core.Decrypt(s.sys, c.CT, pk, byAA)
+	if err != nil {
+		return err
+	}
+	key := &hybrid.ContentKey{Element: el}
+	plaintext, err := key.Open(c.Sealed)
+	if err != nil {
+		return err
+	}
+	if *outPath == "" {
+		_, err = out.Write(plaintext)
+		return err
+	}
+	if err := os.WriteFile(*outPath, plaintext, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "decrypted %d bytes → %s\n", len(plaintext), *outPath)
+	return nil
+}
+
+func cmdRevoke(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("revoke", flag.ContinueOnError)
+	dir := dirFlag(fs)
+	aid := fs.String("aid", "", "authority identifier")
+	uid := fs.String("uid", "", "user whose attribute is revoked")
+	attr := fs.String("attr", "", "local attribute name to revoke")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	for _, id := range []string{*aid, *uid} {
+		if err := validID(id); err != nil {
+			return err
+		}
+	}
+	if *attr == "" {
+		return fmt.Errorf("-attr required")
+	}
+	s, err := openStore(*dir)
+	if err != nil {
+		return err
+	}
+	aa, err := s.loadAA(*aid)
+	if err != nil {
+		return err
+	}
+	pk, err := s.loadUserPK(*uid)
+	if err != nil {
+		return err
+	}
+
+	// Phase 1, step 1: new version key.
+	fromV, toV, err := aa.Rekey(rand.Reader)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "authority %s: version %d → %d\n", *aid, fromV, toV)
+
+	owners, err := s.listOwners()
+	if err != nil {
+		return err
+	}
+	containers, err := s.listContainers()
+	if err != nil {
+		return err
+	}
+	usersUpdated, ctsReencrypted := 0, 0
+	for _, ownerID := range owners {
+		owner, err := s.loadOwner(ownerID)
+		if err != nil {
+			return err
+		}
+		uk, err := aa.UpdateKeyFor(owner.SecretKeyForAAs(), fromV)
+		if err != nil {
+			return err
+		}
+
+		// Step 2: fresh key over the reduced set S̃ for the revoked user.
+		oldKeys, err := s.listKeys(*uid, *aid, ownerID)
+		if err != nil {
+			return err
+		}
+		if len(oldKeys) == 1 {
+			var reduced []string
+			for q := range oldKeys[0].KAttr {
+				a, err := core.ParseAttribute(q)
+				if err != nil {
+					return err
+				}
+				if a.Name != *attr {
+					reduced = append(reduced, a.Name)
+				}
+			}
+			newSK, err := aa.KeyGen(pk, owner.SecretKeyForAAs(), reduced)
+			if err != nil {
+				return err
+			}
+			if err := s.saveKey(newSK); err != nil {
+				return err
+			}
+		}
+
+		// Step 3: update keys for every other holder's key files.
+		others, err := s.listKeys("", *aid, ownerID)
+		if err != nil {
+			return err
+		}
+		for _, sk := range others {
+			if sk.UID == *uid || sk.Version != fromV {
+				continue
+			}
+			updated, err := core.UpdateSecretKey(sk, uk)
+			if err != nil {
+				return err
+			}
+			if err := s.saveKey(updated); err != nil {
+				return err
+			}
+			usersUpdated++
+		}
+
+		// Step 4 + Phase 2: owner public-key update, update information and
+		// re-encryption of every affected container.
+		var cts []*core.Ciphertext
+		var paths []string
+		var conts []*container
+		for _, path := range containers {
+			c, err := s.readContainer(path)
+			if err != nil {
+				return err
+			}
+			if c.CT.OwnerID != ownerID {
+				continue
+			}
+			cts = append(cts, c.CT)
+			paths = append(paths, path)
+			conts = append(conts, c)
+		}
+		uis, err := owner.RevocationUpdate(uk, cts)
+		if err != nil {
+			return err
+		}
+		for i, ui := range uis {
+			if ui == nil {
+				continue
+			}
+			reenc, _, err := core.ReEncrypt(s.sys, cts[i], ui, uk)
+			if err != nil {
+				return err
+			}
+			conts[i].CT = reenc
+			if err := s.writeContainer(paths[i], conts[i]); err != nil {
+				return err
+			}
+			ctsReencrypted++
+		}
+		if err := s.saveOwner(owner); err != nil {
+			return err
+		}
+	}
+	if err := s.saveAA(aa); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "revoked %s:%s from %s — %d key file(s) updated, %d container(s) re-encrypted\n",
+		*aid, *attr, *uid, usersUpdated, ctsReencrypted)
+	return nil
+}
+
+func cmdInspect(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("inspect", flag.ContinueOnError)
+	dir := dirFlag(fs)
+	in := fs.String("in", "", "container file to inspect")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	s, err := openStore(*dir)
+	if err != nil {
+		return err
+	}
+	c, err := s.readContainer(*in)
+	if err != nil {
+		return err
+	}
+	aids, err := c.CT.InvolvedAuthorities()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "container %s\n", *in)
+	fmt.Fprintf(out, "  ciphertext id: %s\n", c.CT.ID)
+	fmt.Fprintf(out, "  owner:         %s\n", c.CT.OwnerID)
+	fmt.Fprintf(out, "  policy:        %s\n", c.CT.Policy)
+	fmt.Fprintf(out, "  rows:          %d\n", len(c.CT.Rows))
+	fmt.Fprintf(out, "  authorities:   %s\n", strings.Join(aids, ", "))
+	for _, aid := range aids {
+		fmt.Fprintf(out, "    %s at version %d\n", aid, c.CT.Versions[aid])
+	}
+	fmt.Fprintf(out, "  abe payload:   %d bytes\n", c.CT.Size(s.params))
+	fmt.Fprintf(out, "  sealed data:   %d bytes\n", len(c.Sealed))
+	sets, truncated, err := c.CT.MinimalAuthorizedSets(8)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "  authorized by:\n")
+	for _, set := range sets {
+		fmt.Fprintf(out, "    %s\n", strings.Join(set, " + "))
+	}
+	if truncated {
+		fmt.Fprintln(out, "    … (more)")
+	}
+	return nil
+}
+
+func splitList(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if t := strings.TrimSpace(p); t != "" {
+			out = append(out, t)
+		}
+	}
+	return out
+}

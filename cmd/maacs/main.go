@@ -1,0 +1,34 @@
+// Command maacs is a file-based operator tool for the multi-authority
+// CP-ABE system: it keeps CA/authority/owner state on disk and performs key
+// generation, hybrid encryption/decryption and full attribute revocation
+// over files.
+//
+// Workflow:
+//
+//	maacs init -dir st -fast
+//	maacs new-aa -dir st -aid med -attrs doctor,nurse
+//	maacs new-owner -dir st -id hospital
+//	maacs new-user -dir st -uid alice
+//	maacs keygen -dir st -uid alice -aid med -owner hospital -attrs doctor
+//	maacs encrypt -dir st -owner hospital -policy "med:doctor" -in plain.txt -out data.enc
+//	maacs decrypt -dir st -uid alice -in data.enc -out plain.out
+//	maacs revoke -dir st -aid med -uid alice -attr doctor
+//	maacs inspect -dir st -in data.enc
+//
+// State files under -dir: params, ca.state, aa/<AID>.state,
+// owners/<ID>.state, users/<UID>.pk, keys/<UID>@<AID>@<OWNER>.sk, and any
+// *.enc containers the operator produces. Revocation rewrites the affected
+// key files and re-encrypts every container in the directory.
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "maacs:", err)
+		os.Exit(1)
+	}
+}

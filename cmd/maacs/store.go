@@ -1,0 +1,270 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"maacs/internal/core"
+	"maacs/internal/pairing"
+	"maacs/internal/wire"
+)
+
+// store lays out and loads the on-disk state directory.
+type store struct {
+	dir    string
+	params *pairing.Params
+	sys    *core.System
+}
+
+const (
+	paramsFile = "params"
+	caFile     = "ca.state"
+	aaDir      = "aa"
+	ownerDir   = "owners"
+	userDir    = "users"
+	keyDir     = "keys"
+)
+
+// encMagic heads the hybrid container files produced by `maacs encrypt`.
+const encMagic = "maacs-container-v1"
+
+// openStore loads the params file and prepares the directory handles.
+func openStore(dir string) (*store, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, paramsFile))
+	if err != nil {
+		return nil, fmt.Errorf("open state dir (run `maacs init` first?): %w", err)
+	}
+	fields := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(fields) != 5 {
+		return nil, fmt.Errorf("params file must have 5 lines, got %d", len(fields))
+	}
+	p, err := pairing.NewParams(fields[0], fields[1], fields[2], fields[3], fields[4])
+	if err != nil {
+		return nil, fmt.Errorf("params file: %w", err)
+	}
+	return &store{dir: dir, params: p, sys: core.NewSystem(p)}, nil
+}
+
+// initStore creates the directory layout and writes the params file.
+func initStore(dir string, p *pairing.Params) (*store, error) {
+	for _, sub := range []string{"", aaDir, ownerDir, userDir, keyDir} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, err
+		}
+	}
+	q, r, h, gx, gy := p.Export()
+	content := strings.Join([]string{q, r, h, gx, gy}, "\n") + "\n"
+	if err := os.WriteFile(filepath.Join(dir, paramsFile), []byte(content), 0o644); err != nil {
+		return nil, err
+	}
+	sys := core.NewSystem(p)
+	s := &store{dir: dir, params: p, sys: sys}
+	return s, s.saveCA(core.NewCA(sys))
+}
+
+func (s *store) path(parts ...string) string {
+	return filepath.Join(append([]string{s.dir}, parts...)...)
+}
+
+func (s *store) loadCA() (*core.CA, error) {
+	raw, err := os.ReadFile(s.path(caFile))
+	if err != nil {
+		return nil, fmt.Errorf("load CA: %w", err)
+	}
+	return core.RestoreCA(s.sys, raw)
+}
+
+func (s *store) saveCA(ca *core.CA) error {
+	return os.WriteFile(s.path(caFile), ca.ExportState(), 0o600)
+}
+
+func (s *store) loadAA(aid string) (*core.AA, error) {
+	raw, err := os.ReadFile(s.path(aaDir, aid+".state"))
+	if err != nil {
+		return nil, fmt.Errorf("load authority %q: %w", aid, err)
+	}
+	return core.RestoreAA(s.sys, raw)
+}
+
+func (s *store) saveAA(aa *core.AA) error {
+	return os.WriteFile(s.path(aaDir, aa.AID()+".state"), aa.ExportState(), 0o600)
+}
+
+func (s *store) listAAs() ([]string, error) {
+	entries, err := os.ReadDir(s.path(aaDir))
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range entries {
+		if name, ok := strings.CutSuffix(e.Name(), ".state"); ok {
+			out = append(out, name)
+		}
+	}
+	return out, nil
+}
+
+func (s *store) loadOwner(id string) (*core.Owner, error) {
+	raw, err := os.ReadFile(s.path(ownerDir, id+".state"))
+	if err != nil {
+		return nil, fmt.Errorf("load owner %q: %w", id, err)
+	}
+	owner, err := core.RestoreOwner(s.sys, raw)
+	if err != nil {
+		return nil, err
+	}
+	// Public keys are not part of owner state: refresh from the authorities.
+	aids, err := s.listAAs()
+	if err != nil {
+		return nil, err
+	}
+	for _, aid := range aids {
+		aa, err := s.loadAA(aid)
+		if err != nil {
+			return nil, err
+		}
+		owner.InstallPublicKeys(aa.PublicKeys())
+	}
+	return owner, nil
+}
+
+func (s *store) saveOwner(o *core.Owner) error {
+	return os.WriteFile(s.path(ownerDir, o.ID()+".state"), o.ExportState(), 0o600)
+}
+
+func (s *store) listOwners() ([]string, error) {
+	entries, err := os.ReadDir(s.path(ownerDir))
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range entries {
+		if name, ok := strings.CutSuffix(e.Name(), ".state"); ok {
+			out = append(out, name)
+		}
+	}
+	return out, nil
+}
+
+func (s *store) loadUserPK(uid string) (*core.UserPublicKey, error) {
+	raw, err := os.ReadFile(s.path(userDir, uid+".pk"))
+	if err != nil {
+		return nil, fmt.Errorf("load user %q: %w", uid, err)
+	}
+	return core.UnmarshalUserPublicKey(s.params, raw)
+}
+
+func (s *store) saveUserPK(pk *core.UserPublicKey) error {
+	return os.WriteFile(s.path(userDir, pk.UID+".pk"), pk.Marshal(), 0o644)
+}
+
+// keyFileName names a secret-key file; UIDs/AIDs/owner IDs with '@' or path
+// separators are rejected at creation time.
+func keyFileName(uid, aid, ownerID string) string {
+	return uid + "@" + aid + "@" + ownerID + ".sk"
+}
+
+func (s *store) loadKey(uid, aid, ownerID string) (*core.SecretKey, error) {
+	raw, err := os.ReadFile(s.path(keyDir, keyFileName(uid, aid, ownerID)))
+	if err != nil {
+		return nil, fmt.Errorf("load key: %w", err)
+	}
+	return core.UnmarshalSecretKey(s.params, raw)
+}
+
+func (s *store) saveKey(sk *core.SecretKey) error {
+	return os.WriteFile(s.path(keyDir, keyFileName(sk.UID, sk.AID, sk.OwnerID)), sk.Marshal(), 0o600)
+}
+
+// listKeys returns the decoded secret keys matching the optional filters
+// (empty string = any).
+func (s *store) listKeys(uid, aid, ownerID string) ([]*core.SecretKey, error) {
+	entries, err := os.ReadDir(s.path(keyDir))
+	if err != nil {
+		return nil, err
+	}
+	var out []*core.SecretKey
+	for _, e := range entries {
+		name, ok := strings.CutSuffix(e.Name(), ".sk")
+		if !ok {
+			continue
+		}
+		parts := strings.Split(name, "@")
+		if len(parts) != 3 {
+			continue
+		}
+		if (uid != "" && parts[0] != uid) || (aid != "" && parts[1] != aid) || (ownerID != "" && parts[2] != ownerID) {
+			continue
+		}
+		sk, err := s.loadKey(parts[0], parts[1], parts[2])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, sk)
+	}
+	return out, nil
+}
+
+// container is the hybrid .enc file: the CP-ABE ciphertext of the content
+// key plus the AES-GCM payload.
+type container struct {
+	CT     *core.Ciphertext
+	Sealed []byte
+}
+
+func (s *store) writeContainer(path string, c *container) error {
+	var e wire.Encoder
+	e.String(encMagic)
+	e.Blob(c.CT.Marshal())
+	e.Blob(c.Sealed)
+	return os.WriteFile(path, e.Bytes(), 0o644)
+}
+
+func (s *store) readContainer(path string) (*container, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	d := wire.NewDecoder(raw)
+	if magic := d.String(); magic != encMagic {
+		return nil, fmt.Errorf("%s: not a maacs container (magic %q)", path, magic)
+	}
+	ctRaw := d.Blob()
+	sealed := d.Blob()
+	if err := d.Done(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	ct, err := core.UnmarshalCiphertext(s.params, ctRaw)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &container{CT: ct, Sealed: append([]byte(nil), sealed...)}, nil
+}
+
+// listContainers finds every *.enc file directly under the state dir.
+func (s *store) listContainers() ([]string, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".enc") {
+			out = append(out, s.path(e.Name()))
+		}
+	}
+	return out, nil
+}
+
+// validID rejects identifiers that would break the file layout.
+func validID(id string) error {
+	if id == "" {
+		return fmt.Errorf("empty identifier")
+	}
+	if strings.ContainsAny(id, "@/\\:") {
+		return fmt.Errorf("identifier %q must not contain '@', ':', or path separators", id)
+	}
+	return nil
+}

@@ -1,0 +1,53 @@
+package maacs_test
+
+import (
+	"fmt"
+	"log"
+
+	"maacs"
+)
+
+// Example walks the full lifecycle: setup, enrolment, upload, download,
+// revocation. It uses the fast demo parameters; production code calls
+// maacs.NewEnvironment() instead.
+func Example() {
+	env := maacs.NewDemoEnvironment()
+
+	med, err := env.AddAuthority("med", []string{"doctor", "nurse"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	hospital, err := env.AddOwner("hospital")
+	if err != nil {
+		log.Fatal(err)
+	}
+	alice, err := env.AddUser("alice")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := med.GrantAttributes(alice, []string{"doctor"}); err != nil {
+		log.Fatal(err)
+	}
+
+	if _, err := hospital.Upload("rec", []maacs.UploadComponent{
+		{Label: "note", Data: []byte("take twice daily"), Policy: "med:doctor"},
+	}); err != nil {
+		log.Fatal(err)
+	}
+	data, err := alice.Download("rec", "note")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("before revocation: %s\n", data)
+
+	if _, err := med.RevokeAttribute("alice", "doctor"); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := alice.Download("rec", "note"); err != nil {
+		fmt.Println("after revocation: access denied")
+	}
+
+	// Output:
+	// before revocation: take twice daily
+	// after revocation: access denied
+}

@@ -1,0 +1,81 @@
+// Joint-project sharing — the paper's second motivating scenario: two
+// companies run a joint project and BOTH issue attributes to participating
+// users. Documents are gated on holding credentials from both companies at
+// once; threshold policies express "any two of the three workstreams".
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"maacs"
+)
+
+func main() {
+	env := maacs.NewDemoEnvironment()
+
+	ibm, err := env.AddAuthority("ibm", []string{"engineer", "architect", "pm"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	goog, err := env.AddAuthority("google", []string{"engineer", "researcher", "pm"})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	project, err := env.AddOwner("joint-project")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Note "ibm:engineer" and "google:engineer" are distinct attributes:
+	// the AID qualification makes same-named attributes distinguishable
+	// (Theorem 1's anti-substitution property).
+	if _, err := project.Upload("design-docs", []maacs.UploadComponent{
+		{Label: "roadmap", Data: []byte("Q3: integrate; Q4: ship"),
+			Policy: "ibm:pm OR google:pm"},
+		{Label: "api-spec", Data: []byte("v2 wire protocol"),
+			Policy: "(ibm:engineer OR ibm:architect) AND (google:engineer OR google:researcher)"},
+		{Label: "steering", Data: []byte("budget reallocation"),
+			Policy: "2 of (ibm:pm, google:pm, ibm:architect)"},
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	users := []struct {
+		uid  string
+		ibm  []string
+		goog []string
+	}{
+		{"wei", []string{"engineer"}, []string{"researcher"}}, // cross-company engineer
+		{"dana", []string{"pm", "architect"}, nil},            // IBM-side lead
+		{"galia", nil, []string{"pm"}},                        // Google-side PM
+		{"intern", []string{"engineer"}, nil},                 // one company only
+	}
+	for _, u := range users {
+		uc, err := env.AddUser(u.uid)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := ibm.GrantAttributes(uc, u.ibm); err != nil {
+			log.Fatal(err)
+		}
+		if err := goog.GrantAttributes(uc, u.goog); err != nil {
+			log.Fatal(err)
+		}
+		visible, err := uc.DownloadRecord("design-docs")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s reads:", u.uid)
+		for _, label := range []string{"roadmap", "api-spec", "steering"} {
+			if _, ok := visible[label]; ok {
+				fmt.Printf(" %s", label)
+			}
+		}
+		if len(visible) == 0 {
+			fmt.Print(" (nothing)")
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,52 @@
+// Quickstart: the smallest complete use of the public API — one authority,
+// one owner, one user, encrypt/decrypt one record component.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"maacs"
+)
+
+func main() {
+	// NewDemoEnvironment uses small fast parameters; switch to
+	// maacs.NewEnvironment() for the paper-scale 160/512-bit curve.
+	env := maacs.NewDemoEnvironment()
+
+	// An attribute authority managing its own attribute universe.
+	hr, err := env.AddAuthority("hr", []string{"employee", "manager"})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A data owner who will host data in the cloud.
+	acme, err := env.AddOwner("acme")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A user: the CA assigns the global UID, the authority issues keys.
+	alice, err := env.AddUser("alice")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := hr.GrantAttributes(alice, []string{"manager"}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Upload: the component is sealed with a fresh content key; the content
+	// key is CP-ABE-encrypted under the policy.
+	if _, err := acme.Upload("payroll-2026-07", []maacs.UploadComponent{
+		{Label: "summary", Data: []byte("total: $1,234,567"), Policy: "hr:manager"},
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Download: policy check happens inside the cryptography.
+	data, err := alice.Download("payroll-2026-07", "summary")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("alice read: %s\n", data)
+}

@@ -1,0 +1,3 @@
+module maacs
+
+go 1.22

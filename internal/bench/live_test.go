@@ -1,0 +1,33 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"maacs/internal/cloud"
+)
+
+func TestLiveTable4MetersAllChannels(t *testing.T) {
+	cfg := testCfg(2, 2)
+	acct, err := LiveTable4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ch := range []cloud.Channel{
+		cloud.ChanAAUser, cloud.ChanAAOwner, cloud.ChanServerOwner, cloud.ChanServerUser,
+	} {
+		if acct.Bytes(ch) == 0 {
+			t.Errorf("channel %s not metered", ch)
+		}
+	}
+	// The server↔user download must dominate the server↔owner upload minus
+	// the 1 KB payload symmetry: both carry the same record.
+	if acct.Bytes(cloud.ChanServerUser) == 0 || acct.Bytes(cloud.ChanServerOwner) == 0 {
+		t.Fatal("record transfer not metered")
+	}
+	var sb strings.Builder
+	RenderLiveTable4(&sb, acct, cfg)
+	if !strings.Contains(sb.String(), "measured live") || !strings.Contains(sb.String(), "AA↔User") {
+		t.Fatalf("render incomplete:\n%s", sb.String())
+	}
+}

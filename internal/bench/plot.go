@@ -1,0 +1,83 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Plot renders the series as an ASCII chart (time on the y-axis, the sweep
+// variable on the x-axis) with both schemes overlaid: 'o' = ours,
+// 'x' = Lewko, '*' = both land in the same cell. It approximates the
+// paper's figures for terminal consumption; the CSV output feeds real
+// plotting tools.
+func (s *Series) Plot(w io.Writer, height int) {
+	if len(s.Points) == 0 || height < 4 {
+		return
+	}
+	maxY := time.Duration(0)
+	for _, p := range s.Points {
+		if p.Ours > maxY {
+			maxY = p.Ours
+		}
+		if p.Lewko > maxY {
+			maxY = p.Lewko
+		}
+	}
+	if maxY == 0 {
+		return
+	}
+	cols := len(s.Points)
+	const cellW = 6
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = bytes(' ', cols*cellW)
+	}
+	plotAt := func(col int, d time.Duration, mark byte) {
+		row := height - 1 - int(float64(d)/float64(maxY)*float64(height-1))
+		if row < 0 {
+			row = 0
+		}
+		cell := col*cellW + cellW/2
+		if grid[row][cell] != ' ' && grid[row][cell] != mark {
+			grid[row][cell] = '*'
+		} else {
+			grid[row][cell] = mark
+		}
+	}
+	for i, p := range s.Points {
+		plotAt(i, p.Ours, 'o')
+		plotAt(i, p.Lewko, 'x')
+	}
+
+	fmt.Fprintf(w, "%s   (o = ours, x = lewko, * = overlap)\n", s.Name)
+	for r := 0; r < height; r++ {
+		label := "        "
+		if r == 0 {
+			label = fmt.Sprintf("%7s ", maxY.Round(time.Millisecond))
+		}
+		if r == height-1 {
+			label = fmt.Sprintf("%7s ", "0")
+		}
+		fmt.Fprintf(w, "%s|%s\n", label, string(grid[r]))
+	}
+	var axis strings.Builder
+	axis.WriteString("        +")
+	axis.WriteString(strings.Repeat("-", cols*cellW))
+	fmt.Fprintln(w, axis.String())
+	var xt strings.Builder
+	xt.WriteString("         ")
+	for _, p := range s.Points {
+		xt.WriteString(fmt.Sprintf("%-*d", cellW, p.X))
+	}
+	fmt.Fprintf(w, "%s (%s)\n", strings.TrimRight(xt.String(), " "), s.XLabel)
+}
+
+func bytes(b byte, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = b
+	}
+	return out
+}

@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPlotRendersMarks(t *testing.T) {
+	s := &Series{
+		Name:   "fig-test",
+		XLabel: "authorities",
+		Points: []Point{
+			{X: 2, Ours: 10 * time.Millisecond, Lewko: 20 * time.Millisecond},
+			{X: 5, Ours: 25 * time.Millisecond, Lewko: 50 * time.Millisecond},
+			{X: 8, Ours: 40 * time.Millisecond, Lewko: 80 * time.Millisecond},
+		},
+	}
+	var sb strings.Builder
+	s.Plot(&sb, 10)
+	out := sb.String()
+	if !strings.Contains(out, "o") || !strings.Contains(out, "x") {
+		t.Fatalf("plot missing data marks:\n%s", out)
+	}
+	if !strings.Contains(out, "authorities") {
+		t.Fatalf("plot missing axis label:\n%s", out)
+	}
+	if !strings.Contains(out, "80ms") {
+		t.Fatalf("plot missing y scale:\n%s", out)
+	}
+	// The topmost data row must contain the Lewko max, not ours.
+	lines := strings.Split(out, "\n")
+	for _, line := range lines[1:] { // skip the title
+		if strings.ContainsAny(line, "ox*") {
+			if !strings.Contains(line, "x") {
+				t.Fatalf("topmost mark should be lewko's max:\n%s", out)
+			}
+			break
+		}
+	}
+}
+
+func TestPlotOverlapMark(t *testing.T) {
+	s := &Series{
+		Name:   "fig-overlap",
+		XLabel: "n",
+		Points: []Point{{X: 1, Ours: 30 * time.Millisecond, Lewko: 30 * time.Millisecond}},
+	}
+	var sb strings.Builder
+	s.Plot(&sb, 6)
+	if !strings.Contains(sb.String(), "*") {
+		t.Fatalf("identical points must render '*':\n%s", sb.String())
+	}
+}
+
+func TestPlotDegenerateInputs(t *testing.T) {
+	var sb strings.Builder
+	(&Series{}).Plot(&sb, 10)                                                                        // no points
+	(&Series{Points: []Point{{X: 1}}}).Plot(&sb, 10)                                                 // zero max
+	(&Series{Points: []Point{{X: 1, Ours: time.Millisecond, Lewko: time.Millisecond}}}).Plot(&sb, 2) // too short
+	if sb.Len() != 0 {
+		t.Fatalf("degenerate inputs should render nothing, got:\n%s", sb.String())
+	}
+}

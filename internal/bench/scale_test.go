@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"maacs/internal/pairing"
+)
+
+func TestScaleSweepShapes(t *testing.T) {
+	p := pairing.Test()
+	points := ScaleSweep(p, []int{2, 16, 256, 4096}, 5)
+	if len(points) != 4 {
+		t.Fatalf("got %d points", len(points))
+	}
+	for i, pt := range points {
+		// Ours and Pirretti grow linearly; Hur logarithmically.
+		if pt.OursMessages != pt.Users+1 {
+			t.Errorf("ours messages at n=%d: %d", pt.Users, pt.OursMessages)
+		}
+		if pt.PirrettiMessages != pt.Users-1 {
+			t.Errorf("pirretti messages at n=%d: %d", pt.Users, pt.PirrettiMessages)
+		}
+		if i > 0 {
+			prev := points[i-1]
+			if pt.HurHeaderKeys <= prev.HurHeaderKeys-1 {
+				t.Errorf("hur header keys not monotone: %d then %d", prev.HurHeaderKeys, pt.HurHeaderKeys)
+			}
+			// Hur grows much slower than ours.
+			if pt.HurBytes >= pt.OursBytes {
+				t.Errorf("n=%d: hur bytes %d ≥ ours %d (log vs linear violated)", pt.Users, pt.HurBytes, pt.OursBytes)
+			}
+		}
+	}
+	// log2(4096) = 12 cover keys.
+	if points[3].HurHeaderKeys != 12 {
+		t.Errorf("hur cover at 4096 users = %d, want 12", points[3].HurHeaderKeys)
+	}
+	// Ours per-user payload is one constant-size update key; pirretti
+	// re-issues whole keys, so pirretti bytes exceed ours per message.
+	perOurs := points[3].OursBytes / points[3].OursMessages
+	perPirretti := points[3].PirrettiBytes / points[3].PirrettiMessages
+	if perPirretti <= perOurs {
+		t.Errorf("per-message: pirretti %dB ≤ ours %dB", perPirretti, perOurs)
+	}
+}
+
+func TestRenderScale(t *testing.T) {
+	var sb strings.Builder
+	RenderScale(&sb, ScaleSweep(pairing.Test(), []int{2, 8}, 3), 3)
+	out := sb.String()
+	for _, want := range []string{"users", "hur header keys", "pirretti msgs", "trusted server"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package cloud
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestDynamicAttributeAddition: an authority grows its attribute universe
+// after owners and users already exist; the new attribute is immediately
+// usable for encryption and key issuing.
+func TestDynamicAttributeAddition(t *testing.T) {
+	env, owner := hospitalEnv(t)
+	med, _ := env.Authority("med")
+
+	// "surgeon" does not exist yet: encryption under it fails.
+	if _, err := owner.Upload("r0", []UploadComponent{
+		{Label: "c", Data: []byte("v"), Policy: "med:surgeon"},
+	}); err == nil {
+		t.Fatal("encrypted under a nonexistent attribute")
+	}
+
+	med.AddAttribute("surgeon")
+
+	// The owner received the refreshed public keys and can now encrypt.
+	if _, err := owner.Upload("r1", []UploadComponent{
+		{Label: "c", Data: []byte("operable"), Policy: "med:surgeon"},
+	}); err != nil {
+		t.Fatalf("encrypt after AddAttribute: %v", err)
+	}
+	// A user granted the new attribute can decrypt.
+	u := addUser(t, env, "dr-s", map[string][]string{"med": {"surgeon"}, "trial": nil})
+	got, err := u.Download("r1", "c")
+	if err != nil || !bytes.Equal(got, []byte("operable")) {
+		t.Fatalf("new-attribute access failed: %v", err)
+	}
+	// Revocation of the new attribute works like any other.
+	if _, err := med.RevokeAttribute("dr-s", "surgeon"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := u.Download("r1", "c"); err == nil {
+		t.Fatal("revoked new attribute still usable")
+	}
+}

@@ -1,0 +1,225 @@
+package cloud
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"maacs/internal/core"
+)
+
+// HTTP gateway: a second transport for the cloud server, exposing the same
+// storage and proxy-re-encryption operations as the net/rpc endpoint over
+// plain HTTP/JSON (group elements travel base64-encoded in their wire
+// encodings). Like the RPC layer, the gateway carries only public material.
+//
+//	POST /records                     — upload a record
+//	GET  /records/{id}                — fetch a record
+//	GET  /records/{id}/{label}        — fetch one component
+//	GET  /owners/{id}/ciphertexts     — list an owner's ciphertexts
+//	POST /owners/{id}/reencrypt       — submit a revocation re-encryption
+//	GET  /healthz                     — liveness
+
+// HTTPComponent is the JSON form of a stored component.
+type HTTPComponent struct {
+	Label  string `json:"label"`
+	CT     string `json:"ct"`     // base64 core.Ciphertext wire encoding
+	Sealed string `json:"sealed"` // base64 AES-GCM payload
+}
+
+// HTTPRecord is the JSON form of a record.
+type HTTPRecord struct {
+	ID         string          `json:"id"`
+	OwnerID    string          `json:"ownerId"`
+	Components []HTTPComponent `json:"components"`
+}
+
+// HTTPReEncryptRequest is the JSON body of a re-encryption submission.
+type HTTPReEncryptRequest struct {
+	UpdateKey   string   `json:"updateKey"`   // base64 core.UpdateKey
+	UpdateInfos []string `json:"updateInfos"` // base64 core.UpdateInfo each
+}
+
+// HTTPReEncryptResponse reports the proxy re-encryption work done.
+type HTTPReEncryptResponse struct {
+	Ciphertexts int `json:"ciphertexts"`
+	Rows        int `json:"rows"`
+}
+
+// httpError is the JSON error envelope.
+type httpError struct {
+	Error string `json:"error"`
+}
+
+// NewHTTPHandler exposes the server over HTTP/JSON.
+func NewHTTPHandler(sys *core.System, server *Server) http.Handler {
+	h := &httpGateway{sys: sys, server: server}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("POST /records", h.storeRecord)
+	mux.HandleFunc("GET /records/{id}", h.fetchRecord)
+	mux.HandleFunc("DELETE /records/{id}", h.deleteRecord)
+	mux.HandleFunc("GET /records/{id}/{label}", h.fetchComponent)
+	mux.HandleFunc("GET /owners/{id}/ciphertexts", h.listCiphertexts)
+	mux.HandleFunc("POST /owners/{id}/reencrypt", h.reencrypt)
+	return mux
+}
+
+type httpGateway struct {
+	sys    *core.System
+	server *Server
+}
+
+const maxHTTPBody = 64 << 20 // generous cap; ciphertexts are small
+
+func (h *httpGateway) storeRecord(w http.ResponseWriter, r *http.Request) {
+	var in HTTPRecord
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxHTTPBody)).Decode(&in); err != nil {
+		writeJSON(w, http.StatusBadRequest, httpError{Error: "bad json: " + err.Error()})
+		return
+	}
+	rec := &Record{ID: in.ID, OwnerID: in.OwnerID}
+	for _, c := range in.Components {
+		ctRaw, err := base64.StdEncoding.DecodeString(c.CT)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, httpError{Error: "bad ct encoding: " + err.Error()})
+			return
+		}
+		ct, err := core.UnmarshalCiphertext(h.sys.Params, ctRaw)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, httpError{Error: err.Error()})
+			return
+		}
+		sealed, err := base64.StdEncoding.DecodeString(c.Sealed)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, httpError{Error: "bad sealed encoding: " + err.Error()})
+			return
+		}
+		rec.Components = append(rec.Components, StoredComponent{Label: c.Label, CT: ct, Sealed: sealed})
+	}
+	if err := h.server.Store(rec); err != nil {
+		writeJSON(w, http.StatusConflict, httpError{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"id": rec.ID})
+}
+
+func (h *httpGateway) fetchRecord(w http.ResponseWriter, r *http.Request) {
+	rec, err := h.server.Fetch(r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, statusFor(err), httpError{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, toHTTPRecord(rec))
+}
+
+func (h *httpGateway) deleteRecord(w http.ResponseWriter, r *http.Request) {
+	ownerID := r.URL.Query().Get("owner")
+	if ownerID == "" {
+		writeJSON(w, http.StatusBadRequest, httpError{Error: "owner query parameter required"})
+		return
+	}
+	if _, err := h.server.Delete(r.PathValue("id"), ownerID); err != nil {
+		writeJSON(w, statusFor(err), httpError{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": r.PathValue("id")})
+}
+
+func (h *httpGateway) fetchComponent(w http.ResponseWriter, r *http.Request) {
+	comp, err := h.server.FetchComponent(r.PathValue("id"), r.PathValue("label"))
+	if err != nil {
+		writeJSON(w, statusFor(err), httpError{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, HTTPComponent{
+		Label:  comp.Label,
+		CT:     base64.StdEncoding.EncodeToString(comp.CT.Marshal()),
+		Sealed: base64.StdEncoding.EncodeToString(comp.Sealed),
+	})
+}
+
+func (h *httpGateway) listCiphertexts(w http.ResponseWriter, r *http.Request) {
+	cts := h.server.CiphertextsOf(r.PathValue("id"))
+	out := make([]string, 0, len(cts))
+	for _, ct := range cts {
+		out = append(out, base64.StdEncoding.EncodeToString(ct.Marshal()))
+	}
+	writeJSON(w, http.StatusOK, map[string][]string{"ciphertexts": out})
+}
+
+func (h *httpGateway) reencrypt(w http.ResponseWriter, r *http.Request) {
+	var in HTTPReEncryptRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxHTTPBody)).Decode(&in); err != nil {
+		writeJSON(w, http.StatusBadRequest, httpError{Error: "bad json: " + err.Error()})
+		return
+	}
+	ukRaw, err := base64.StdEncoding.DecodeString(in.UpdateKey)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, httpError{Error: "bad update key encoding"})
+		return
+	}
+	uk, err := core.UnmarshalUpdateKey(h.sys.Params, ukRaw)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, httpError{Error: err.Error()})
+		return
+	}
+	uis := make(map[string]*core.UpdateInfo, len(in.UpdateInfos))
+	for i, s := range in.UpdateInfos {
+		raw, err := base64.StdEncoding.DecodeString(s)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, httpError{Error: fmt.Sprintf("bad update info %d", i)})
+			return
+		}
+		ui, err := core.UnmarshalUpdateInfo(h.sys.Params, raw)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, httpError{Error: err.Error()})
+			return
+		}
+		uis[ui.CiphertextID] = ui
+	}
+	ownerID := r.PathValue("id")
+	cts, rows, err := h.server.ReEncrypt(ownerID, uis, uk)
+	if err != nil {
+		writeJSON(w, statusFor(err), httpError{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, HTTPReEncryptResponse{Ciphertexts: cts, Rows: rows})
+}
+
+func toHTTPRecord(rec *Record) HTTPRecord {
+	out := HTTPRecord{ID: rec.ID, OwnerID: rec.OwnerID}
+	for _, c := range rec.Components {
+		out.Components = append(out.Components, HTTPComponent{
+			Label:  c.Label,
+			CT:     base64.StdEncoding.EncodeToString(c.CT.Marshal()),
+			Sealed: base64.StdEncoding.EncodeToString(c.Sealed),
+		})
+	}
+	return out
+}
+
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrRecordNotFound), errors.Is(err, ErrComponentNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, core.ErrVersionMismatch):
+		return http.StatusConflict
+	default:
+		if strings.Contains(err.Error(), "already stored") {
+			return http.StatusConflict
+		}
+		return http.StatusBadRequest
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,249 @@
+package cloud
+
+import (
+	"bytes"
+	"crypto/rand"
+	"encoding/base64"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"maacs/internal/core"
+	"maacs/internal/hybrid"
+	"maacs/internal/pairing"
+)
+
+// httpFixture stands up the gateway over a fresh environment.
+func httpFixture(t *testing.T) (*Env, *httptest.Server) {
+	t.Helper()
+	env := NewEnv(core.NewSystem(pairing.Test()), rand.Reader)
+	ts := httptest.NewServer(NewHTTPHandler(env.Sys, env.Server))
+	t.Cleanup(ts.Close)
+	return env, ts
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decodeJSON[T any](t *testing.T, resp *http.Response) T {
+	t.Helper()
+	defer resp.Body.Close()
+	var out T
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestHTTPHealthz(t *testing.T) {
+	_, ts := httpFixture(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+func TestHTTPStoreFetchDecrypt(t *testing.T) {
+	env, ts := httpFixture(t)
+	if _, err := env.AddAuthority("med", []string{"doctor"}); err != nil {
+		t.Fatal(err)
+	}
+	owner, err := env.AddOwner("hospital")
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice := addUser(t, env, "alice", map[string][]string{"med": {"doctor"}})
+
+	rec := buildRecord(t, env, owner, "r1", []UploadComponent{
+		{Label: "x", Data: []byte("via http"), Policy: "med:doctor"},
+	})
+	resp := postJSON(t, ts.URL+"/records", toHTTPRecord(rec))
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("store status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Duplicate upload → conflict.
+	resp = postJSON(t, ts.URL+"/records", toHTTPRecord(rec))
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate store status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Fetch the component and decrypt client-side.
+	getResp, err := http.Get(ts.URL + "/records/r1/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp := decodeJSON[HTTPComponent](t, getResp)
+	ctRaw, err := base64.StdEncoding.DecodeString(comp.CT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := core.UnmarshalCiphertext(env.Sys.Params, ctRaw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	el, err := core.Decrypt(env.Sys, ct, alice.PK, alice.keysFor("hospital"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sealed, err := base64.StdEncoding.DecodeString(comp.Sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := &hybrid.ContentKey{Element: el}
+	data, err := key.Open(sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, []byte("via http")) {
+		t.Fatalf("got %q", data)
+	}
+
+	// Whole-record fetch.
+	getResp, err = http.Get(ts.URL + "/records/r1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := decodeJSON[HTTPRecord](t, getResp)
+	if full.OwnerID != "hospital" || len(full.Components) != 1 {
+		t.Fatalf("record: %+v", full)
+	}
+}
+
+func TestHTTPNotFoundAndBadInput(t *testing.T) {
+	_, ts := httpFixture(t)
+	resp, err := http.Get(ts.URL + "/records/ghost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d, want 404", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	r2, err := http.Post(ts.URL+"/records", "application/json", strings.NewReader("{bad json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", r2.StatusCode)
+	}
+	r2.Body.Close()
+
+	r3 := postJSON(t, ts.URL+"/records", HTTPRecord{ID: "x", OwnerID: "o",
+		Components: []HTTPComponent{{Label: "a", CT: "!!!not-base64", Sealed: ""}}})
+	if r3.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", r3.StatusCode)
+	}
+	r3.Body.Close()
+}
+
+func TestHTTPRevocationFlow(t *testing.T) {
+	env, ts := httpFixture(t)
+	med, err := env.AddAuthority("med", []string{"doctor"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner, err := env.AddOwner("hospital")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bob := addUser(t, env, "bob", map[string][]string{"med": {"doctor"}})
+
+	rec := buildRecord(t, env, owner, "r1", []UploadComponent{
+		{Label: "x", Data: []byte("s"), Policy: "med:doctor"},
+	})
+	resp := postJSON(t, ts.URL+"/records", toHTTPRecord(rec))
+	resp.Body.Close()
+
+	// Rekey + update info, then submit over HTTP.
+	fromV, _, err := med.AA.Rekey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uk, err := med.AA.UpdateKeyFor(owner.Owner.SecretKeyForAAs(), fromV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// List ciphertexts over HTTP.
+	listResp, err := http.Get(ts.URL + "/owners/hospital/ciphertexts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	listed := decodeJSON[map[string][]string](t, listResp)
+	if len(listed["ciphertexts"]) != 1 {
+		t.Fatalf("listed %d ciphertexts", len(listed["ciphertexts"]))
+	}
+	ctRaw, err := base64.StdEncoding.DecodeString(listed["ciphertexts"][0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := core.UnmarshalCiphertext(env.Sys.Params, ctRaw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uis, err := owner.Owner.RevocationUpdate(uk, []*core.Ciphertext{ct})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := HTTPReEncryptRequest{
+		UpdateKey:   base64.StdEncoding.EncodeToString(uk.Marshal()),
+		UpdateInfos: []string{base64.StdEncoding.EncodeToString(uis[0].Marshal())},
+	}
+	reResp := postJSON(t, ts.URL+"/owners/hospital/reencrypt", req)
+	out := decodeJSON[HTTPReEncryptResponse](t, reResp)
+	if out.Ciphertexts != 1 || out.Rows != 1 {
+		t.Fatalf("re-encrypted %+v", out)
+	}
+
+	// Replaying the same re-encryption → version conflict.
+	reResp = postJSON(t, ts.URL+"/owners/hospital/reencrypt", req)
+	if reResp.StatusCode != http.StatusConflict {
+		t.Fatalf("replay status %d, want 409", reResp.StatusCode)
+	}
+	reResp.Body.Close()
+
+	// Bob updates and reads the re-encrypted component over HTTP.
+	newKey, err := core.UpdateSecretKey(bob.keysFor("hospital")["med"], uk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bob.installKey(newKey)
+	getResp, err := http.Get(ts.URL + "/records/r1/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp := decodeJSON[HTTPComponent](t, getResp)
+	raw, _ := base64.StdEncoding.DecodeString(comp.CT)
+	reenc, err := core.UnmarshalCiphertext(env.Sys.Params, raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	el, err := core.Decrypt(env.Sys, reenc, bob.PK, bob.keysFor("hospital"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sealed, _ := base64.StdEncoding.DecodeString(comp.Sealed)
+	key := &hybrid.ContentKey{Element: el}
+	if data, err := key.Open(sealed); err != nil || !bytes.Equal(data, []byte("s")) {
+		t.Fatalf("post-revocation read failed: %v", err)
+	}
+}

@@ -1,0 +1,75 @@
+package cloud
+
+import (
+	"bytes"
+	"crypto/rand"
+	"errors"
+	"testing"
+
+	"maacs/internal/core"
+	"maacs/internal/pairing"
+)
+
+// TestRevocationAcrossTwoOwners exercises the per-owner fan-out of the
+// revocation protocol: the update key (UK1 = g^((α̃−α)/β)) is owner-specific
+// through β, so one authority-side ReKey produces distinct update keys,
+// update information and re-encryptions per owner.
+func TestRevocationAcrossTwoOwners(t *testing.T) {
+	env := NewEnv(core.NewSystem(pairing.Test()), rand.Reader)
+	med, err := env.AddAuthority("med", []string{"doctor"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hospital, err := env.AddOwner("hospital")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clinic, err := env.AddOwner("clinic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice := addUser(t, env, "alice", map[string][]string{"med": {"doctor"}})
+	bob := addUser(t, env, "bob", map[string][]string{"med": {"doctor"}})
+
+	if _, err := hospital.Upload("h-rec", []UploadComponent{
+		{Label: "d", Data: []byte("hospital data"), Policy: "med:doctor"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := clinic.Upload("c-rec", []UploadComponent{
+		{Label: "d", Data: []byte("clinic data"), Policy: "med:doctor"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Both users read both owners' records before the revocation.
+	for _, rec := range []string{"h-rec", "c-rec"} {
+		if _, err := alice.Download(rec, "d"); err != nil {
+			t.Fatalf("pre-revocation %s: %v", rec, err)
+		}
+	}
+
+	report, err := med.RevokeAttribute("alice", "doctor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.OwnersUpdated != 2 {
+		t.Fatalf("owners updated = %d, want 2", report.OwnersUpdated)
+	}
+	if report.CiphertextsHit != 2 {
+		t.Fatalf("ciphertexts hit = %d, want 2 (one per owner)", report.CiphertextsHit)
+	}
+
+	// Alice is locked out of BOTH owners' data; bob keeps BOTH.
+	for _, rec := range []string{"h-rec", "c-rec"} {
+		if _, err := alice.Download(rec, "d"); !errors.Is(err, ErrNoAccess) {
+			t.Fatalf("alice still reads %s: %v", rec, err)
+		}
+	}
+	if got, err := bob.Download("h-rec", "d"); err != nil || !bytes.Equal(got, []byte("hospital data")) {
+		t.Fatalf("bob lost hospital access: %v", err)
+	}
+	if got, err := bob.Download("c-rec", "d"); err != nil || !bytes.Equal(got, []byte("clinic data")) {
+		t.Fatalf("bob lost clinic access: %v", err)
+	}
+}

@@ -1,0 +1,104 @@
+package cloud
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"maacs/internal/core"
+	"maacs/internal/wire"
+)
+
+// snapshotMagic guards against restoring a foreign or corrupted stream.
+const snapshotMagic = "maacs-snapshot-v1"
+
+// Snapshot serializes every stored record to w in a deterministic order, so
+// the server can be restarted (or replicated) without losing hosted data.
+// Only public material is written — the server never held anything else.
+func (s *Server) Snapshot(w io.Writer) error {
+	s.mu.Lock()
+	ids := make([]string, 0, len(s.records))
+	for id := range s.records {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
+	var e wire.Encoder
+	e.String(snapshotMagic)
+	e.Int(len(ids))
+	for _, id := range ids {
+		rec := s.records[id]
+		e.String(rec.ID)
+		e.String(rec.OwnerID)
+		e.Int(len(rec.Components))
+		for _, c := range rec.Components {
+			e.String(c.Label)
+			e.Blob(c.CT.Marshal())
+			e.Blob(c.Sealed)
+		}
+	}
+	s.mu.Unlock()
+
+	if _, err := w.Write(e.Bytes()); err != nil {
+		return fmt.Errorf("write snapshot: %w", err)
+	}
+	return nil
+}
+
+// Restore loads a snapshot into an empty server. It refuses to overwrite
+// existing records.
+func (s *Server) Restore(r io.Reader) error {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return fmt.Errorf("read snapshot: %w", err)
+	}
+	d := wire.NewDecoder(data)
+	if magic := d.String(); magic != snapshotMagic {
+		return fmt.Errorf("cloud: not a maacs snapshot (magic %q)", magic)
+	}
+	n := d.Count(3)
+	if d.Err() != nil {
+		return fmt.Errorf("snapshot header: %w", d.Err())
+	}
+	records := make([]*Record, 0, n)
+	for i := 0; i < n; i++ {
+		rec := &Record{ID: d.String(), OwnerID: d.String()}
+		nc := d.Count(3)
+		if d.Err() != nil {
+			return fmt.Errorf("snapshot record %d: %w", i, d.Err())
+		}
+		for j := 0; j < nc; j++ {
+			label := d.String()
+			ctRaw := d.Blob()
+			sealed := d.Blob()
+			if d.Err() != nil {
+				return fmt.Errorf("snapshot record %q component %d: %w", rec.ID, j, d.Err())
+			}
+			ct, err := core.UnmarshalCiphertext(s.sys.Params, ctRaw)
+			if err != nil {
+				return fmt.Errorf("snapshot record %q component %q: %w", rec.ID, label, err)
+			}
+			rec.Components = append(rec.Components, StoredComponent{
+				Label:  label,
+				CT:     ct,
+				Sealed: append([]byte(nil), sealed...),
+			})
+		}
+		records = append(records, rec)
+	}
+	if err := d.Done(); err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, rec := range records {
+		if _, exists := s.records[rec.ID]; exists {
+			return fmt.Errorf("cloud: restore would overwrite record %q", rec.ID)
+		}
+	}
+	for _, rec := range records {
+		s.records[rec.ID] = rec
+	}
+	return nil
+}

@@ -1,0 +1,120 @@
+package cloud
+
+import (
+	"bytes"
+	"crypto/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"maacs/internal/core"
+	"maacs/internal/pairing"
+)
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	env, owner := hospitalEnv(t)
+	uploadPatientRecord(t, owner)
+	doctor := addUser(t, env, "dr-x", map[string][]string{
+		"med": {"doctor"}, "trial": {"researcher"},
+	})
+
+	var buf bytes.Buffer
+	if err := env.Server.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh server restores the data; the same user can still decrypt
+	// through it (only ciphertexts moved — keys never left the clients).
+	restored := NewServer(env.Sys, NewAccounting())
+	if err := restored.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	comp, err := restored.FetchComponent("patient-7", "diagnosis")
+	if err != nil {
+		t.Fatal(err)
+	}
+	el, err := core.Decrypt(env.Sys, comp.CT, doctor.PK, doctor.keysFor("hospital"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if el == nil {
+		t.Fatal("nil plaintext element")
+	}
+	// Snapshot is deterministic.
+	var buf2 bytes.Buffer
+	if err := env.Server.Snapshot(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("snapshot not deterministic")
+	}
+}
+
+func TestRestoreRejectsGarbageAndOverwrite(t *testing.T) {
+	env, owner := hospitalEnv(t)
+	uploadPatientRecord(t, owner)
+
+	fresh := NewServer(env.Sys, nil)
+	if err := fresh.Restore(strings.NewReader("not a snapshot")); err == nil {
+		t.Fatal("garbage restored")
+	}
+	var buf bytes.Buffer
+	if err := env.Server.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Truncated stream.
+	if err := fresh.Restore(bytes.NewReader(buf.Bytes()[:buf.Len()/2])); err == nil {
+		t.Fatal("truncated snapshot restored")
+	}
+	// Restoring onto a server that already has the record must refuse.
+	if err := env.Server.Restore(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("overwrote existing records")
+	}
+}
+
+func TestConcurrentUploadsAndDownloads(t *testing.T) {
+	env := NewEnv(core.NewSystem(pairing.Test()), rand.Reader)
+	if _, err := env.AddAuthority("a", []string{"x"}); err != nil {
+		t.Fatal(err)
+	}
+	owner, err := env.AddOwner("o")
+	if err != nil {
+		t.Fatal(err)
+	}
+	user := addUser(t, env, "u", map[string][]string{"a": {"x"}})
+
+	const workers = 6
+	var wg sync.WaitGroup
+	errc := make(chan error, workers*2)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			id := string(rune('A' + w))
+			if _, err := owner.Upload("rec-"+id, []UploadComponent{
+				{Label: "d", Data: []byte("v" + id), Policy: "a:x"},
+			}); err != nil {
+				errc <- err
+				return
+			}
+			got, err := user.Download("rec-"+id, "d")
+			if err != nil {
+				errc <- err
+				return
+			}
+			if string(got) != "v"+id {
+				errc <- err
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(env.Server.RecordIDs()); got != workers {
+		t.Fatalf("stored %d records, want %d", got, workers)
+	}
+}

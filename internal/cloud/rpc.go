@@ -1,0 +1,309 @@
+package cloud
+
+import (
+	"fmt"
+	"net"
+	"net/rpc"
+	"sync"
+
+	"maacs/internal/core"
+)
+
+// This file provides the networked deployment of the cloud server: a
+// net/rpc service speaking the wire encodings from internal/core, plus a
+// client that implements the same operations as the in-process *Server.
+// Owners and users keep all secret material client-side; only ciphertexts,
+// update keys and update information cross the network — exactly the
+// paper's trust model.
+
+// RPCComponent is one stored component on the wire.
+type RPCComponent struct {
+	Label  string
+	CT     []byte // core.Ciphertext wire encoding
+	Sealed []byte
+}
+
+// RPCStoreArgs uploads one record.
+type RPCStoreArgs struct {
+	RecordID   string
+	OwnerID    string
+	Components []RPCComponent
+}
+
+// RPCFetchArgs requests a record or one of its components.
+type RPCFetchArgs struct {
+	RecordID string
+	Label    string // empty for the whole record
+}
+
+// RPCFetchReply returns stored components.
+type RPCFetchReply struct {
+	OwnerID    string
+	Components []RPCComponent
+}
+
+// RPCCiphertextsArgs lists an owner's content-key ciphertexts.
+type RPCCiphertextsArgs struct {
+	OwnerID string
+}
+
+// RPCCiphertextsReply carries the encoded ciphertexts.
+type RPCCiphertextsReply struct {
+	Ciphertexts [][]byte
+}
+
+// RPCReEncryptArgs carries one revocation's re-encryption inputs.
+type RPCReEncryptArgs struct {
+	OwnerID     string
+	UpdateKey   []byte   // core.UpdateKey wire encoding
+	UpdateInfos [][]byte // core.UpdateInfo wire encodings
+}
+
+// RPCReEncryptReply reports the proxy re-encryption work done.
+type RPCReEncryptReply struct {
+	Ciphertexts int
+	Rows        int
+}
+
+// ServerRPC exposes a *Server over net/rpc.
+type ServerRPC struct {
+	sys    *core.System
+	server *Server
+}
+
+// NewServerRPC wraps a server for RPC export.
+func NewServerRPC(sys *core.System, server *Server) *ServerRPC {
+	return &ServerRPC{sys: sys, server: server}
+}
+
+// Store handles record uploads.
+func (s *ServerRPC) Store(args *RPCStoreArgs, _ *struct{}) error {
+	rec := &Record{ID: args.RecordID, OwnerID: args.OwnerID}
+	for _, c := range args.Components {
+		ct, err := core.UnmarshalCiphertext(s.sys.Params, c.CT)
+		if err != nil {
+			return fmt.Errorf("store %q/%q: %w", args.RecordID, c.Label, err)
+		}
+		rec.Components = append(rec.Components, StoredComponent{
+			Label:  c.Label,
+			CT:     ct,
+			Sealed: append([]byte(nil), c.Sealed...),
+		})
+	}
+	return s.server.Store(rec)
+}
+
+// Fetch handles record and component downloads.
+func (s *ServerRPC) Fetch(args *RPCFetchArgs, reply *RPCFetchReply) error {
+	if args.Label != "" {
+		comp, err := s.server.FetchComponent(args.RecordID, args.Label)
+		if err != nil {
+			return err
+		}
+		reply.OwnerID = comp.CT.OwnerID
+		reply.Components = []RPCComponent{{Label: comp.Label, CT: comp.CT.Marshal(), Sealed: comp.Sealed}}
+		return nil
+	}
+	rec, err := s.server.Fetch(args.RecordID)
+	if err != nil {
+		return err
+	}
+	reply.OwnerID = rec.OwnerID
+	for _, comp := range rec.Components {
+		reply.Components = append(reply.Components, RPCComponent{
+			Label: comp.Label, CT: comp.CT.Marshal(), Sealed: comp.Sealed,
+		})
+	}
+	return nil
+}
+
+// RPCDeleteArgs removes a record (owner-authenticated by ID).
+type RPCDeleteArgs struct {
+	RecordID string
+	OwnerID  string
+}
+
+// Delete removes a record.
+func (s *ServerRPC) Delete(args *RPCDeleteArgs, _ *struct{}) error {
+	_, err := s.server.Delete(args.RecordID, args.OwnerID)
+	return err
+}
+
+// Ciphertexts lists an owner's stored content-key ciphertexts.
+func (s *ServerRPC) Ciphertexts(args *RPCCiphertextsArgs, reply *RPCCiphertextsReply) error {
+	for _, ct := range s.server.CiphertextsOf(args.OwnerID) {
+		reply.Ciphertexts = append(reply.Ciphertexts, ct.Marshal())
+	}
+	return nil
+}
+
+// ReEncrypt runs the proxy re-encryption for one revocation.
+func (s *ServerRPC) ReEncrypt(args *RPCReEncryptArgs, reply *RPCReEncryptReply) error {
+	uk, err := core.UnmarshalUpdateKey(s.sys.Params, args.UpdateKey)
+	if err != nil {
+		return fmt.Errorf("re-encrypt: %w", err)
+	}
+	uis := make(map[string]*core.UpdateInfo, len(args.UpdateInfos))
+	for i, raw := range args.UpdateInfos {
+		ui, err := core.UnmarshalUpdateInfo(s.sys.Params, raw)
+		if err != nil {
+			return fmt.Errorf("re-encrypt info %d: %w", i, err)
+		}
+		uis[ui.CiphertextID] = ui
+	}
+	cts, rows, err := s.server.ReEncrypt(args.OwnerID, uis, uk)
+	if err != nil {
+		return err
+	}
+	reply.Ciphertexts = cts
+	reply.Rows = rows
+	return nil
+}
+
+// Listener is a running RPC endpoint for a cloud server.
+type Listener struct {
+	ln net.Listener
+	wg sync.WaitGroup
+}
+
+// ServeRPC registers the server on a fresh rpc.Server and accepts
+// connections on addr (e.g. "127.0.0.1:0") until Close. It returns the
+// bound address.
+func ServeRPC(sys *core.System, server *Server, addr string) (*Listener, string, error) {
+	srv := rpc.NewServer()
+	if err := srv.RegisterName("CloudServer", NewServerRPC(sys, server)); err != nil {
+		return nil, "", err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	l := &Listener{ln: ln}
+	l.wg.Add(1)
+	go func() {
+		defer l.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			l.wg.Add(1)
+			go func() {
+				defer l.wg.Done()
+				srv.ServeConn(conn)
+			}()
+		}
+	}()
+	return l, ln.Addr().String(), nil
+}
+
+// Close stops accepting connections and waits for in-flight ones.
+func (l *Listener) Close() error {
+	err := l.ln.Close()
+	l.wg.Wait()
+	return err
+}
+
+// RemoteServer is a client for a ServeRPC endpoint, mirroring the
+// *Server operations the entities need.
+type RemoteServer struct {
+	sys    *core.System
+	client *rpc.Client
+}
+
+// DialServer connects to a remote cloud server.
+func DialServer(sys *core.System, addr string) (*RemoteServer, error) {
+	client, err := rpc.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dial cloud server: %w", err)
+	}
+	return &RemoteServer{sys: sys, client: client}, nil
+}
+
+// Close releases the connection.
+func (r *RemoteServer) Close() error { return r.client.Close() }
+
+// Store uploads a record.
+func (r *RemoteServer) Store(rec *Record) error {
+	args := &RPCStoreArgs{RecordID: rec.ID, OwnerID: rec.OwnerID}
+	for _, c := range rec.Components {
+		args.Components = append(args.Components, RPCComponent{
+			Label: c.Label, CT: c.CT.Marshal(), Sealed: c.Sealed,
+		})
+	}
+	return r.client.Call("CloudServer.Store", args, &struct{}{})
+}
+
+// Fetch downloads a whole record.
+func (r *RemoteServer) Fetch(recordID string) (*Record, error) {
+	var reply RPCFetchReply
+	if err := r.client.Call("CloudServer.Fetch", &RPCFetchArgs{RecordID: recordID}, &reply); err != nil {
+		return nil, err
+	}
+	return r.decodeRecord(recordID, &reply)
+}
+
+// FetchComponent downloads one component.
+func (r *RemoteServer) FetchComponent(recordID, label string) (*StoredComponent, error) {
+	var reply RPCFetchReply
+	if err := r.client.Call("CloudServer.Fetch", &RPCFetchArgs{RecordID: recordID, Label: label}, &reply); err != nil {
+		return nil, err
+	}
+	rec, err := r.decodeRecord(recordID, &reply)
+	if err != nil {
+		return nil, err
+	}
+	if len(rec.Components) != 1 {
+		return nil, fmt.Errorf("cloud: expected one component, got %d", len(rec.Components))
+	}
+	return &rec.Components[0], nil
+}
+
+// Delete removes one of the owner's records.
+func (r *RemoteServer) Delete(recordID, ownerID string) error {
+	return r.client.Call("CloudServer.Delete", &RPCDeleteArgs{RecordID: recordID, OwnerID: ownerID}, &struct{}{})
+}
+
+// CiphertextsOf lists the owner's stored content-key ciphertexts.
+func (r *RemoteServer) CiphertextsOf(ownerID string) ([]*core.Ciphertext, error) {
+	var reply RPCCiphertextsReply
+	if err := r.client.Call("CloudServer.Ciphertexts", &RPCCiphertextsArgs{OwnerID: ownerID}, &reply); err != nil {
+		return nil, err
+	}
+	out := make([]*core.Ciphertext, 0, len(reply.Ciphertexts))
+	for i, raw := range reply.Ciphertexts {
+		ct, err := core.UnmarshalCiphertext(r.sys.Params, raw)
+		if err != nil {
+			return nil, fmt.Errorf("ciphertext %d: %w", i, err)
+		}
+		out = append(out, ct)
+	}
+	return out, nil
+}
+
+// ReEncrypt submits one revocation's proxy re-encryption.
+func (r *RemoteServer) ReEncrypt(ownerID string, uis map[string]*core.UpdateInfo, uk *core.UpdateKey) (int, int, error) {
+	args := &RPCReEncryptArgs{OwnerID: ownerID, UpdateKey: uk.Marshal()}
+	for _, ui := range uis {
+		args.UpdateInfos = append(args.UpdateInfos, ui.Marshal())
+	}
+	var reply RPCReEncryptReply
+	if err := r.client.Call("CloudServer.ReEncrypt", args, &reply); err != nil {
+		return 0, 0, err
+	}
+	return reply.Ciphertexts, reply.Rows, nil
+}
+
+func (r *RemoteServer) decodeRecord(recordID string, reply *RPCFetchReply) (*Record, error) {
+	rec := &Record{ID: recordID, OwnerID: reply.OwnerID}
+	for _, c := range reply.Components {
+		ct, err := core.UnmarshalCiphertext(r.sys.Params, c.CT)
+		if err != nil {
+			return nil, fmt.Errorf("fetch %q/%q: %w", recordID, c.Label, err)
+		}
+		rec.Components = append(rec.Components, StoredComponent{
+			Label: c.Label, CT: ct, Sealed: c.Sealed,
+		})
+	}
+	return rec, nil
+}

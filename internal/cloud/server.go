@@ -1,0 +1,178 @@
+package cloud
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"maacs/internal/core"
+)
+
+// Errors reported by the server.
+var (
+	ErrRecordNotFound    = errors.New("cloud: record not found")
+	ErrComponentNotFound = errors.New("cloud: component not found")
+)
+
+// StoredComponent is one cell of the Fig. 2 record format: the CP-ABE
+// ciphertext of the content key followed by the symmetrically encrypted data
+// component.
+type StoredComponent struct {
+	Label  string
+	CT     *core.Ciphertext
+	Sealed []byte
+}
+
+// Record is an owner's uploaded data item.
+type Record struct {
+	ID         string
+	OwnerID    string
+	Components []StoredComponent
+}
+
+// Server is the cloud storage server: it stores records, serves downloads,
+// and performs proxy re-encryption during revocation. It holds no secret key
+// material and never sees a plaintext or content key.
+type Server struct {
+	sys  *core.System
+	acct *Accounting
+
+	mu      sync.Mutex
+	records map[string]*Record
+}
+
+// NewServer creates a server over the system's public parameters.
+func NewServer(sys *core.System, acct *Accounting) *Server {
+	return &Server{sys: sys, acct: acct, records: make(map[string]*Record)}
+}
+
+// Store uploads a record (Server↔Owner channel).
+func (s *Server) Store(rec *Record) error {
+	size := 0
+	for _, c := range rec.Components {
+		size += c.CT.Size(s.sys.Params) + len(c.Sealed)
+	}
+	s.acct.Add(ChanServerOwner, size)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.records[rec.ID]; ok {
+		return fmt.Errorf("cloud: record %q already stored", rec.ID)
+	}
+	s.records[rec.ID] = rec
+	return nil
+}
+
+// Fetch downloads a whole record (Server↔User channel).
+func (s *Server) Fetch(recordID string) (*Record, error) {
+	s.mu.Lock()
+	rec, ok := s.records[recordID]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrRecordNotFound, recordID)
+	}
+	size := 0
+	for _, c := range rec.Components {
+		size += c.CT.Size(s.sys.Params) + len(c.Sealed)
+	}
+	s.acct.Add(ChanServerUser, size)
+	return rec, nil
+}
+
+// FetchComponent downloads a single component by label — the fine-grained
+// access path (different users decrypt different numbers of components).
+func (s *Server) FetchComponent(recordID, label string) (*StoredComponent, error) {
+	s.mu.Lock()
+	rec, ok := s.records[recordID]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrRecordNotFound, recordID)
+	}
+	for i := range rec.Components {
+		if rec.Components[i].Label == label {
+			c := rec.Components[i]
+			s.acct.Add(ChanServerUser, c.CT.Size(s.sys.Params)+len(c.Sealed))
+			return &c, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: %q/%q", ErrComponentNotFound, recordID, label)
+}
+
+// Delete removes a record. Only its owner may delete it; the server checks
+// the claimed owner against the stored record (the paper's server executes
+// owners' tasks correctly).
+func (s *Server) Delete(recordID, ownerID string) (*Record, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.records[recordID]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrRecordNotFound, recordID)
+	}
+	if rec.OwnerID != ownerID {
+		return nil, fmt.Errorf("cloud: record %q belongs to %q, not %q", recordID, rec.OwnerID, ownerID)
+	}
+	delete(s.records, recordID)
+	return rec, nil
+}
+
+// RecordIDs lists stored record IDs (not metered: directory metadata).
+func (s *Server) RecordIDs() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.records))
+	for id := range s.records {
+		out = append(out, id)
+	}
+	return out
+}
+
+// CiphertextsOf returns the content-key ciphertexts of an owner's records
+// (the inputs the owner needs to build revocation update information).
+func (s *Server) CiphertextsOf(ownerID string) []*core.Ciphertext {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []*core.Ciphertext
+	for _, rec := range s.records {
+		if rec.OwnerID != ownerID {
+			continue
+		}
+		for i := range rec.Components {
+			out = append(out, rec.Components[i].CT)
+		}
+	}
+	return out
+}
+
+// ReEncrypt runs the proxy re-encryption for one revocation: it applies the
+// owner-supplied update information to every affected stored ciphertext.
+// Only rows with attributes of the revoking authority are touched. It
+// returns the number of ciphertexts updated and the total rows re-encrypted.
+func (s *Server) ReEncrypt(ownerID string, uis map[string]*core.UpdateInfo, uk *core.UpdateKey) (cts, rows int, err error) {
+	for _, ui := range uis {
+		s.acct.Add(ChanServerOwner, ui.Size(s.sys.Params))
+	}
+	s.acct.Add(ChanServerOwner, uk.Size(s.sys.Params))
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, rec := range s.records {
+		if rec.OwnerID != ownerID {
+			continue
+		}
+		for i := range rec.Components {
+			ct := rec.Components[i].CT
+			ui, ok := uis[ct.ID]
+			if !ok {
+				continue
+			}
+			reenc, touched, err := core.ReEncrypt(s.sys, ct, ui, uk)
+			if err != nil {
+				return cts, rows, fmt.Errorf("re-encrypt record %q: %w", rec.ID, err)
+			}
+			rec.Components[i].CT = reenc
+			cts++
+			rows += touched
+		}
+	}
+	return cts, rows, nil
+}

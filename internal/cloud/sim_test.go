@@ -1,0 +1,181 @@
+package cloud
+
+import (
+	"bytes"
+	"crypto/rand"
+	"fmt"
+	mrand "math/rand"
+	"testing"
+
+	"maacs/internal/core"
+	"maacs/internal/lsss"
+	"maacs/internal/pairing"
+)
+
+// TestSimulationInvariant is a model-based integration test: it drives a
+// random schedule of grants, uploads and revocations against a deployment
+// while maintaining a plain-map model of who should be able to read what,
+// and checks the implementation against the model after every step.
+func TestSimulationInvariant(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(20120542)) // DOI-derived seed
+	env := NewEnv(core.NewSystem(pairing.Test()), rand.Reader)
+
+	authorities := map[string][]string{
+		"a1": {"x", "y"},
+		"a2": {"z"},
+	}
+	for aid, names := range authorities {
+		if _, err := env.AddAuthority(aid, names); err != nil {
+			t.Fatal(err)
+		}
+	}
+	owner, err := env.AddOwner("own")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Model: user → set of qualified attributes currently held.
+	type userState struct {
+		client *UserClient
+		attrs  map[string]bool
+	}
+	users := make(map[string]*userState)
+	for i := 0; i < 4; i++ {
+		uid := fmt.Sprintf("u%d", i)
+		uc, err := env.AddUser(uid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Everyone gets base keys from both authorities up front.
+		for aid := range authorities {
+			a, _ := env.Authority(aid)
+			if err := a.GrantAttributes(uc, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		users[uid] = &userState{client: uc, attrs: make(map[string]bool)}
+	}
+
+	qualified := []string{"a1:x", "a1:y", "a2:z"}
+	policies := []string{
+		"a1:x",
+		"a1:x AND a2:z",
+		"a1:y OR a2:z",
+		"2 of (a1:x, a1:y, a2:z)",
+	}
+
+	// Records: label → policy (content is the label itself).
+	records := make(map[string]string)
+	uploadN := 0
+
+	check := func(step string) {
+		t.Helper()
+		for label, policy := range records {
+			node, err := lsss.Parse(policy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for uid, st := range users {
+				var held []string
+				for q := range st.attrs {
+					held = append(held, q)
+				}
+				want := node.Evaluate(held)
+				data, err := st.client.Download(label, "c")
+				got := err == nil && bytes.Equal(data, []byte(label))
+				if got != want {
+					t.Fatalf("%s: user %s on %q (policy %q, attrs %v): got access=%v want %v (err=%v)",
+						step, uid, label, policy, held, got, want, err)
+				}
+			}
+		}
+	}
+
+	uids := []string{"u0", "u1", "u2", "u3"}
+	for step := 0; step < 18; step++ {
+		switch rng.Intn(3) {
+		case 0: // grant a random attribute to a random user
+			uid := uids[rng.Intn(len(uids))]
+			q := qualified[rng.Intn(len(qualified))]
+			attr, _ := core.ParseAttribute(q)
+			a, _ := env.Authority(attr.AID)
+			// GrantAttributes re-issues the key covering ALL attrs the user
+			// should hold at this authority.
+			st := users[uid]
+			st.attrs[q] = true
+			var names []string
+			for held := range st.attrs {
+				ha, _ := core.ParseAttribute(held)
+				if ha.AID == attr.AID {
+					names = append(names, ha.Name)
+				}
+			}
+			if err := a.GrantAttributes(st.client, names); err != nil {
+				t.Fatal(err)
+			}
+			check(fmt.Sprintf("step %d grant %s→%s", step, q, uid))
+		case 1: // upload a new record
+			label := fmt.Sprintf("rec%d", uploadN)
+			uploadN++
+			policy := policies[rng.Intn(len(policies))]
+			if _, err := owner.Upload(label, []UploadComponent{
+				{Label: "c", Data: []byte(label), Policy: policy},
+			}); err != nil {
+				t.Fatal(err)
+			}
+			records[label] = policy
+			check(fmt.Sprintf("step %d upload %s (%s)", step, label, policy))
+		case 2: // revoke a random held attribute
+			uid := uids[rng.Intn(len(uids))]
+			st := users[uid]
+			var held []string
+			for q := range st.attrs {
+				held = append(held, q)
+			}
+			if len(held) == 0 {
+				continue
+			}
+			q := held[rng.Intn(len(held))]
+			attr, _ := core.ParseAttribute(q)
+			a, _ := env.Authority(attr.AID)
+			if _, err := a.RevokeAttribute(uid, attr.Name); err != nil {
+				t.Fatal(err)
+			}
+			delete(st.attrs, q)
+			check(fmt.Sprintf("step %d revoke %s from %s", step, q, uid))
+		}
+	}
+	if uploadN == 0 || len(records) == 0 {
+		t.Fatal("simulation did not exercise uploads")
+	}
+}
+
+func TestRevokeUserRemovesAllAccess(t *testing.T) {
+	env, owner := hospitalEnv(t)
+	uploadPatientRecord(t, owner)
+	eve := addUser(t, env, "eve", map[string][]string{
+		"med":   {"doctor", "nurse"},
+		"trial": nil,
+	})
+	med, _ := env.Authority("med")
+	reports, err := med.RevokeUser("eve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 2 {
+		t.Fatalf("got %d reports, want 2 (doctor, nurse)", len(reports))
+	}
+	visible, err := eve.DownloadRecord("patient-7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(visible) != 0 {
+		t.Fatalf("revoked user still sees %v", keysOf(visible))
+	}
+	if med.AA.Version() != 2 {
+		t.Fatalf("version %d, want 2", med.AA.Version())
+	}
+	if _, err := med.RevokeUser("eve"); err == nil {
+		t.Fatal("revoking attribute-less user succeeded")
+	}
+}

@@ -1,0 +1,38 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMinimalAuthorizedSets(t *testing.T) {
+	f := twoAuthorityFixture(t)
+	_, ct := f.encrypt("med:doctor AND (uni:researcher OR uni:student)")
+	sets, truncated, err := ct.MinimalAuthorizedSets(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truncated {
+		t.Fatal("unexpected truncation")
+	}
+	got := make([]string, len(sets))
+	for i, s := range sets {
+		got[i] = strings.Join(s, "+")
+	}
+	want := "med:doctor+uni:researcher;med:doctor+uni:student"
+	if strings.Join(got, ";") != want {
+		t.Fatalf("got %v, want %s", got, want)
+	}
+}
+
+func TestMinimalAuthorizedSetsCapped(t *testing.T) {
+	f := newFixture(t, map[string][]string{"a": {"x0", "x1", "x2", "x3"}})
+	_, ct := f.encrypt("2 of (a:x0, a:x1, a:x2, a:x3)") // C(4,2) = 6 sets
+	sets, truncated, err := ct.MinimalAuthorizedSets(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !truncated || len(sets) != 3 {
+		t.Fatalf("got %d sets (truncated=%v), want 3 truncated", len(sets), truncated)
+	}
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"crypto/rand"
+	"testing"
+
+	"maacs/internal/pairing"
+)
+
+// benchFixture builds a 2-authority system over the curve selected by
+// -short (test curve) or default (paper curve is exercised from the repo
+// root benchmarks; here we keep the small curve for module-level numbers).
+func benchFixture(b *testing.B) (*System, *CA, *Owner, map[string]*AA) {
+	b.Helper()
+	sys := NewSystem(pairing.Test())
+	ca := NewCA(sys)
+	owner, err := NewOwner(sys, "bo", rand.Reader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	aas := make(map[string]*AA)
+	for _, aid := range []string{"a1", "a2"} {
+		if err := ca.RegisterAA(aid); err != nil {
+			b.Fatal(err)
+		}
+		aa, err := NewAA(sys, aid, []string{"x", "y", "z"}, rand.Reader)
+		if err != nil {
+			b.Fatal(err)
+		}
+		aas[aid] = aa
+		owner.InstallPublicKeys(aa.PublicKeys())
+	}
+	return sys, ca, owner, aas
+}
+
+func BenchmarkKeyGen3Attrs(b *testing.B) {
+	_, ca, owner, aas := benchFixture(b)
+	pk, err := ca.RegisterUser("bu", rand.Reader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := aas["a1"].KeyGen(pk, owner.SecretKeyForAAs(), []string{"x", "y", "z"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncrypt6Rows(b *testing.B) {
+	sys, _, owner, _ := benchFixture(b)
+	m, _, err := sys.Params.RandomGT(rand.Reader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const policy = "a1:x AND a1:y AND a1:z AND a2:x AND a2:y AND a2:z"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := owner.Encrypt(m, policy, rand.Reader); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchDecrypt(b *testing.B, fast bool) {
+	sys, ca, owner, aas := benchFixture(b)
+	pk, err := ca.RegisterUser("bu", rand.Reader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sks := make(map[string]*SecretKey)
+	for aid, aa := range aas {
+		sk, err := aa.KeyGen(pk, owner.SecretKeyForAAs(), []string{"x", "y", "z"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sks[aid] = sk
+	}
+	m, _, err := sys.Params.RandomGT(rand.Reader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ct, err := owner.Encrypt(m, "a1:x AND a1:y AND a2:x AND a2:y", rand.Reader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var got *pairing.GT
+		var err error
+		if fast {
+			got, err = DecryptFast(sys, ct, pk, sks)
+		} else {
+			got, err = Decrypt(sys, ct, pk, sks)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !got.Equal(m) {
+			b.Fatal("mismatch")
+		}
+	}
+}
+
+func BenchmarkDecryptEq1(b *testing.B)  { benchDecrypt(b, false) }
+func BenchmarkDecryptFast(b *testing.B) { benchDecrypt(b, true) }
+
+func BenchmarkRekeyAndUpdateKey(b *testing.B) {
+	_, _, owner, aas := benchFixture(b)
+	aa := aas["a1"]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fromV, _, err := aa.Rekey(rand.Reader)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := aa.UpdateKeyFor(owner.SecretKeyForAAs(), fromV); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCiphertextMarshalRoundTrip(b *testing.B) {
+	sys, _, owner, _ := benchFixture(b)
+	m, _, err := sys.Params.RandomGT(rand.Reader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ct, err := owner.Encrypt(m, "a1:x AND a2:y", rand.Reader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := ct.Marshal()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := UnmarshalCiphertext(sys.Params, data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"math/big"
+	"sync"
+
+	"maacs/internal/pairing"
+)
+
+// CA is the fully trusted certificate authority of the paper's system model.
+// It authenticates every user and authority, assigns the globally unique UID
+// and AID identifiers, and publishes each user's public key PK_UID = g^u.
+// The CA takes no part in key generation or decryption.
+type CA struct {
+	sys *System
+
+	mu    sync.Mutex
+	users map[string]*registeredUser
+	aas   map[string]bool
+}
+
+type registeredUser struct {
+	pk *UserPublicKey
+	u  *big.Int // the CA-held secret exponent behind PK_UID
+}
+
+// UserPublicKey is the public half of a user's global identity: the UID and
+// PK_UID = g^u. It is an input to both key generation and decryption.
+type UserPublicKey struct {
+	UID string
+	PK  *pairing.G
+}
+
+// NewCA runs the paper's global Setup: it creates the certificate authority
+// for a system.
+func NewCA(sys *System) *CA {
+	return &CA{
+		sys:   sys,
+		users: make(map[string]*registeredUser),
+		aas:   make(map[string]bool),
+	}
+}
+
+// RegisterUser authenticates a user, assigns it the given UID and generates
+// its public key PK_UID = g^u for a fresh secret u ∈ Z_r.
+func (ca *CA) RegisterUser(uid string, rnd io.Reader) (*UserPublicKey, error) {
+	if uid == "" {
+		return nil, fmt.Errorf("%w: empty UID", ErrDuplicateID)
+	}
+	u, err := ca.sys.Params.RandomScalar(rnd)
+	if err != nil {
+		return nil, fmt.Errorf("register user %q: %w", uid, err)
+	}
+	pk := &UserPublicKey{UID: uid, PK: ca.sys.Params.Generator().Exp(u)}
+
+	ca.mu.Lock()
+	defer ca.mu.Unlock()
+	if _, ok := ca.users[uid]; ok {
+		return nil, fmt.Errorf("%w: user %q", ErrDuplicateID, uid)
+	}
+	ca.users[uid] = &registeredUser{pk: pk, u: u}
+	return pk, nil
+}
+
+// RegisterAA authenticates an attribute authority and assigns it an AID.
+func (ca *CA) RegisterAA(aid string) error {
+	if aid == "" {
+		return fmt.Errorf("%w: empty AID", ErrDuplicateID)
+	}
+	ca.mu.Lock()
+	defer ca.mu.Unlock()
+	if ca.aas[aid] {
+		return fmt.Errorf("%w: authority %q", ErrDuplicateID, aid)
+	}
+	ca.aas[aid] = true
+	return nil
+}
+
+// UserPublicKeyOf returns the public key of a registered user.
+func (ca *CA) UserPublicKeyOf(uid string) (*UserPublicKey, error) {
+	ca.mu.Lock()
+	defer ca.mu.Unlock()
+	u, ok := ca.users[uid]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown user %q", uid)
+	}
+	return u.pk, nil
+}
+
+// KnownAuthority reports whether the AID has been registered.
+func (ca *CA) KnownAuthority(aid string) bool {
+	ca.mu.Lock()
+	defer ca.mu.Unlock()
+	return ca.aas[aid]
+}

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file handles users that were offline across several revocations: the
+// authority can reproduce the update keys for any historical version range
+// (it keeps the version-key history), and a user applies them as a chain to
+// bring an old secret key to the current version.
+
+// UpdateKeysSince returns the update keys (fromVersion→fromVersion+1, …,
+// current−1→current) an offline holder needs to catch up, bound to the
+// given owner.
+func (aa *AA) UpdateKeysSince(ownerSK *OwnerSecretKey, fromVersion int) ([]*UpdateKey, error) {
+	aa.mu.Lock()
+	current := aa.version
+	aa.mu.Unlock()
+	if fromVersion < 0 || fromVersion > current {
+		return nil, fmt.Errorf("%w: version %d (current %d)", ErrVersionMismatch, fromVersion, current)
+	}
+	out := make([]*UpdateKey, 0, current-fromVersion)
+	for v := fromVersion; v < current; v++ {
+		uk, err := aa.UpdateKeyFor(ownerSK, v)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, uk)
+	}
+	return out, nil
+}
+
+// UpdateSecretKeyChain applies a sequence of update keys. The keys may be
+// supplied in any order; they are sorted by version and must form a gapless
+// chain starting at the key's version.
+func UpdateSecretKeyChain(sk *SecretKey, uks []*UpdateKey) (*SecretKey, error) {
+	if len(uks) == 0 {
+		return sk, nil
+	}
+	sorted := append([]*UpdateKey(nil), uks...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].FromVersion < sorted[j].FromVersion })
+	cur := sk
+	for _, uk := range sorted {
+		next, err := UpdateSecretKey(cur, uk)
+		if err != nil {
+			return nil, fmt.Errorf("catch-up at version %d: %w", cur.Version, err)
+		}
+		cur = next
+	}
+	return cur, nil
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"crypto/rand"
+	"errors"
+	"testing"
+)
+
+// TestOfflineUserCatchesUpAcrossThreeRevocations: bob goes offline, three
+// revocations happen, bob comes back, fetches the update-key chain and
+// decrypts current data.
+func TestOfflineUserCatchesUpAcrossThreeRevocations(t *testing.T) {
+	f := twoAuthorityFixture(t)
+	bob := f.enrol("bob", map[string][]string{
+		"med": {"doctor"},
+		"uni": {"researcher"},
+	})
+	staleKey := bob.sks["med"] // bob's key before going offline (version 0)
+
+	aa := f.aas["med"]
+	for i := 0; i < 3; i++ {
+		if _, _, err := aa.Rekey(rand.Reader); err != nil {
+			t.Fatal(err)
+		}
+		// The owner follows along each revocation.
+		uk, err := aa.UpdateKeyFor(f.owner.SecretKeyForAAs(), i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.owner.ApplyUpdate(uk); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// New data at version 3.
+	m, ct := f.encrypt("med:doctor AND uni:researcher")
+	// Stale key must be rejected.
+	bob.sks["med"] = staleKey
+	if _, err := Decrypt(f.sys, ct, bob.pk, bob.sks); !errors.Is(err, ErrVersionMismatch) {
+		t.Fatalf("stale key accepted: %v", err)
+	}
+
+	// Catch up.
+	chain, err := aa.UpdateKeysSince(f.owner.SecretKeyForAAs(), staleKey.Version)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chain) != 3 {
+		t.Fatalf("chain length %d, want 3", len(chain))
+	}
+	// Shuffle the chain to prove ordering is handled.
+	chain[0], chain[2] = chain[2], chain[0]
+	updated, err := UpdateSecretKeyChain(staleKey, chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if updated.Version != 3 {
+		t.Fatalf("caught-up key at version %d, want 3", updated.Version)
+	}
+	bob.sks["med"] = updated
+	got, err := Decrypt(f.sys, ct, bob.pk, bob.sks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(m) {
+		t.Fatal("caught-up key decrypts wrong message")
+	}
+}
+
+func TestUpdateKeysSinceValidation(t *testing.T) {
+	f := twoAuthorityFixture(t)
+	aa := f.aas["med"]
+	if _, err := aa.UpdateKeysSince(f.owner.SecretKeyForAAs(), 1); !errors.Is(err, ErrVersionMismatch) {
+		t.Fatalf("future version accepted: %v", err)
+	}
+	chain, err := aa.UpdateKeysSince(f.owner.SecretKeyForAAs(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chain) != 0 {
+		t.Fatalf("no revocations yet but chain has %d keys", len(chain))
+	}
+}
+
+func TestUpdateSecretKeyChainRejectsGaps(t *testing.T) {
+	f := twoAuthorityFixture(t)
+	alice := f.enrol("alice", map[string][]string{"med": {"doctor"}, "uni": nil})
+	aa := f.aas["med"]
+	for i := 0; i < 2; i++ {
+		if _, _, err := aa.Rekey(rand.Reader); err != nil {
+			t.Fatal(err)
+		}
+	}
+	chain, err := aa.UpdateKeysSince(f.owner.SecretKeyForAAs(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drop the middle link: 0→1 missing, only 1→2 left.
+	if _, err := UpdateSecretKeyChain(alice.sks["med"], chain[1:]); !errors.Is(err, ErrVersionMismatch) {
+		t.Fatalf("gapped chain accepted: %v", err)
+	}
+	// Empty chain is a no-op.
+	same, err := UpdateSecretKeyChain(alice.sks["med"], nil)
+	if err != nil || same != alice.sks["med"] {
+		t.Fatal("empty chain changed the key")
+	}
+}

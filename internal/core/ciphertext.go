@@ -1,0 +1,83 @@
+package core
+
+import (
+	"fmt"
+
+	"maacs/internal/lsss"
+	"maacs/internal/pairing"
+)
+
+// Ciphertext is the CP-ABE encryption of a G_T message (a content key in the
+// full system):
+//
+//	C  = m · (Π_{k∈I_A} e(g,g)^α_k)^s
+//	C' = g^(βs)
+//	C_i = g^(r·λ_i) · PK_{ρ(i)}^(−βs)    for each policy row i
+//
+// Versions records, per involved authority, the version of the version key
+// the ciphertext is currently encrypted under; ReEncrypt advances it.
+type Ciphertext struct {
+	// ID links the ciphertext to the owner's encryption record (needed for
+	// revocation update information).
+	ID string
+	// OwnerID names the owner whose master key produced the ciphertext.
+	OwnerID string
+	// Policy is the human-readable access policy.
+	Policy string
+	// Matrix is the compiled LSSS access structure (rows labelled by
+	// qualified attributes).
+	Matrix *lsss.Matrix
+	// Versions maps each involved AID to the authority version key version.
+	Versions map[string]int
+
+	C      *pairing.GT
+	CPrime *pairing.G
+	Rows   []*pairing.G
+}
+
+// InvolvedAuthorities returns the sorted AIDs the ciphertext involves.
+func (ct *Ciphertext) InvolvedAuthorities() ([]string, error) {
+	return involvedAuthorities(ct.Matrix)
+}
+
+// MinimalAuthorizedSets enumerates the minimal attribute sets that can open
+// this ciphertext (capped at maxSets; 0 = unlimited) — an audit aid for
+// owners reviewing who a stored policy actually admits.
+func (ct *Ciphertext) MinimalAuthorizedSets(maxSets int) (sets [][]string, truncated bool, err error) {
+	node, err := lsss.Parse(ct.Policy)
+	if err != nil {
+		return nil, false, fmt.Errorf("audit policy: %w", err)
+	}
+	sets, truncated = node.MinimalSets(maxSets)
+	return sets, truncated, nil
+}
+
+// Clone returns a deep copy (the server re-encrypts copies, never the
+// owner's original in place).
+func (ct *Ciphertext) Clone() *Ciphertext {
+	out := &Ciphertext{
+		ID:       ct.ID,
+		OwnerID:  ct.OwnerID,
+		Policy:   ct.Policy,
+		Matrix:   ct.Matrix.Clone(),
+		Versions: make(map[string]int, len(ct.Versions)),
+		C:        ct.C.Clone(),
+		CPrime:   ct.CPrime.Clone(),
+		Rows:     make([]*pairing.G, len(ct.Rows)),
+	}
+	for aid, v := range ct.Versions {
+		out.Versions[aid] = v
+	}
+	for i, r := range ct.Rows {
+		out.Rows[i] = r.Clone()
+	}
+	return out
+}
+
+// Size returns the size in bytes of the cryptographic payload, counted the
+// way the paper's Table II counts it: |G_T| + (l+1)·|G| (the message blob,
+// C', and one G element per policy row). Policy metadata is excluded, as in
+// the paper.
+func (ct *Ciphertext) Size(p *pairing.Params) int {
+	return p.GTByteLen() + (len(ct.Rows)+1)*p.GByteLen()
+}

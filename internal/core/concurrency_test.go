@@ -1,0 +1,146 @@
+package core
+
+import (
+	"crypto/rand"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentKeyGen issues keys from one authority in parallel; every key
+// must decrypt.
+func TestConcurrentKeyGen(t *testing.T) {
+	f := newFixture(t, map[string][]string{"a": {"x"}})
+	m, ct := f.encrypt("a:x")
+	const workers = 8
+	var wg sync.WaitGroup
+	errc := make(chan error, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			pk, err := f.ca.RegisterUser(fmt.Sprintf("cu%d", i), rand.Reader)
+			if err != nil {
+				errc <- err
+				return
+			}
+			sk, err := f.aas["a"].KeyGen(pk, f.owner.SecretKeyForAAs(), []string{"x"})
+			if err != nil {
+				errc <- err
+				return
+			}
+			got, err := Decrypt(f.sys, ct, pk, map[string]*SecretKey{"a": sk})
+			if err != nil {
+				errc <- err
+				return
+			}
+			if !got.Equal(m) {
+				errc <- fmt.Errorf("worker %d: wrong plaintext", i)
+				return
+			}
+			errc <- nil
+		}(i)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestConcurrentEncryptAndRevoke runs encryptions while the authority
+// re-keys; every produced ciphertext must carry a version for which the
+// authority can later produce update keys, and must decrypt with keys of the
+// matching version.
+func TestConcurrentEncryptAndRevoke(t *testing.T) {
+	f := newFixture(t, map[string][]string{"a": {"x"}})
+	aa := f.aas["a"]
+	user := f.enrol("u", map[string][]string{"a": {"x"}})
+
+	const encrypters = 4
+	var wg sync.WaitGroup
+	cts := make(chan *Ciphertext, encrypters*3)
+	errc := make(chan error, encrypters+1)
+
+	for w := 0; w < encrypters; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 3; i++ {
+				m := f.randomMessage()
+				ct, err := f.owner.Encrypt(m, "a:x", rand.Reader)
+				if err != nil {
+					errc <- err
+					return
+				}
+				_ = m
+				cts <- ct
+			}
+			errc <- nil
+		}()
+	}
+	// One revoker bumping versions concurrently (owner updates too).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 2; i++ {
+			fromV, _, err := aa.Rekey(rand.Reader)
+			if err != nil {
+				errc <- err
+				return
+			}
+			uk, err := aa.UpdateKeyFor(f.owner.SecretKeyForAAs(), fromV)
+			if err != nil {
+				errc <- err
+				return
+			}
+			if err := f.owner.ApplyUpdate(uk); err != nil {
+				errc <- err
+				return
+			}
+		}
+		errc <- nil
+	}()
+	wg.Wait()
+	close(cts)
+	close(errc)
+	for err := range errc {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Every ciphertext decrypts once the user's key is brought to the
+	// ciphertext's version via the catch-up chain.
+	for ct := range cts {
+		v := ct.Versions["a"]
+		sk := user.sks["a"]
+		if sk.Version < v {
+			chain, err := aa.UpdateKeysSince(f.owner.SecretKeyForAAs(), sk.Version)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Take only the links up to the ciphertext's version.
+			var need []*UpdateKey
+			for _, uk := range chain {
+				if uk.ToVersion <= v {
+					need = append(need, uk)
+				}
+			}
+			sk, err = UpdateSecretKeyChain(sk, need)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if sk.Version != v {
+			// Key ran ahead of this (older) ciphertext — acceptable race
+			// outcome; the server would have re-encrypted it. Skip.
+			continue
+		}
+		if _, err := Decrypt(f.sys, ct, user.pk, map[string]*SecretKey{"a": sk}); err != nil {
+			t.Fatalf("ciphertext@%d with key@%d: %v", v, sk.Version, err)
+		}
+	}
+}

@@ -1,0 +1,358 @@
+package core
+
+import (
+	"crypto/rand"
+	"errors"
+	"testing"
+
+	"maacs/internal/pairing"
+)
+
+// fixture wires a complete small system: one CA, several AAs with attribute
+// universes, one owner who has exchanged keys with every AA, and helpers to
+// enrol users.
+type fixture struct {
+	t     *testing.T
+	sys   *System
+	ca    *CA
+	owner *Owner
+	aas   map[string]*AA
+}
+
+type fixtureUser struct {
+	pk  *UserPublicKey
+	sks map[string]*SecretKey
+}
+
+// newFixture builds a system over the fast test pairing parameters.
+// authorities maps AID → local attribute names.
+func newFixture(t *testing.T, authorities map[string][]string) *fixture {
+	t.Helper()
+	sys := NewSystem(pairing.Test())
+	ca := NewCA(sys)
+	owner, err := NewOwner(sys, "owner1", rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &fixture{t: t, sys: sys, ca: ca, owner: owner, aas: make(map[string]*AA)}
+	for aid, names := range authorities {
+		if err := ca.RegisterAA(aid); err != nil {
+			t.Fatal(err)
+		}
+		aa, err := NewAA(sys, aid, names, rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.aas[aid] = aa
+		owner.InstallPublicKeys(aa.PublicKeys())
+	}
+	return f
+}
+
+// enrol registers a user and issues keys; attrs maps AID → local attribute
+// names for that user (an AID with an empty slice still yields a base key).
+func (f *fixture) enrol(uid string, attrs map[string][]string) *fixtureUser {
+	f.t.Helper()
+	pk, err := f.ca.RegisterUser(uid, rand.Reader)
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	u := &fixtureUser{pk: pk, sks: make(map[string]*SecretKey)}
+	for aid, names := range attrs {
+		sk, err := f.aas[aid].KeyGen(pk, f.owner.SecretKeyForAAs(), names)
+		if err != nil {
+			f.t.Fatal(err)
+		}
+		u.sks[aid] = sk
+	}
+	return u
+}
+
+func (f *fixture) randomMessage() *pairing.GT {
+	f.t.Helper()
+	m, _, err := f.sys.Params.RandomGT(rand.Reader)
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	return m
+}
+
+func (f *fixture) encrypt(policy string) (*pairing.GT, *Ciphertext) {
+	f.t.Helper()
+	m := f.randomMessage()
+	ct, err := f.owner.Encrypt(m, policy, rand.Reader)
+	if err != nil {
+		f.t.Fatalf("Encrypt(%q): %v", policy, err)
+	}
+	return m, ct
+}
+
+func twoAuthorityFixture(t *testing.T) *fixture {
+	return newFixture(t, map[string][]string{
+		"med": {"doctor", "nurse", "surgeon"},
+		"uni": {"researcher", "student", "professor"},
+	})
+}
+
+func TestEncryptDecryptSingleAuthority(t *testing.T) {
+	f := newFixture(t, map[string][]string{"med": {"doctor", "nurse"}})
+	alice := f.enrol("alice", map[string][]string{"med": {"doctor"}})
+	m, ct := f.encrypt("med:doctor")
+	got, err := Decrypt(f.sys, ct, alice.pk, alice.sks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(m) {
+		t.Fatal("decrypted message differs")
+	}
+}
+
+func TestEncryptDecryptAcrossAuthorities(t *testing.T) {
+	f := twoAuthorityFixture(t)
+	alice := f.enrol("alice", map[string][]string{
+		"med": {"doctor"},
+		"uni": {"researcher"},
+	})
+	m, ct := f.encrypt("med:doctor AND uni:researcher")
+	got, err := Decrypt(f.sys, ct, alice.pk, alice.sks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(m) {
+		t.Fatal("decrypted message differs (paper's motivating scenario)")
+	}
+}
+
+func TestDecryptFastMatchesDecrypt(t *testing.T) {
+	f := twoAuthorityFixture(t)
+	alice := f.enrol("alice", map[string][]string{
+		"med": {"doctor", "nurse"},
+		"uni": {"researcher"},
+	})
+	m, ct := f.encrypt("(med:doctor OR med:surgeon) AND uni:researcher")
+	slow, err := Decrypt(f.sys, ct, alice.pk, alice.sks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := DecryptFast(f.sys, ct, alice.pk, alice.sks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prepared, err := DecryptPrepared(f.sys, ct, alice.pk, alice.sks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slow.Equal(m) || !fast.Equal(m) || !prepared.Equal(m) {
+		t.Fatal("all three decryption paths must recover the message")
+	}
+}
+
+func TestDecryptFailsWithoutSatisfyingAttributes(t *testing.T) {
+	f := twoAuthorityFixture(t)
+	bob := f.enrol("bob", map[string][]string{
+		"med": {"nurse"},
+		"uni": {"researcher"},
+	})
+	_, ct := f.encrypt("med:doctor AND uni:researcher")
+	_, err := Decrypt(f.sys, ct, bob.pk, bob.sks)
+	if !errors.Is(err, ErrPolicyNotSatisfied) {
+		t.Fatalf("got %v, want ErrPolicyNotSatisfied", err)
+	}
+}
+
+func TestDecryptRequiresKeyFromEveryInvolvedAuthority(t *testing.T) {
+	f := twoAuthorityFixture(t)
+	// carol satisfies the policy attribute-wise through med only, but the
+	// ciphertext involves uni too, so a uni base key is required.
+	carol := f.enrol("carol", map[string][]string{"med": {"doctor"}})
+	_, ct := f.encrypt("med:doctor OR uni:professor")
+	_, err := Decrypt(f.sys, ct, carol.pk, carol.sks)
+	if !errors.Is(err, ErrMissingSecretKey) {
+		t.Fatalf("got %v, want ErrMissingSecretKey", err)
+	}
+	// With a base (attribute-less) key from uni it must work.
+	sk, err := f.aas["uni"].KeyGen(carol.pk, f.owner.SecretKeyForAAs(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	carol.sks["uni"] = sk
+	m2, ct2 := f.encrypt("med:doctor OR uni:professor")
+	got, err := Decrypt(f.sys, ct2, carol.pk, carol.sks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(m2) {
+		t.Fatal("decryption with base key failed")
+	}
+}
+
+// TestCollusionResistance is the paper's Theorem 1 scenario: two users whose
+// *combined* attributes satisfy the policy must not be able to decrypt by
+// pooling their secret keys, because each key set is blinded by a different
+// UID exponent.
+func TestCollusionResistance(t *testing.T) {
+	f := twoAuthorityFixture(t)
+	dave := f.enrol("dave", map[string][]string{
+		"med": {"doctor"},
+		"uni": nil,
+	})
+	erin := f.enrol("erin", map[string][]string{
+		"med": nil,
+		"uni": {"researcher"},
+	})
+	m, ct := f.encrypt("med:doctor AND uni:researcher")
+
+	// Pooling attempt 1: dave uses erin's uni key alongside his med key.
+	pooled := map[string]*SecretKey{"med": dave.sks["med"], "uni": erin.sks["uni"]}
+	if got, err := Decrypt(f.sys, ct, dave.pk, pooled); err == nil && got.Equal(m) {
+		t.Fatal("collusion succeeded: mixed-UID keys decrypted the ciphertext")
+	}
+	// Pooling attempt 2: same keys presented under erin's identity.
+	if got, err := Decrypt(f.sys, ct, erin.pk, pooled); err == nil && got.Equal(m) {
+		t.Fatal("collusion succeeded under the second user's identity")
+	}
+}
+
+// TestCrossAuthorityKeySubstitution checks the AID-qualification property:
+// an attribute named "admin" at two authorities yields distinguishable keys,
+// so a key for med:admin cannot stand in for uni:admin.
+func TestCrossAuthorityKeySubstitution(t *testing.T) {
+	f := newFixture(t, map[string][]string{
+		"med": {"admin"},
+		"uni": {"admin"},
+	})
+	mallory := f.enrol("mallory", map[string][]string{
+		"med": {"admin"},
+		"uni": nil,
+	})
+	m, ct := f.encrypt("uni:admin")
+	// Graft the med:admin component under the uni:admin label.
+	forged := &SecretKey{
+		UID:     mallory.sks["uni"].UID,
+		AID:     "uni",
+		OwnerID: mallory.sks["uni"].OwnerID,
+		Version: mallory.sks["uni"].Version,
+		K:       mallory.sks["uni"].K,
+		KAttr:   map[string]*pairing.G{"uni:admin": mallory.sks["med"].KAttr["med:admin"]},
+	}
+	sks := map[string]*SecretKey{"uni": forged, "med": mallory.sks["med"]}
+	if got, err := Decrypt(f.sys, ct, mallory.pk, sks); err == nil && got.Equal(m) {
+		t.Fatal("attribute substitution across authorities succeeded")
+	}
+}
+
+func TestDecryptRejectsKeysForOtherOwner(t *testing.T) {
+	f := twoAuthorityFixture(t)
+	alice := f.enrol("alice", map[string][]string{
+		"med": {"doctor"},
+		"uni": {"researcher"},
+	})
+	owner2, err := NewOwner(f.sys, "owner2", rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, aa := range f.aas {
+		owner2.InstallPublicKeys(aa.PublicKeys())
+	}
+	m2, _, err := f.sys.Params.RandomGT(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct2, err := owner2.Encrypt(m2, "med:doctor AND uni:researcher", rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// alice's keys were issued under owner1's SK_o: they must not decrypt
+	// owner2's data.
+	_, err = Decrypt(f.sys, ct2, alice.pk, alice.sks)
+	if !errors.Is(err, ErrWrongOwner) {
+		t.Fatalf("got %v, want ErrWrongOwner", err)
+	}
+}
+
+func TestEncryptUnknownAttributeFails(t *testing.T) {
+	f := twoAuthorityFixture(t)
+	m := f.randomMessage()
+	if _, err := f.owner.Encrypt(m, "med:wizard", rand.Reader); !errors.Is(err, ErrUnknownAttribute) {
+		t.Fatalf("got %v, want ErrUnknownAttribute", err)
+	}
+	if _, err := f.owner.Encrypt(m, "ghost:doctor", rand.Reader); !errors.Is(err, ErrUnknownAuthority) {
+		t.Fatalf("got %v, want ErrUnknownAuthority", err)
+	}
+}
+
+func TestEncryptRejectsUnqualifiedAttribute(t *testing.T) {
+	f := twoAuthorityFixture(t)
+	m := f.randomMessage()
+	if _, err := f.owner.Encrypt(m, "doctor", rand.Reader); !errors.Is(err, ErrBadAttribute) {
+		t.Fatalf("got %v, want ErrBadAttribute", err)
+	}
+}
+
+func TestThresholdPolicyAcrossThreeAuthorities(t *testing.T) {
+	f := newFixture(t, map[string][]string{
+		"a": {"x"},
+		"b": {"y"},
+		"c": {"z"},
+	})
+	u := f.enrol("u", map[string][]string{
+		"a": {"x"},
+		"b": nil,
+		"c": {"z"},
+	})
+	m, ct := f.encrypt("2 of (a:x, b:y, c:z)")
+	got, err := Decrypt(f.sys, ct, u.pk, u.sks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(m) {
+		t.Fatal("2-of-3 policy across authorities failed")
+	}
+}
+
+func TestKeyGenRejectsUnknownAttribute(t *testing.T) {
+	f := twoAuthorityFixture(t)
+	pk, err := f.ca.RegisterUser("zed", rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = f.aas["med"].KeyGen(pk, f.owner.SecretKeyForAAs(), []string{"pilot"})
+	if !errors.Is(err, ErrUnknownAttribute) {
+		t.Fatalf("got %v, want ErrUnknownAttribute", err)
+	}
+}
+
+func TestCARejectsDuplicates(t *testing.T) {
+	f := twoAuthorityFixture(t)
+	if _, err := f.ca.RegisterUser("alice", rand.Reader); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.ca.RegisterUser("alice", rand.Reader); !errors.Is(err, ErrDuplicateID) {
+		t.Fatalf("got %v, want ErrDuplicateID", err)
+	}
+	if err := f.ca.RegisterAA("med"); !errors.Is(err, ErrDuplicateID) {
+		t.Fatalf("got %v, want ErrDuplicateID", err)
+	}
+}
+
+func TestParseAttribute(t *testing.T) {
+	a, err := ParseAttribute("med:doctor")
+	if err != nil || a.AID != "med" || a.Name != "doctor" {
+		t.Fatalf("ParseAttribute: %+v, %v", a, err)
+	}
+	for _, bad := range []string{"", "noseparator", ":x", "x:"} {
+		if _, err := ParseAttribute(bad); !errors.Is(err, ErrBadAttribute) {
+			t.Errorf("ParseAttribute(%q): got %v, want ErrBadAttribute", bad, err)
+		}
+	}
+}
+
+func TestCiphertextSizeFormula(t *testing.T) {
+	f := twoAuthorityFixture(t)
+	_, ct := f.encrypt("med:doctor AND (uni:researcher OR uni:student)")
+	p := f.sys.Params
+	want := p.GTByteLen() + (3+1)*p.GByteLen() // |GT| + (l+1)|G| with l = 3
+	if got := ct.Size(p); got != want {
+		t.Fatalf("ciphertext size = %d, want %d", got, want)
+	}
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"crypto/rand"
+	"errors"
+	"testing"
+
+	"maacs/internal/pairing"
+)
+
+// failingReader injects randomness failures after n successful reads.
+type failingReader struct {
+	n int
+}
+
+var errInjected = errors.New("injected randomness failure")
+
+func (f *failingReader) Read(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, errInjected
+	}
+	f.n--
+	return rand.Read(p)
+}
+
+// TestRandomnessFailuresSurface verifies every key-generation and
+// encryption path propagates entropy failures instead of panicking or
+// producing weak output.
+func TestRandomnessFailuresSurface(t *testing.T) {
+	sys := NewSystem(pairing.Test())
+	ca := NewCA(sys)
+
+	if _, err := ca.RegisterUser("u", &failingReader{}); err == nil {
+		t.Error("RegisterUser swallowed entropy failure")
+	}
+	if _, err := NewOwner(sys, "o", &failingReader{}); err == nil {
+		t.Error("NewOwner swallowed entropy failure")
+	}
+	if _, err := NewOwner(sys, "o", &failingReader{n: 1}); err == nil {
+		t.Error("NewOwner swallowed entropy failure on second scalar")
+	}
+	if _, err := NewAA(sys, "a", []string{"x"}, &failingReader{}); err == nil {
+		t.Error("NewAA swallowed entropy failure")
+	}
+
+	// A healthy system whose encryption randomness then fails.
+	owner, err := NewOwner(sys, "o", rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aa, err := NewAA(sys, "a", []string{"x", "y"}, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner.InstallPublicKeys(aa.PublicKeys())
+	m, _, err := sys.Params.RandomGT(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := owner.Encrypt(m, "a:x AND a:y", &failingReader{}); err == nil {
+		t.Error("Encrypt swallowed entropy failure (exponent)")
+	}
+	if _, err := owner.Encrypt(m, "a:x AND a:y", &failingReader{n: 1}); err == nil {
+		t.Error("Encrypt swallowed entropy failure (shares)")
+	}
+	if _, _, err := aa.Rekey(&failingReader{}); err == nil {
+		t.Error("Rekey swallowed entropy failure")
+	}
+}
+
+// TestFreshIDFallsBackToCryptoRand: the ciphertext ID generator falls back
+// to crypto/rand when the caller's reader is exhausted, so an encryption
+// whose cryptographic randomness already succeeded still gets an ID.
+func TestFreshIDFallsBackToCryptoRand(t *testing.T) {
+	id, err := freshID(&failingReader{})
+	if err != nil {
+		t.Fatalf("freshID did not fall back: %v", err)
+	}
+	if len(id) != 32 {
+		t.Fatalf("id %q has wrong length", id)
+	}
+	id2, err := freshID(&failingReader{})
+	if err != nil || id2 == id {
+		t.Fatalf("fallback ids not unique: %v", err)
+	}
+}

@@ -1,0 +1,52 @@
+package core
+
+import "fmt"
+
+// ReEncrypt is the paper's ReEncrypt(CT, UI_AID, UK_AID), run by the cloud
+// server with the proxy re-encryption method — the server never sees the
+// plaintext or any secret key:
+//
+//	C̃   = C · e(UK1, C')                       // e(g,g)^(α s) → e(g,g)^(α̃ s)
+//	C̃_i = C_i · UI_{ρ(i)}   if ρ(i) ∈ S_AID    // only affected rows change
+//	C̃_i = C_i               otherwise
+//
+// It returns a new ciphertext at the advanced version and reports how many
+// rows were touched (the partial re-encryption the paper's efficiency claim
+// rests on).
+func ReEncrypt(sys *System, ct *Ciphertext, ui *UpdateInfo, uk *UpdateKey) (*Ciphertext, int, error) {
+	switch {
+	case ui.AID != uk.AID:
+		return nil, 0, fmt.Errorf("%w: update info for %q, update key for %q", ErrUnknownAuthority, ui.AID, uk.AID)
+	case ui.CiphertextID != ct.ID:
+		return nil, 0, fmt.Errorf("%w: update info for ciphertext %q", ErrUnknownCiphertext, ui.CiphertextID)
+	case uk.OwnerID != ct.OwnerID:
+		return nil, 0, fmt.Errorf("%w: update key for owner %q, ciphertext of %q", ErrWrongOwner, uk.OwnerID, ct.OwnerID)
+	}
+	cur, involved := ct.Versions[uk.AID]
+	if !involved {
+		// Nothing from this authority in the ciphertext: no work.
+		return ct.Clone(), 0, nil
+	}
+	if cur != uk.FromVersion || ui.FromVersion != uk.FromVersion {
+		return nil, 0, fmt.Errorf("%w: ciphertext@%d, update %d→%d", ErrVersionMismatch, cur, uk.FromVersion, uk.ToVersion)
+	}
+
+	out := ct.Clone()
+	e, err := sys.Params.Pair(uk.UK1, ct.CPrime)
+	if err != nil {
+		return nil, 0, err
+	}
+	out.C = ct.C.Mul(e)
+
+	touched := 0
+	for i, q := range ct.Matrix.Rho {
+		uiX, ok := ui.UI[q]
+		if !ok {
+			continue // row not managed by the revoking authority
+		}
+		out.Rows[i] = ct.Rows[i].Mul(uiX)
+		touched++
+	}
+	out.Versions[uk.AID] = uk.ToVersion
+	return out, touched, nil
+}

@@ -1,0 +1,382 @@
+package core
+
+import (
+	"crypto/rand"
+	"errors"
+	"testing"
+)
+
+// revokeAttr runs a full revocation round for one (authority, user,
+// attribute): ReKey at the authority, key update for the non-revoked users,
+// fresh KeyGen for the revoked user's reduced set, the owner's public-key
+// update + update-information generation, and server-side re-encryption of
+// the given ciphertexts. It mirrors Section V-C end to end.
+func revokeAttr(t *testing.T, f *fixture, aid string, revoked *fixtureUser, keepNames []string,
+	others []*fixtureUser, cts []*Ciphertext) []*Ciphertext {
+	t.Helper()
+	aa := f.aas[aid]
+	fromV, _, err := aa.Rekey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uk, err := aa.UpdateKeyFor(f.owner.SecretKeyForAAs(), fromV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Revoked user: fresh key over the reduced attribute set S̃.
+	newSK, err := aa.KeyGen(revoked.pk, f.owner.SecretKeyForAAs(), keepNames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	revoked.sks[aid] = newSK
+	// Every other user updates via UK.
+	for _, u := range others {
+		updated, err := UpdateSecretKey(u.sks[aid], uk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		u.sks[aid] = updated
+	}
+	// Owner: update information for affected ciphertexts, then public keys.
+	uis, err := f.owner.RevocationUpdate(uk, cts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Server: proxy re-encryption.
+	out := make([]*Ciphertext, len(cts))
+	for i, ct := range cts {
+		if uis[i] == nil {
+			out[i] = ct
+			continue
+		}
+		reenc, _, err := ReEncrypt(f.sys, ct, uis[i], uk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = reenc
+	}
+	return out
+}
+
+func TestRevokedUserLosesAccessToNewData(t *testing.T) {
+	f := twoAuthorityFixture(t)
+	alice := f.enrol("alice", map[string][]string{
+		"med": {"doctor"},
+		"uni": {"researcher"},
+	})
+	_, ctOld := f.encrypt("med:doctor AND uni:researcher")
+
+	// Revoke alice's med:doctor (she keeps nothing at med).
+	revokeAttr(t, f, "med", alice, nil, nil, []*Ciphertext{ctOld})
+
+	// New data encrypted under the updated public keys must be unreadable.
+	m2, ct2 := f.encrypt("med:doctor AND uni:researcher")
+	got, err := Decrypt(f.sys, ct2, alice.pk, alice.sks)
+	if err == nil && got.Equal(m2) {
+		t.Fatal("revoked user decrypted newly encrypted data")
+	}
+}
+
+func TestRevokedUserLosesAccessToReencryptedOldData(t *testing.T) {
+	f := twoAuthorityFixture(t)
+	alice := f.enrol("alice", map[string][]string{
+		"med": {"doctor"},
+		"uni": {"researcher"},
+	})
+	m, ct := f.encrypt("med:doctor AND uni:researcher")
+
+	// Sanity: she can read it before revocation.
+	if got, err := Decrypt(f.sys, ct, alice.pk, alice.sks); err != nil || !got.Equal(m) {
+		t.Fatalf("pre-revocation decryption failed: %v", err)
+	}
+
+	reenc := revokeAttr(t, f, "med", alice, nil, nil, []*Ciphertext{ct})
+	got, err := Decrypt(f.sys, reenc[0], alice.pk, alice.sks)
+	if err == nil && got.Equal(m) {
+		t.Fatal("revoked user decrypted re-encrypted data")
+	}
+}
+
+func TestNonRevokedUserKeepsAccessAfterKeyUpdate(t *testing.T) {
+	f := twoAuthorityFixture(t)
+	alice := f.enrol("alice", map[string][]string{
+		"med": {"doctor"},
+		"uni": {"researcher"},
+	})
+	bob := f.enrol("bob", map[string][]string{
+		"med": {"doctor", "nurse"},
+		"uni": {"researcher"},
+	})
+	m, ct := f.encrypt("med:doctor AND uni:researcher")
+
+	reenc := revokeAttr(t, f, "med", alice, nil, []*fixtureUser{bob}, []*Ciphertext{ct})
+
+	got, err := Decrypt(f.sys, reenc[0], bob.pk, bob.sks)
+	if err != nil {
+		t.Fatalf("non-revoked user lost access: %v", err)
+	}
+	if !got.Equal(m) {
+		t.Fatal("non-revoked user decrypted wrong message")
+	}
+
+	// And new data too.
+	m2, ct2 := f.encrypt("med:doctor AND uni:researcher")
+	got2, err := Decrypt(f.sys, ct2, bob.pk, bob.sks)
+	if err != nil || !got2.Equal(m2) {
+		t.Fatalf("non-revoked user cannot read new data: %v", err)
+	}
+}
+
+func TestNewUserCanReadReencryptedOldData(t *testing.T) {
+	f := twoAuthorityFixture(t)
+	alice := f.enrol("alice", map[string][]string{
+		"med": {"doctor"},
+		"uni": {"researcher"},
+	})
+	m, ct := f.encrypt("med:doctor AND uni:researcher")
+
+	reenc := revokeAttr(t, f, "med", alice, nil, nil, []*Ciphertext{ct})
+
+	// frank joins *after* the revocation: his keys are at the new version,
+	// and the re-encrypted old ciphertext must open for him — the paper's
+	// forward-compatibility property of data re-encryption.
+	frank := f.enrol("frank", map[string][]string{
+		"med": {"doctor"},
+		"uni": {"researcher"},
+	})
+	got, err := Decrypt(f.sys, reenc[0], frank.pk, frank.sks)
+	if err != nil {
+		t.Fatalf("new user cannot read re-encrypted data: %v", err)
+	}
+	if !got.Equal(m) {
+		t.Fatal("new user decrypted wrong message")
+	}
+}
+
+func TestPartialAttributeRevocationKeepsOtherAttributes(t *testing.T) {
+	f := twoAuthorityFixture(t)
+	// alice holds doctor and nurse at med; revoke only doctor (S̃ = {nurse}).
+	alice := f.enrol("alice", map[string][]string{
+		"med": {"doctor", "nurse"},
+		"uni": {"researcher"},
+	})
+	mN, ctNurse := f.encrypt("med:nurse AND uni:researcher")
+	_, ctDoctor := f.encrypt("med:doctor AND uni:researcher")
+
+	reenc := revokeAttr(t, f, "med", alice, []string{"nurse"}, nil,
+		[]*Ciphertext{ctNurse, ctDoctor})
+
+	// She keeps access through nurse…
+	got, err := Decrypt(f.sys, reenc[0], alice.pk, alice.sks)
+	if err != nil || !got.Equal(mN) {
+		t.Fatalf("kept attribute stopped working: %v", err)
+	}
+	// …but loses the doctor-gated data.
+	if _, err := Decrypt(f.sys, reenc[1], alice.pk, alice.sks); !errors.Is(err, ErrPolicyNotSatisfied) {
+		t.Fatalf("revoked attribute still usable: %v", err)
+	}
+}
+
+func TestReEncryptTouchesOnlyAffectedRows(t *testing.T) {
+	f := twoAuthorityFixture(t)
+	alice := f.enrol("alice", map[string][]string{
+		"med": {"doctor"},
+		"uni": {"researcher"},
+	})
+	_, ct := f.encrypt("(med:doctor OR med:nurse) AND uni:researcher")
+
+	aa := f.aas["med"]
+	fromV, _, err := aa.Rekey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uk, err := aa.UpdateKeyFor(f.owner.SecretKeyForAAs(), fromV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ui, err := f.owner.UpdateInfoFor(ct, uk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reenc, touched, err := ReEncrypt(f.sys, ct, ui, uk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if touched != 2 {
+		t.Fatalf("touched %d rows, want 2 (only med-managed rows)", touched)
+	}
+	// The uni row must be byte-identical.
+	for i, q := range ct.Matrix.Rho {
+		attr, _ := ParseAttribute(q)
+		if attr.AID == "uni" && !reenc.Rows[i].Equal(ct.Rows[i]) {
+			t.Fatal("unaffected row was modified")
+		}
+		if attr.AID == "med" && reenc.Rows[i].Equal(ct.Rows[i]) {
+			t.Fatal("affected row was not modified")
+		}
+	}
+	if reenc.Versions["med"] != uk.ToVersion || reenc.Versions["uni"] != ct.Versions["uni"] {
+		t.Fatalf("versions wrong after re-encryption: %v", reenc.Versions)
+	}
+	_ = alice
+}
+
+func TestStaleKeyRejectedAfterRevocation(t *testing.T) {
+	f := twoAuthorityFixture(t)
+	alice := f.enrol("alice", map[string][]string{
+		"med": {"doctor"},
+		"uni": {"researcher"},
+	})
+	bob := f.enrol("bob", map[string][]string{
+		"med": {"doctor"},
+		"uni": {"researcher"},
+	})
+	staleBobKeys := map[string]*SecretKey{"med": bob.sks["med"], "uni": bob.sks["uni"]}
+	_, ct := f.encrypt("med:doctor AND uni:researcher")
+	reenc := revokeAttr(t, f, "med", alice, nil, []*fixtureUser{bob}, []*Ciphertext{ct})
+
+	// Bob's pre-update key is at the old version: decryption must refuse.
+	if _, err := Decrypt(f.sys, reenc[0], bob.pk, staleBobKeys); !errors.Is(err, ErrVersionMismatch) {
+		t.Fatalf("got %v, want ErrVersionMismatch", err)
+	}
+}
+
+func TestSequentialRevocations(t *testing.T) {
+	f := twoAuthorityFixture(t)
+	bob := f.enrol("bob", map[string][]string{
+		"med": {"doctor"},
+		"uni": {"researcher"},
+	})
+	sacrifice1 := f.enrol("s1", map[string][]string{"med": {"doctor"}, "uni": nil})
+	sacrifice2 := f.enrol("s2", map[string][]string{"med": {"nurse"}, "uni": nil})
+	m, ct := f.encrypt("med:doctor AND uni:researcher")
+
+	cts := []*Ciphertext{ct}
+	cts = revokeAttr(t, f, "med", sacrifice1, nil, []*fixtureUser{bob, sacrifice2}, cts)
+	cts = revokeAttr(t, f, "med", sacrifice2, nil, []*fixtureUser{bob, sacrifice1}, cts)
+
+	got, err := Decrypt(f.sys, cts[0], bob.pk, bob.sks)
+	if err != nil {
+		t.Fatalf("after two revocations: %v", err)
+	}
+	if !got.Equal(m) {
+		t.Fatal("wrong message after two revocations")
+	}
+	if f.aas["med"].Version() != 2 {
+		t.Fatalf("version = %d, want 2", f.aas["med"].Version())
+	}
+}
+
+func TestRevocationOfUninvolvedAuthorityLeavesCiphertextUsable(t *testing.T) {
+	f := twoAuthorityFixture(t)
+	alice := f.enrol("alice", map[string][]string{
+		"med": {"doctor"},
+		"uni": {"researcher"},
+	})
+	victim := f.enrol("victim", map[string][]string{"med": nil, "uni": {"student"}})
+	// Ciphertext only involves med.
+	m, ct := f.encrypt("med:doctor")
+
+	cts := revokeAttr(t, f, "uni", victim, nil, []*fixtureUser{alice}, []*Ciphertext{ct})
+	if cts[0].Versions["med"] != 0 {
+		t.Fatal("med version changed by uni revocation")
+	}
+	got, err := Decrypt(f.sys, cts[0], alice.pk, map[string]*SecretKey{"med": alice.sks["med"]})
+	if err != nil || !got.Equal(m) {
+		t.Fatalf("ciphertext unusable after unrelated revocation: %v", err)
+	}
+}
+
+func TestUpdateSecretKeyValidation(t *testing.T) {
+	f := twoAuthorityFixture(t)
+	alice := f.enrol("alice", map[string][]string{"med": {"doctor"}, "uni": nil})
+	fromV, _, err := f.aas["med"].Rekey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uk, err := f.aas["med"].UpdateKeyFor(f.owner.SecretKeyForAAs(), fromV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UpdateSecretKey(alice.sks["uni"], uk); !errors.Is(err, ErrUnknownAuthority) {
+		t.Fatalf("wrong authority: got %v", err)
+	}
+	updated, err := UpdateSecretKey(alice.sks["med"], uk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UpdateSecretKey(updated, uk); !errors.Is(err, ErrVersionMismatch) {
+		t.Fatalf("double update: got %v", err)
+	}
+}
+
+func TestUpdateInfoRequiresPreUpdateKeys(t *testing.T) {
+	f := twoAuthorityFixture(t)
+	_, ct := f.encrypt("med:doctor")
+	fromV, _, err := f.aas["med"].Rekey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uk, err := f.aas["med"].UpdateKeyFor(f.owner.SecretKeyForAAs(), fromV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.owner.ApplyUpdate(uk); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.owner.UpdateInfoFor(ct, uk); !errors.Is(err, ErrVersionMismatch) {
+		t.Fatalf("got %v, want ErrVersionMismatch (UI needs pre-update keys)", err)
+	}
+}
+
+func TestReEncryptValidatesInputs(t *testing.T) {
+	f := twoAuthorityFixture(t)
+	_, ct := f.encrypt("med:doctor")
+	fromV, _, err := f.aas["med"].Rekey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uk, err := f.aas["med"].UpdateKeyFor(f.owner.SecretKeyForAAs(), fromV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ui, err := f.owner.UpdateInfoFor(ct, uk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	badUI := &UpdateInfo{CiphertextID: "nope", AID: ui.AID, FromVersion: ui.FromVersion, ToVersion: ui.ToVersion, UI: ui.UI}
+	if _, _, err := ReEncrypt(f.sys, ct, badUI, uk); !errors.Is(err, ErrUnknownCiphertext) {
+		t.Fatalf("got %v, want ErrUnknownCiphertext", err)
+	}
+	// Re-encrypting twice with the same update must fail on version.
+	reenc, _, err := ReEncrypt(f.sys, ct, ui, uk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReEncrypt(f.sys, reenc, ui, uk); !errors.Is(err, ErrVersionMismatch) {
+		t.Fatalf("got %v, want ErrVersionMismatch", err)
+	}
+}
+
+func TestOwnerUpdateInfoUnknownCiphertext(t *testing.T) {
+	f := twoAuthorityFixture(t)
+	_, ct := f.encrypt("med:doctor")
+	other, err := NewOwner(f.sys, "other", rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, aa := range f.aas {
+		other.InstallPublicKeys(aa.PublicKeys())
+	}
+	fromV, _, err := f.aas["med"].Rekey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ukOther, err := f.aas["med"].UpdateKeyFor(other.SecretKeyForAAs(), fromV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := other.UpdateInfoFor(ct, ukOther); !errors.Is(err, ErrWrongOwner) {
+		t.Fatalf("got %v, want ErrWrongOwner", err)
+	}
+}

@@ -1,0 +1,57 @@
+package core
+
+import "maacs/internal/pairing"
+
+// This file quantifies the storage footprint of every key component exactly
+// the way the paper's Tables II and III count it (group/scalar elements
+// only, no framing), so the size benchmarks can print measured bytes next to
+// the paper's symbolic formulas.
+
+// Size returns the byte size of a user public key: |G|.
+func (u *UserPublicKey) Size(p *pairing.Params) int {
+	return p.GByteLen()
+}
+
+// Size returns the byte size of an authority's secret state, which in this
+// scheme is just the current version key: |p|.
+func (aa *AA) Size(p *pairing.Params) int {
+	return p.ScalarByteLen()
+}
+
+// Size returns the byte size of an owner public key: |G_T|.
+func (k *OwnerPublicKey) Size(p *pairing.Params) int {
+	return p.GTByteLen()
+}
+
+// Size returns the byte size of a public attribute key: |G|.
+func (k *AttrPublicKey) Size(p *pairing.Params) int {
+	return p.GByteLen()
+}
+
+// Size returns the byte size of one authority's public key bundle:
+// n_k·|G| + |G_T|.
+func (k *PublicKeys) Size(p *pairing.Params) int {
+	return k.Owner.Size(p) + len(k.Attrs)*p.GByteLen()
+}
+
+// Size returns the byte size of a user secret key from one authority:
+// (1 + n_{k,UID})·|G|.
+func (sk *SecretKey) Size(p *pairing.Params) int {
+	return (1 + len(sk.KAttr)) * p.GByteLen()
+}
+
+// Size returns the byte size of the owner's master key {β, r}: 2|p|.
+func (o *Owner) Size(p *pairing.Params) int {
+	return 2 * p.ScalarByteLen()
+}
+
+// Size returns the byte size of an update key (UK1, UK2): |G| + |p|.
+func (uk *UpdateKey) Size(p *pairing.Params) int {
+	return p.GByteLen() + p.ScalarByteLen()
+}
+
+// Size returns the byte size of the re-encryption update information:
+// one G element per affected attribute.
+func (ui *UpdateInfo) Size(p *pairing.Params) int {
+	return len(ui.UI) * p.GByteLen()
+}

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"fmt"
+	"math/big"
+
+	"maacs/internal/wire"
+)
+
+// This file serializes the long-lived state of the three stateful parties —
+// CA, attribute authorities and owners — so operators can persist them
+// across process restarts (the cmd/maacs CLI is built on these). The
+// encodings CONTAIN SECRETS (version keys, master keys, users' identity
+// exponents) and must be stored accordingly; everything that crosses the
+// network uses the public encodings in marshal.go instead.
+
+// Magic strings guarding each state blob.
+const (
+	caStateMagic    = "maacs-ca-state-v1"
+	aaStateMagic    = "maacs-aa-state-v1"
+	ownerStateMagic = "maacs-owner-state-v1"
+)
+
+// ExportState serializes the CA registry (including the per-user identity
+// exponents u).
+func (ca *CA) ExportState() []byte {
+	ca.mu.Lock()
+	defer ca.mu.Unlock()
+	var e wire.Encoder
+	e.String(caStateMagic)
+	e.Int(len(ca.users))
+	for _, uid := range sortedKeys(ca.users) {
+		u := ca.users[uid]
+		e.String(uid)
+		e.Blob(u.u.Bytes())
+		e.Blob(u.pk.PK.Marshal())
+	}
+	e.Int(len(ca.aas))
+	for _, aid := range sortedKeys(ca.aas) {
+		e.String(aid)
+	}
+	return e.Bytes()
+}
+
+// RestoreCA reconstructs a CA from ExportState output.
+func RestoreCA(sys *System, data []byte) (*CA, error) {
+	d := wire.NewDecoder(data)
+	if magic := d.String(); magic != caStateMagic {
+		return nil, fmt.Errorf("core: not a CA state blob (magic %q)", magic)
+	}
+	ca := NewCA(sys)
+	nUsers := d.Count(3)
+	if d.Err() != nil {
+		return nil, fmt.Errorf("ca state: %w", d.Err())
+	}
+	for i := 0; i < nUsers; i++ {
+		uid := d.String()
+		uRaw := d.Blob()
+		pkRaw := d.Blob()
+		if d.Err() != nil {
+			return nil, fmt.Errorf("ca state user %d: %w", i, d.Err())
+		}
+		pk, err := sys.Params.UnmarshalG(pkRaw)
+		if err != nil {
+			return nil, fmt.Errorf("ca state user %q: %w", uid, err)
+		}
+		u := newScalar(uRaw)
+		// Consistency: PK must equal g^u.
+		if !sys.Params.Generator().Exp(u).Equal(pk) {
+			return nil, fmt.Errorf("ca state user %q: PK ≠ g^u", uid)
+		}
+		ca.users[uid] = &registeredUser{pk: &UserPublicKey{UID: uid, PK: pk}, u: u}
+	}
+	nAAs := d.Count(1)
+	for i := 0; i < nAAs; i++ {
+		ca.aas[d.String()] = true
+	}
+	if err := d.Done(); err != nil {
+		return nil, fmt.Errorf("ca state: %w", err)
+	}
+	return ca, nil
+}
+
+// ExportState serializes the authority: AID, attribute universe, and the
+// full version-key history (all secret).
+func (aa *AA) ExportState() []byte {
+	aa.mu.Lock()
+	defer aa.mu.Unlock()
+	var e wire.Encoder
+	e.String(aaStateMagic)
+	e.String(aa.aid)
+	e.Int(aa.version)
+	e.Int(len(aa.alphas))
+	for _, a := range aa.alphas {
+		e.Blob(a.Bytes())
+	}
+	e.Int(len(aa.attrs))
+	for _, n := range sortedKeys(aa.attrs) {
+		e.String(n)
+	}
+	return e.Bytes()
+}
+
+// RestoreAA reconstructs an authority from ExportState output.
+func RestoreAA(sys *System, data []byte) (*AA, error) {
+	d := wire.NewDecoder(data)
+	if magic := d.String(); magic != aaStateMagic {
+		return nil, fmt.Errorf("core: not an AA state blob (magic %q)", magic)
+	}
+	aid := d.String()
+	version := d.Int()
+	nAlphas := d.Count(1)
+	if d.Err() != nil {
+		return nil, fmt.Errorf("aa state: %w", d.Err())
+	}
+	alphas := make([]*big.Int, 0, nAlphas)
+	for i := 0; i < nAlphas; i++ {
+		a := newScalar(d.Blob())
+		if d.Err() == nil && (a.Sign() == 0 || a.Cmp(sys.Params.R) >= 0) {
+			return nil, fmt.Errorf("aa state: version key %d out of range", i)
+		}
+		alphas = append(alphas, a)
+	}
+	nAttrs := d.Count(1)
+	attrs := make(map[string]bool, nAttrs)
+	for i := 0; i < nAttrs; i++ {
+		attrs[d.String()] = true
+	}
+	if err := d.Done(); err != nil {
+		return nil, fmt.Errorf("aa state: %w", err)
+	}
+	if version != nAlphas-1 {
+		return nil, fmt.Errorf("aa state: version %d with %d version keys", version, nAlphas)
+	}
+	return &AA{sys: sys, aid: aid, version: version, alphas: alphas, attrs: attrs}, nil
+}
+
+// ExportState serializes the owner: master key {β, r} and the encryption
+// records (ciphertext ID → s) that revocation update information needs.
+// Installed authority public keys are NOT included — they are public and
+// re-fetched from the authorities.
+func (o *Owner) ExportState() []byte {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	var e wire.Encoder
+	e.String(ownerStateMagic)
+	e.String(o.id)
+	e.Blob(o.beta.Bytes())
+	e.Blob(o.r.Bytes())
+	e.Int(len(o.records))
+	for _, id := range sortedKeys(o.records) {
+		e.String(id)
+		e.Blob(o.records[id].Bytes())
+	}
+	return e.Bytes()
+}
+
+// RestoreOwner reconstructs an owner from ExportState output. Authority
+// public keys must be re-installed before encrypting.
+func RestoreOwner(sys *System, data []byte) (*Owner, error) {
+	d := wire.NewDecoder(data)
+	if magic := d.String(); magic != ownerStateMagic {
+		return nil, fmt.Errorf("core: not an owner state blob (magic %q)", magic)
+	}
+	id := d.String()
+	beta := newScalar(d.Blob())
+	r := newScalar(d.Blob())
+	nRecords := d.Count(2)
+	if d.Err() != nil {
+		return nil, fmt.Errorf("owner state: %w", d.Err())
+	}
+	if beta.Sign() == 0 || beta.Cmp(sys.Params.R) >= 0 || r.Sign() == 0 || r.Cmp(sys.Params.R) >= 0 {
+		return nil, fmt.Errorf("owner state: master key out of range")
+	}
+	records := make(map[string]*big.Int, nRecords)
+	for i := 0; i < nRecords; i++ {
+		ctID := d.String()
+		s := newScalar(d.Blob())
+		if d.Err() != nil {
+			return nil, fmt.Errorf("owner state record %d: %w", i, d.Err())
+		}
+		records[ctID] = s
+	}
+	if err := d.Done(); err != nil {
+		return nil, fmt.Errorf("owner state: %w", err)
+	}
+
+	betaInv := new(big.Int).ModInverse(beta, sys.Params.R)
+	rOverBeta := new(big.Int).Mul(r, betaInv)
+	rOverBeta.Mod(rOverBeta, sys.Params.R)
+	return &Owner{
+		sys:  sys,
+		id:   id,
+		beta: beta,
+		r:    r,
+		sk: &OwnerSecretKey{
+			OwnerID:   id,
+			GInvBeta:  sys.Params.Generator().Exp(betaInv),
+			ROverBeta: rOverBeta,
+		},
+		opks:    make(map[string]*OwnerPublicKey),
+		apks:    make(map[string]*AttrPublicKey),
+		records: records,
+	}, nil
+}

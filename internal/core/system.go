@@ -1,0 +1,74 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"maacs/internal/lsss"
+	"maacs/internal/pairing"
+)
+
+// System carries the global public parameters shared by every party.
+type System struct {
+	// Params is the bilinear group (G, G_T, e, g, r).
+	Params *pairing.Params
+}
+
+// NewSystem wraps a pairing parameter set as a multi-authority ABE system.
+func NewSystem(params *pairing.Params) *System {
+	return &System{Params: params}
+}
+
+// Errors shared across the package.
+var (
+	ErrDuplicateID        = errors.New("core: identifier already registered")
+	ErrUnknownAuthority   = errors.New("core: authority not known/registered")
+	ErrUnknownAttribute   = errors.New("core: attribute not managed by this authority")
+	ErrMissingSecretKey   = errors.New("core: no secret key for an authority involved in the ciphertext")
+	ErrPolicyNotSatisfied = errors.New("core: attributes do not satisfy the access policy")
+	ErrVersionMismatch    = errors.New("core: key/ciphertext version mismatch (revocation happened; update first)")
+	ErrWrongOwner         = errors.New("core: key was issued for a different owner")
+	ErrUnknownCiphertext  = errors.New("core: no encryption record for this ciphertext")
+	ErrBadAttribute       = errors.New("core: malformed attribute (want AID:name)")
+)
+
+// Attribute identifies an attribute by the authority that manages it and its
+// name inside that authority's domain.
+type Attribute struct {
+	AID  string
+	Name string
+}
+
+// Qualified returns the fully qualified "AID:name" form hashed by the
+// scheme.
+func (a Attribute) Qualified() string { return a.AID + ":" + a.Name }
+
+// ParseAttribute splits a qualified "AID:name" string.
+func ParseAttribute(q string) (Attribute, error) {
+	i := strings.IndexByte(q, ':')
+	if i <= 0 || i == len(q)-1 {
+		return Attribute{}, fmt.Errorf("%w: %q", ErrBadAttribute, q)
+	}
+	return Attribute{AID: q[:i], Name: q[i+1:]}, nil
+}
+
+// involvedAuthorities returns the sorted set of AIDs appearing in a compiled
+// policy's row labels.
+func involvedAuthorities(m *lsss.Matrix) ([]string, error) {
+	set := make(map[string]bool)
+	for _, q := range m.Rho {
+		attr, err := ParseAttribute(q)
+		if err != nil {
+			return nil, err
+		}
+		set[attr.AID] = true
+	}
+	out := make([]string, 0, len(set))
+	for aid := range set {
+		out = append(out, aid)
+	}
+	sort.Strings(out)
+	return out, nil
+}

@@ -1,0 +1,22 @@
+package core
+
+import (
+	"math/big"
+	"sort"
+)
+
+// sortedKeys returns the map's keys in sorted order, so wire encodings are
+// deterministic.
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// newScalar decodes a big-endian scalar.
+func newScalar(b []byte) *big.Int {
+	return new(big.Int).SetBytes(b)
+}

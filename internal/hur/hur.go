@@ -1,0 +1,278 @@
+package hur
+
+import (
+	"fmt"
+	"io"
+	"math/big"
+	"sort"
+	"sync"
+
+	"maacs/internal/pairing"
+	"maacs/internal/waters"
+)
+
+// Errors reported by the manager and decryption.
+var (
+	ErrNotMember      = fmt.Errorf("hur: user is not a member of a required attribute group")
+	ErrUnknownAttr    = fmt.Errorf("hur: attribute has no group state")
+	ErrHeaderMismatch = fmt.Errorf("hur: header does not cover the user")
+)
+
+// Header distributes one attribute's current group key to its members: the
+// group key wrapped under every node key of the minimal KEK-tree cover.
+type Header struct {
+	Attr    string
+	Version int
+	// Wrapped maps a KEK-tree node index to gk wrapped under that node key.
+	Wrapped map[int]*big.Int
+}
+
+// ProtectedCiphertext is a Waters ciphertext whose per-row components have
+// been re-encrypted by the server under the per-attribute group keys:
+// C̃_i = C_i^gk_x, D̃_i = D_i^gk_x for x = ρ(i).
+type ProtectedCiphertext struct {
+	Inner    *waters.Ciphertext
+	Versions map[string]int // attribute → group-key version applied
+	Headers  map[string]*Header
+}
+
+// Manager is the data-service manager of Hur's scheme: it lives at the
+// (trusted) storage server, maintains the KEK tree and the per-attribute
+// membership groups, applies group keys to ciphertexts, and re-keys groups
+// on revocation.
+type Manager struct {
+	params *pairing.Params
+	tree   *KEKTree
+
+	mu       sync.Mutex
+	groupKey map[string]*big.Int
+	version  map[string]int
+	members  map[string]map[string]bool
+}
+
+// NewManager creates a manager over a KEK tree with the given user capacity.
+func NewManager(params *pairing.Params, capacity int, rnd io.Reader) (*Manager, error) {
+	tree, err := NewKEKTree(capacity, params.R, rnd)
+	if err != nil {
+		return nil, err
+	}
+	return &Manager{
+		params:   params,
+		tree:     tree,
+		groupKey: make(map[string]*big.Int),
+		version:  make(map[string]int),
+		members:  make(map[string]map[string]bool),
+	}, nil
+}
+
+// Enrol registers a user and returns its KEK path keys (sent once over a
+// secure channel) along with the user's public leaf node index.
+func (m *Manager) Enrol(uid string) (pathKeys []*big.Int, leafNode int, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	keys, err := m.tree.Enrol(uid)
+	if err != nil {
+		return nil, 0, err
+	}
+	return keys, m.tree.capacity - 1 + m.tree.leafOf[uid], nil
+}
+
+// Grant adds uid to the membership group of attr, creating the group (and
+// its first group key) on demand.
+func (m *Manager) Grant(attr, uid string, rnd io.Reader) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.members[attr] == nil {
+		gk, err := randScalar(m.params.R, rnd)
+		if err != nil {
+			return err
+		}
+		m.members[attr] = make(map[string]bool)
+		m.groupKey[attr] = gk
+		m.version[attr] = 0
+	}
+	m.members[attr][uid] = true
+	return nil
+}
+
+// headerLocked builds the current header for attr. Caller holds m.mu.
+func (m *Manager) headerLocked(attr string) (*Header, error) {
+	gk, ok := m.groupKey[attr]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownAttr, attr)
+	}
+	var members []string
+	for uid := range m.members[attr] {
+		members = append(members, uid)
+	}
+	sort.Strings(members)
+	cover, err := m.tree.Cover(members)
+	if err != nil {
+		return nil, err
+	}
+	h := &Header{Attr: attr, Version: m.version[attr], Wrapped: make(map[int]*big.Int, len(cover))}
+	for _, node := range cover {
+		nk, err := m.tree.KeyAt(node)
+		if err != nil {
+			return nil, err
+		}
+		h.Wrapped[node] = wrap(m.params, gk, nk, node)
+	}
+	return h, nil
+}
+
+// Protect applies the current group keys to a freshly uploaded Waters
+// ciphertext and attaches the headers — the server-side half of Hur's
+// construction.
+func (m *Manager) Protect(ct *waters.Ciphertext) (*ProtectedCiphertext, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := &ProtectedCiphertext{
+		Inner: &waters.Ciphertext{
+			Policy: ct.Policy,
+			Matrix: ct.Matrix.Clone(),
+			C:      ct.C.Clone(),
+			CPrime: ct.CPrime.Clone(),
+			Ci:     make([]*pairing.G, len(ct.Ci)),
+			Di:     make([]*pairing.G, len(ct.Di)),
+		},
+		Versions: make(map[string]int),
+		Headers:  make(map[string]*Header),
+	}
+	for i, q := range ct.Matrix.Rho {
+		gk, ok := m.groupKey[q]
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrUnknownAttr, q)
+		}
+		out.Inner.Ci[i] = ct.Ci[i].Exp(gk)
+		out.Inner.Di[i] = ct.Di[i].Exp(gk)
+		if _, done := out.Versions[q]; !done {
+			out.Versions[q] = m.version[q]
+			h, err := m.headerLocked(q)
+			if err != nil {
+				return nil, err
+			}
+			out.Headers[q] = h
+		}
+	}
+	return out, nil
+}
+
+// Revoke removes uid from attr's group, draws a fresh group key, and
+// re-encrypts every supplied protected ciphertext in place (only rows
+// labelled attr change — the partial re-encryption Hur's efficiency rests
+// on). It returns the number of ciphertext rows touched.
+func (m *Manager) Revoke(attr, uid string, cts []*ProtectedCiphertext, rnd io.Reader) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	oldGK, ok := m.groupKey[attr]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownAttr, attr)
+	}
+	if !m.members[attr][uid] {
+		return 0, fmt.Errorf("%w: %q not in group %q", ErrUnknownUser, uid, attr)
+	}
+	delete(m.members[attr], uid)
+	newGK, err := randScalar(m.params.R, rnd)
+	if err != nil {
+		return 0, err
+	}
+	m.groupKey[attr] = newGK
+	m.version[attr]++
+
+	// Ciphertext rows move from gk_old to gk_new via exponent gk_new/gk_old.
+	ratio := new(big.Int).ModInverse(oldGK, m.params.R)
+	ratio.Mul(ratio, newGK)
+	ratio.Mod(ratio, m.params.R)
+
+	touched := 0
+	for _, ct := range cts {
+		if _, involved := ct.Versions[attr]; !involved {
+			continue
+		}
+		for i, q := range ct.Inner.Matrix.Rho {
+			if q != attr {
+				continue
+			}
+			ct.Inner.Ci[i] = ct.Inner.Ci[i].Exp(ratio)
+			ct.Inner.Di[i] = ct.Inner.Di[i].Exp(ratio)
+			touched++
+		}
+		ct.Versions[attr] = m.version[attr]
+		h, err := m.headerLocked(attr)
+		if err != nil {
+			return touched, err
+		}
+		ct.Headers[attr] = h
+	}
+	return touched, nil
+}
+
+// User is the client-side state: the Waters key, the KEK path keys, and the
+// user's (public) leaf node index in the tree.
+type User struct {
+	UID      string
+	SK       *waters.SecretKey
+	PathKeys []*big.Int
+	LeafNode int
+}
+
+// recoverGroupKey opens a header with the user's path keys.
+func (u *User) recoverGroupKey(p *pairing.Params, h *Header) (*big.Int, error) {
+	node := u.LeafNode
+	depth := 0
+	for {
+		if wrapped, ok := h.Wrapped[node]; ok {
+			return unwrap(p, wrapped, u.PathKeys[depth], node), nil
+		}
+		if node == 0 {
+			break
+		}
+		node = (node - 1) / 2
+		depth++
+	}
+	return nil, fmt.Errorf("%w: attribute %q", ErrHeaderMismatch, h.Attr)
+}
+
+// Decrypt opens a protected ciphertext: it recovers each needed group key
+// from the headers, strips the group-key exponents from the rows the user
+// will use, and runs the inner Waters decryption.
+func Decrypt(p *pairing.Params, ct *ProtectedCiphertext, u *User) (*pairing.GT, error) {
+	// Strip group keys from every row whose attribute the user holds and is
+	// a current group member of.
+	inner := &waters.Ciphertext{
+		Policy: ct.Inner.Policy,
+		Matrix: ct.Inner.Matrix,
+		C:      ct.Inner.C,
+		CPrime: ct.Inner.CPrime,
+		Ci:     make([]*pairing.G, len(ct.Inner.Ci)),
+		Di:     make([]*pairing.G, len(ct.Inner.Di)),
+	}
+	sk := &waters.SecretKey{K: u.SK.K, L: u.SK.L, KAttr: make(map[string]*pairing.G)}
+	gkCache := make(map[string]*big.Int)
+	for i, q := range ct.Inner.Matrix.Rho {
+		inner.Ci[i] = ct.Inner.Ci[i]
+		inner.Di[i] = ct.Inner.Di[i]
+		if _, holds := u.SK.KAttr[q]; !holds {
+			continue
+		}
+		gk, ok := gkCache[q]
+		if !ok {
+			h, hasHeader := ct.Headers[q]
+			if !hasHeader {
+				continue
+			}
+			recovered, err := u.recoverGroupKey(p, h)
+			if err != nil {
+				continue // not a member (e.g. revoked): row stays blinded
+			}
+			gk = recovered
+			gkCache[q] = gk
+		}
+		inv := new(big.Int).ModInverse(gk, p.R)
+		inner.Ci[i] = ct.Inner.Ci[i].Exp(inv)
+		inner.Di[i] = ct.Inner.Di[i].Exp(inv)
+		sk.KAttr[q] = u.SK.KAttr[q]
+	}
+	return waters.Decrypt(p, inner, sk)
+}

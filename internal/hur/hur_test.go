@@ -1,0 +1,193 @@
+package hur
+
+import (
+	"crypto/rand"
+	"errors"
+	"testing"
+
+	"maacs/internal/pairing"
+	"maacs/internal/waters"
+)
+
+type fixture struct {
+	t   *testing.T
+	p   *pairing.Params
+	aa  *waters.Authority
+	mgr *Manager
+}
+
+func newFixture(t *testing.T, capacity int) *fixture {
+	t.Helper()
+	p := pairing.Test()
+	aa, err := waters.Setup(p, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := NewManager(p, capacity, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{t: t, p: p, aa: aa, mgr: mgr}
+}
+
+func (f *fixture) newUser(uid string, attrs []string) *User {
+	f.t.Helper()
+	sk, err := f.aa.KeyGen(attrs, rand.Reader)
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	path, leaf, err := f.mgr.Enrol(uid)
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	for _, a := range attrs {
+		if err := f.mgr.Grant(a, uid, rand.Reader); err != nil {
+			f.t.Fatal(err)
+		}
+	}
+	return &User{UID: uid, SK: sk, PathKeys: path, LeafNode: leaf}
+}
+
+func (f *fixture) protect(policy string) (*pairing.GT, *ProtectedCiphertext) {
+	f.t.Helper()
+	m, _, err := f.p.RandomGT(rand.Reader)
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	ct, err := waters.Encrypt(f.aa.PK, m, policy, rand.Reader)
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	prot, err := f.mgr.Protect(ct)
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	return m, prot
+}
+
+func TestProtectedRoundTrip(t *testing.T) {
+	f := newFixture(t, 8)
+	alice := f.newUser("alice", []string{"doctor", "nurse"})
+	m, ct := f.protect("doctor AND nurse")
+	got, err := Decrypt(f.p, ct, alice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(m) {
+		t.Fatal("decryption mismatch")
+	}
+}
+
+func TestRevokedMemberLosesAccess(t *testing.T) {
+	f := newFixture(t, 8)
+	alice := f.newUser("alice", []string{"doctor"})
+	bob := f.newUser("bob", []string{"doctor"})
+	m, ct := f.protect("doctor")
+
+	touched, err := f.mgr.Revoke("doctor", "alice", []*ProtectedCiphertext{ct}, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if touched != 1 {
+		t.Fatalf("touched %d rows, want 1", touched)
+	}
+	if got, err := Decrypt(f.p, ct, alice); err == nil && got.Equal(m) {
+		t.Fatal("revoked user still decrypts")
+	}
+	got, err := Decrypt(f.p, ct, bob)
+	if err != nil {
+		t.Fatalf("remaining member lost access: %v", err)
+	}
+	if !got.Equal(m) {
+		t.Fatal("remaining member got wrong message")
+	}
+}
+
+func TestRevocationIsPerAttribute(t *testing.T) {
+	f := newFixture(t, 8)
+	alice := f.newUser("alice", []string{"doctor", "nurse"})
+	mD, ctDoctor := f.protect("doctor")
+	mN, ctNurse := f.protect("nurse")
+
+	if _, err := f.mgr.Revoke("doctor", "alice", []*ProtectedCiphertext{ctDoctor, ctNurse}, rand.Reader); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := Decrypt(f.p, ctDoctor, alice); err == nil && got.Equal(mD) {
+		t.Fatal("doctor access survived revocation")
+	}
+	got, err := Decrypt(f.p, ctNurse, alice)
+	if err != nil || !got.Equal(mN) {
+		t.Fatalf("nurse access lost by doctor revocation: %v", err)
+	}
+}
+
+func TestNewlyProtectedDataExcludesRevokedUser(t *testing.T) {
+	f := newFixture(t, 8)
+	alice := f.newUser("alice", []string{"doctor"})
+	bob := f.newUser("bob", []string{"doctor"})
+	if _, err := f.mgr.Revoke("doctor", "alice", nil, rand.Reader); err != nil {
+		t.Fatal(err)
+	}
+	m, ct := f.protect("doctor")
+	if got, err := Decrypt(f.p, ct, alice); err == nil && got.Equal(m) {
+		t.Fatal("revoked user reads new data")
+	}
+	if got, err := Decrypt(f.p, ct, bob); err != nil || !got.Equal(m) {
+		t.Fatalf("member cannot read new data: %v", err)
+	}
+}
+
+func TestNonMemberCannotDecrypt(t *testing.T) {
+	f := newFixture(t, 8)
+	// carol has the ABE key for doctor but was never granted group
+	// membership: the group-key layer must stop her.
+	sk, err := f.aa.KeyGen([]string{"doctor"}, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, leaf, err := f.mgr.Enrol("carol")
+	if err != nil {
+		t.Fatal(err)
+	}
+	carol := &User{UID: "carol", SK: sk, PathKeys: path, LeafNode: leaf}
+	f.newUser("alice", []string{"doctor"}) // creates the group
+	m, ct := f.protect("doctor")
+	if got, err := Decrypt(f.p, ct, carol); err == nil && got.Equal(m) {
+		t.Fatal("non-member decrypted via ABE key alone")
+	}
+}
+
+func TestRevokeValidation(t *testing.T) {
+	f := newFixture(t, 4)
+	f.newUser("alice", []string{"doctor"})
+	if _, err := f.mgr.Revoke("pilot", "alice", nil, rand.Reader); !errors.Is(err, ErrUnknownAttr) {
+		t.Fatalf("got %v, want ErrUnknownAttr", err)
+	}
+	if _, err := f.mgr.Revoke("doctor", "ghost", nil, rand.Reader); !errors.Is(err, ErrUnknownUser) {
+		t.Fatalf("got %v, want ErrUnknownUser", err)
+	}
+}
+
+func TestTreeFull(t *testing.T) {
+	f := newFixture(t, 2)
+	f.newUser("u1", []string{"a"})
+	f.newUser("u2", []string{"a"})
+	if _, _, err := f.mgr.Enrol("u3"); !errors.Is(err, ErrTreeFull) {
+		t.Fatalf("got %v, want ErrTreeFull", err)
+	}
+}
+
+func TestProtectRequiresGroups(t *testing.T) {
+	f := newFixture(t, 4)
+	m, _, err := f.p.RandomGT(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := waters.Encrypt(f.aa.PK, m, "ghostattr", rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.mgr.Protect(ct); !errors.Is(err, ErrUnknownAttr) {
+		t.Fatalf("got %v, want ErrUnknownAttr", err)
+	}
+}

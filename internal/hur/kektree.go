@@ -1,0 +1,184 @@
+// Package hur implements the Hur–Noh attribute-revocation baseline
+// ("Attribute-Based Access Control with Efficient Revocation in Data
+// Outsourcing Systems", IEEE TPDS 2011 — reference [12] of the paper): a
+// single-authority CP-ABE (internal/waters) augmented with per-attribute
+// group keys that the storage server applies to the ciphertext and
+// distributes to current attribute-group members through a binary KEK
+// (key-encryption-key) tree, so a membership change costs O(log n) header
+// keys instead of a full re-keying.
+//
+// The paper cites this scheme as the revocation baseline that *requires a
+// trusted server*; our revocation benchmarks compare against it.
+package hur
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+
+	"maacs/internal/pairing"
+)
+
+// Errors reported by the KEK tree.
+var (
+	ErrTreeFull    = errors.New("hur: KEK tree is full")
+	ErrUnknownUser = errors.New("hur: user not enrolled in the KEK tree")
+)
+
+// KEKTree is a complete binary tree whose leaves are (potential) users.
+// Every node holds a random key; each user knows exactly the keys on its
+// leaf-to-root path. A subset S of users is covered by the minimal set of
+// subtrees whose leaves lie entirely inside S; encrypting to those node keys
+// reaches exactly S.
+type KEKTree struct {
+	capacity int        // number of leaves (power of two)
+	keys     []*big.Int // heap layout: node i has children 2i+1, 2i+2
+	leafOf   map[string]int
+	order    *big.Int
+}
+
+// NewKEKTree builds a tree with at least capacity leaves (rounded up to a
+// power of two), drawing node keys below order.
+func NewKEKTree(capacity int, order *big.Int, rnd io.Reader) (*KEKTree, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("hur: capacity must be positive, got %d", capacity)
+	}
+	leaves := 1
+	for leaves < capacity {
+		leaves *= 2
+	}
+	total := 2*leaves - 1
+	t := &KEKTree{
+		capacity: leaves,
+		keys:     make([]*big.Int, total),
+		leafOf:   make(map[string]int),
+		order:    new(big.Int).Set(order),
+	}
+	for i := range t.keys {
+		k, err := randScalar(order, rnd)
+		if err != nil {
+			return nil, err
+		}
+		t.keys[i] = k
+	}
+	return t, nil
+}
+
+func randScalar(order *big.Int, rnd io.Reader) (*big.Int, error) {
+	max := new(big.Int).Sub(order, big.NewInt(1))
+	buf := make([]byte, (order.BitLen()+15)/8)
+	if _, err := io.ReadFull(rnd, buf); err != nil {
+		return nil, fmt.Errorf("hur: randomness: %w", err)
+	}
+	k := new(big.Int).SetBytes(buf)
+	k.Mod(k, max)
+	k.Add(k, big.NewInt(1))
+	return k, nil
+}
+
+// Capacity returns the number of leaves.
+func (t *KEKTree) Capacity() int { return t.capacity }
+
+// Enrol assigns the next free leaf to uid and returns the user's path keys,
+// ordered leaf → root.
+func (t *KEKTree) Enrol(uid string) ([]*big.Int, error) {
+	if _, ok := t.leafOf[uid]; ok {
+		return nil, fmt.Errorf("hur: user %q already enrolled", uid)
+	}
+	slot := len(t.leafOf)
+	if slot >= t.capacity {
+		return nil, ErrTreeFull
+	}
+	t.leafOf[uid] = slot
+	return t.PathKeys(uid)
+}
+
+// PathKeys returns the keys on uid's leaf-to-root path.
+func (t *KEKTree) PathKeys(uid string) ([]*big.Int, error) {
+	slot, ok := t.leafOf[uid]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownUser, uid)
+	}
+	node := t.capacity - 1 + slot
+	var out []*big.Int
+	for {
+		out = append(out, new(big.Int).Set(t.keys[node]))
+		if node == 0 {
+			break
+		}
+		node = (node - 1) / 2
+	}
+	return out, nil
+}
+
+// Cover returns the node indices of the minimal subtree cover of the given
+// member set: every member leaf is under exactly one returned node, and no
+// non-member leaf is under any of them.
+func (t *KEKTree) Cover(members []string) ([]int, error) {
+	in := make([]bool, t.capacity)
+	for _, uid := range members {
+		slot, ok := t.leafOf[uid]
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrUnknownUser, uid)
+		}
+		in[slot] = true
+	}
+	var out []int
+	var rec func(node, lo, hi int) bool // returns true if all leaves in [lo,hi) are members
+	rec = func(node, lo, hi int) bool {
+		if hi-lo == 1 {
+			return in[lo]
+		}
+		mid := (lo + hi) / 2
+		left := rec(2*node+1, lo, mid)
+		right := rec(2*node+2, mid, hi)
+		if left && right {
+			return true
+		}
+		if left {
+			out = append(out, 2*node+1)
+		}
+		if right {
+			out = append(out, 2*node+2)
+		}
+		return false
+	}
+	if rec(0, 0, t.capacity) {
+		out = []int{0}
+	}
+	return out, nil
+}
+
+// KeyAt returns the key of a node (server side).
+func (t *KEKTree) KeyAt(node int) (*big.Int, error) {
+	if node < 0 || node >= len(t.keys) {
+		return nil, fmt.Errorf("hur: node %d out of range", node)
+	}
+	return new(big.Int).Set(t.keys[node]), nil
+}
+
+// wrap hides a group key under a node key: gk + H(nodeKey‖node) mod r.
+// Without the node key the pad is uniform.
+func wrap(p *pairing.Params, gk, nodeKey *big.Int, node int) *big.Int {
+	pad := padFor(p, nodeKey, node)
+	out := new(big.Int).Add(gk, pad)
+	out.Mod(out, p.R)
+	return out
+}
+
+// unwrap inverts wrap.
+func unwrap(p *pairing.Params, wrapped, nodeKey *big.Int, node int) *big.Int {
+	pad := padFor(p, nodeKey, node)
+	out := new(big.Int).Sub(wrapped, pad)
+	out.Mod(out, p.R)
+	return out
+}
+
+func padFor(p *pairing.Params, nodeKey *big.Int, node int) *big.Int {
+	buf := make([]byte, 8+len(nodeKey.Bytes()))
+	binary.BigEndian.PutUint64(buf[:8], uint64(node))
+	copy(buf[8:], nodeKey.Bytes())
+	return p.HashToScalar(buf)
+}

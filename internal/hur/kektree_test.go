@@ -1,0 +1,177 @@
+package hur
+
+import (
+	"crypto/rand"
+	"fmt"
+	"math/big"
+	"testing"
+	"testing/quick"
+
+	"maacs/internal/pairing"
+)
+
+func newTree(t *testing.T, capacity int) *KEKTree {
+	t.Helper()
+	tree, err := NewKEKTree(capacity, pairing.Test().R, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+func TestCapacityRoundsToPowerOfTwo(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{{1, 1}, {2, 2}, {3, 4}, {5, 8}, {8, 8}, {9, 16}} {
+		tree := newTree(t, tc.in)
+		if tree.Capacity() != tc.want {
+			t.Errorf("capacity(%d) = %d, want %d", tc.in, tree.Capacity(), tc.want)
+		}
+	}
+}
+
+func TestPathKeysLength(t *testing.T) {
+	tree := newTree(t, 8)
+	keys, err := tree.Enrol("u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 4 { // leaf + 2 internal + root for 8 leaves
+		t.Fatalf("path length %d, want 4 (log2(8)+1)", len(keys))
+	}
+}
+
+func TestCoverExactness(t *testing.T) {
+	tree := newTree(t, 8)
+	var uids []string
+	for i := 0; i < 8; i++ {
+		uid := fmt.Sprintf("u%d", i)
+		uids = append(uids, uid)
+		if _, err := tree.Enrol(uid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// leavesUnder returns the leaf slots under a node.
+	var leavesUnder func(node, lo, hi int, target int) []int
+	leavesUnder = func(node, lo, hi int, target int) []int {
+		if node == target {
+			out := make([]int, 0, hi-lo)
+			for i := lo; i < hi; i++ {
+				out = append(out, i)
+			}
+			return out
+		}
+		if hi-lo == 1 {
+			return nil
+		}
+		mid := (lo + hi) / 2
+		if l := leavesUnder(2*node+1, lo, mid, target); l != nil {
+			return l
+		}
+		return leavesUnder(2*node+2, mid, hi, target)
+	}
+
+	f := func(mask uint8) bool {
+		var members []string
+		want := make(map[int]bool)
+		for i := 0; i < 8; i++ {
+			if mask&(1<<i) != 0 {
+				members = append(members, uids[i])
+				want[i] = true
+			}
+		}
+		cover, err := tree.Cover(members)
+		if err != nil {
+			return false
+		}
+		got := make(map[int]bool)
+		for _, node := range cover {
+			for _, leaf := range leavesUnder(0, 0, 8, node) {
+				if got[leaf] {
+					return false // overlapping cover
+				}
+				got[leaf] = true
+			}
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for leaf := range want {
+			if !got[leaf] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 256}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCoverMinimality(t *testing.T) {
+	tree := newTree(t, 8)
+	for i := 0; i < 8; i++ {
+		if _, err := tree.Enrol(fmt.Sprintf("u%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// All 8 members → single root node.
+	all := []string{"u0", "u1", "u2", "u3", "u4", "u5", "u6", "u7"}
+	cover, err := tree.Cover(all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cover) != 1 || cover[0] != 0 {
+		t.Fatalf("cover(all) = %v, want [0]", cover)
+	}
+	// All but one → log2(n) = 3 nodes.
+	cover, err = tree.Cover(all[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cover) != 3 {
+		t.Fatalf("cover(all but one) has %d nodes, want 3", len(cover))
+	}
+}
+
+func TestWrapUnwrapRoundTrip(t *testing.T) {
+	p := pairing.Test()
+	f := func(gk64, nk64 uint64, node uint8) bool {
+		gk := new(big.Int).SetUint64(gk64)
+		gk.Mod(gk, p.R)
+		nk := new(big.Int).SetUint64(nk64)
+		w := wrap(p, gk, nk, int(node))
+		return unwrap(p, w, nk, int(node)).Cmp(gk) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnwrapWithWrongKeyFails(t *testing.T) {
+	p := pairing.Test()
+	gk := big.NewInt(12345)
+	nk := big.NewInt(777)
+	w := wrap(p, gk, nk, 3)
+	if unwrap(p, w, big.NewInt(778), 3).Cmp(gk) == 0 {
+		t.Fatal("unwrap succeeded with wrong node key")
+	}
+	if unwrap(p, w, nk, 4).Cmp(gk) == 0 {
+		t.Fatal("unwrap succeeded with wrong node index")
+	}
+}
+
+func TestEnrolDuplicate(t *testing.T) {
+	tree := newTree(t, 4)
+	if _, err := tree.Enrol("u"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tree.Enrol("u"); err == nil {
+		t.Fatal("duplicate enrol accepted")
+	}
+}
+
+func TestCoverUnknownUser(t *testing.T) {
+	tree := newTree(t, 4)
+	if _, err := tree.Cover([]string{"ghost"}); err == nil {
+		t.Fatal("cover of unknown user accepted")
+	}
+}

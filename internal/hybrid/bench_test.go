@@ -1,0 +1,67 @@
+package hybrid
+
+import (
+	"crypto/rand"
+	"testing"
+
+	"maacs/internal/pairing"
+)
+
+// The paper's evaluation fixes the plaintext at 1 KByte.
+const paperPlaintextSize = 1024
+
+func benchKey(b *testing.B) *ContentKey {
+	b.Helper()
+	p := pairing.Test()
+	k, err := NewContentKey(p, rand.Reader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return k
+}
+
+func BenchmarkSeal1KB(b *testing.B) {
+	k := benchKey(b)
+	msg := make([]byte, paperPlaintextSize)
+	b.SetBytes(paperPlaintextSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := k.Seal(msg, rand.Reader); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOpen1KB(b *testing.B) {
+	k := benchKey(b)
+	msg := make([]byte, paperPlaintextSize)
+	ct, err := k.Seal(msg, rand.Reader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(paperPlaintextSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := k.Open(ct); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKDF(b *testing.B) {
+	k := benchKey(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.AESKey()
+	}
+}
+
+func BenchmarkNewContentKey(b *testing.B) {
+	p := pairing.Test()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewContentKey(p, rand.Reader); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+// Package hybrid implements the data-encryption layer of the paper's system:
+// the owner splits data into components by logical granularity, encrypts
+// each component with a symmetric content key (AES-256-GCM), and encrypts
+// each content key with the multi-authority CP-ABE scheme. On the server the
+// record is stored in the paper's Fig. 2 format: CT₁‖E_{k₁}(m₁)‖…‖CTₙ‖E_{kₙ}(mₙ).
+//
+// A content key is a random G_T element; the AES key is derived from its
+// serialization with a SHA-256 KDF. Decrypting the CP-ABE ciphertext yields
+// the G_T element and therefore the AES key.
+package hybrid
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+
+	"maacs/internal/pairing"
+)
+
+// Errors reported by the hybrid layer.
+var (
+	ErrCiphertextTooShort = errors.New("hybrid: ciphertext too short")
+	ErrDecryptFailed      = errors.New("hybrid: authenticated decryption failed")
+)
+
+// ContentKey is a symmetric content key k_i represented as the G_T element
+// the CP-ABE layer encrypts.
+type ContentKey struct {
+	Element *pairing.GT
+}
+
+// NewContentKey draws a fresh content key.
+func NewContentKey(p *pairing.Params, rnd io.Reader) (*ContentKey, error) {
+	el, _, err := p.RandomGT(rnd)
+	if err != nil {
+		return nil, fmt.Errorf("content key: %w", err)
+	}
+	return &ContentKey{Element: el}, nil
+}
+
+// AESKey derives the 32-byte AES key from the content key.
+func (k *ContentKey) AESKey() []byte {
+	sum := sha256.Sum256(append([]byte("maacs-kdf-v1:"), k.Element.Marshal()...))
+	return sum[:]
+}
+
+// Seal encrypts plaintext under the content key with AES-256-GCM. The nonce
+// is prepended to the output.
+func (k *ContentKey) Seal(plaintext []byte, rnd io.Reader) ([]byte, error) {
+	aead, err := newAEAD(k)
+	if err != nil {
+		return nil, err
+	}
+	nonce := make([]byte, aead.NonceSize())
+	if _, err := io.ReadFull(rnd, nonce); err != nil {
+		return nil, fmt.Errorf("hybrid: nonce: %w", err)
+	}
+	return aead.Seal(nonce, nonce, plaintext, nil), nil
+}
+
+// Open decrypts data produced by Seal.
+func (k *ContentKey) Open(ciphertext []byte) ([]byte, error) {
+	aead, err := newAEAD(k)
+	if err != nil {
+		return nil, err
+	}
+	if len(ciphertext) < aead.NonceSize() {
+		return nil, ErrCiphertextTooShort
+	}
+	nonce, body := ciphertext[:aead.NonceSize()], ciphertext[aead.NonceSize():]
+	out, err := aead.Open(nil, nonce, body, nil)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrDecryptFailed, err)
+	}
+	return out, nil
+}
+
+func newAEAD(k *ContentKey) (cipher.AEAD, error) {
+	block, err := aes.NewCipher(k.AESKey())
+	if err != nil {
+		return nil, fmt.Errorf("hybrid: aes: %w", err)
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("hybrid: gcm: %w", err)
+	}
+	return aead, nil
+}
+
+// Component is one logical data component m_i of a record, named by its
+// granularity label (e.g. "name", "salary").
+type Component struct {
+	Label string
+	Data  []byte
+}
+
+// SealedComponent is E_{k_i}(m_i) together with its label and the policy the
+// content key was encrypted under (the CP-ABE ciphertext itself lives in the
+// enclosing record type of the caller, keyed by label).
+type SealedComponent struct {
+	Label  string
+	Sealed []byte
+}
+
+// SealComponents encrypts each component with its own fresh content key and
+// returns the sealed components plus the content keys, index-aligned. The
+// caller encrypts each key with the CP-ABE scheme of its choice (core,
+// lewko, …), which keeps this package scheme-agnostic.
+func SealComponents(p *pairing.Params, comps []Component, rnd io.Reader) ([]SealedComponent, []*ContentKey, error) {
+	sealed := make([]SealedComponent, len(comps))
+	keys := make([]*ContentKey, len(comps))
+	for i, c := range comps {
+		k, err := NewContentKey(p, rnd)
+		if err != nil {
+			return nil, nil, err
+		}
+		body, err := k.Seal(c.Data, rnd)
+		if err != nil {
+			return nil, nil, err
+		}
+		sealed[i] = SealedComponent{Label: c.Label, Sealed: body}
+		keys[i] = k
+	}
+	return sealed, keys, nil
+}

@@ -1,0 +1,134 @@
+package hybrid
+
+import (
+	"bytes"
+	"crypto/rand"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"maacs/internal/pairing"
+)
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	p := pairing.Test()
+	k, err := NewContentKey(p, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(msg []byte) bool {
+		ct, err := k.Seal(msg, rand.Reader)
+		if err != nil {
+			return false
+		}
+		got, err := k.Open(ct)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, msg)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOpenWithWrongKeyFails(t *testing.T) {
+	p := pairing.Test()
+	k1, err := NewContentKey(p, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := NewContentKey(p, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := k1.Seal([]byte("secret"), rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k2.Open(ct); !errors.Is(err, ErrDecryptFailed) {
+		t.Fatalf("got %v, want ErrDecryptFailed", err)
+	}
+}
+
+func TestOpenDetectsTampering(t *testing.T) {
+	p := pairing.Test()
+	k, err := NewContentKey(p, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := k.Seal([]byte("untampered"), rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct[len(ct)-1] ^= 1
+	if _, err := k.Open(ct); !errors.Is(err, ErrDecryptFailed) {
+		t.Fatalf("got %v, want ErrDecryptFailed", err)
+	}
+}
+
+func TestOpenTooShort(t *testing.T) {
+	p := pairing.Test()
+	k, err := NewContentKey(p, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Open([]byte{1, 2, 3}); !errors.Is(err, ErrCiphertextTooShort) {
+		t.Fatalf("got %v, want ErrCiphertextTooShort", err)
+	}
+}
+
+func TestKDFDeterministicAndKeyed(t *testing.T) {
+	p := pairing.Test()
+	k, err := NewContentKey(p, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(k.AESKey(), k.AESKey()) {
+		t.Fatal("KDF not deterministic")
+	}
+	k2, err := NewContentKey(p, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(k.AESKey(), k2.AESKey()) {
+		t.Fatal("distinct content keys derived the same AES key")
+	}
+	// The same GT element must derive the same key (decryption path).
+	clone := &ContentKey{Element: k.Element.Clone()}
+	if !bytes.Equal(k.AESKey(), clone.AESKey()) {
+		t.Fatal("equal GT elements derived different AES keys")
+	}
+}
+
+func TestSealComponents(t *testing.T) {
+	p := pairing.Test()
+	comps := []Component{
+		{Label: "name", Data: []byte("Alice Liddell")},
+		{Label: "salary", Data: []byte("100000")},
+		{Label: "ssn", Data: []byte("123-45-6789")},
+	}
+	sealed, keys, err := SealComponents(p, comps, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sealed) != 3 || len(keys) != 3 {
+		t.Fatalf("got %d sealed, %d keys", len(sealed), len(keys))
+	}
+	for i, sc := range sealed {
+		if sc.Label != comps[i].Label {
+			t.Errorf("label %q, want %q", sc.Label, comps[i].Label)
+		}
+		got, err := keys[i].Open(sc.Sealed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, comps[i].Data) {
+			t.Errorf("component %d mismatch", i)
+		}
+		// Cross-key opens must fail (different granularity, different key).
+		if _, err := keys[(i+1)%3].Open(sc.Sealed); err == nil {
+			t.Error("component opened with another component's key")
+		}
+	}
+}

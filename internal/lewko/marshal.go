@@ -1,0 +1,148 @@
+package lewko
+
+import (
+	"fmt"
+	"sort"
+
+	"maacs/internal/lsss"
+	"maacs/internal/pairing"
+	"maacs/internal/wire"
+)
+
+// Wire encodings for the baseline's transferable objects, mirroring
+// internal/core/marshal.go so both schemes can be persisted and shipped in
+// the same deployments (and so size tables can be measured on real bytes).
+
+// Marshal encodes a user's key material.
+func (sk *SecretKey) Marshal() []byte {
+	var e wire.Encoder
+	e.String(sk.GID)
+	e.Int(len(sk.KAttr))
+	keys := make([]string, 0, len(sk.KAttr))
+	for q := range sk.KAttr {
+		keys = append(keys, q)
+	}
+	sort.Strings(keys)
+	for _, q := range keys {
+		e.String(q)
+		e.Blob(sk.KAttr[q].Marshal())
+	}
+	return e.Bytes()
+}
+
+// UnmarshalSecretKey decodes a key, validating every group element.
+func UnmarshalSecretKey(p *pairing.Params, data []byte) (*SecretKey, error) {
+	d := wire.NewDecoder(data)
+	sk := &SecretKey{GID: d.String()}
+	n := d.Count(2)
+	if d.Err() != nil {
+		return nil, fmt.Errorf("lewko secret key: %w", d.Err())
+	}
+	sk.KAttr = make(map[string]*pairing.G, n)
+	for i := 0; i < n; i++ {
+		q := d.String()
+		raw := d.Blob()
+		if d.Err() != nil {
+			return nil, fmt.Errorf("lewko secret key attr %d: %w", i, d.Err())
+		}
+		el, err := p.UnmarshalG(raw)
+		if err != nil {
+			return nil, fmt.Errorf("lewko secret key %q: %w", q, err)
+		}
+		sk.KAttr[q] = el
+	}
+	if err := d.Done(); err != nil {
+		return nil, fmt.Errorf("lewko secret key: %w", err)
+	}
+	return sk, nil
+}
+
+// Marshal encodes a ciphertext; the access structure ships as the policy
+// string and is recompiled on decode.
+func (ct *Ciphertext) Marshal() []byte {
+	var e wire.Encoder
+	e.String(ct.Policy)
+	e.Blob(ct.C0.Marshal())
+	e.Int(len(ct.C1))
+	for i := range ct.C1 {
+		e.Blob(ct.C1[i].Marshal())
+		e.Blob(ct.C2[i].Marshal())
+		e.Blob(ct.C3[i].Marshal())
+	}
+	return e.Bytes()
+}
+
+// UnmarshalCiphertext decodes and validates a ciphertext.
+func UnmarshalCiphertext(p *pairing.Params, data []byte) (*Ciphertext, error) {
+	d := wire.NewDecoder(data)
+	ct := &Ciphertext{Policy: d.String()}
+	c0Raw := d.Blob()
+	n := d.Count(3)
+	if d.Err() != nil {
+		return nil, fmt.Errorf("lewko ciphertext: %w", d.Err())
+	}
+	matrix, err := lsss.CompilePolicy(ct.Policy, p.R)
+	if err != nil {
+		return nil, fmt.Errorf("lewko ciphertext policy: %w", err)
+	}
+	if len(matrix.Rho) != n {
+		return nil, fmt.Errorf("lewko ciphertext: %d rows for %d-row policy", n, len(matrix.Rho))
+	}
+	ct.Matrix = matrix
+	if ct.C0, err = p.UnmarshalGT(c0Raw); err != nil {
+		return nil, fmt.Errorf("lewko ciphertext C0: %w", err)
+	}
+	ct.C1 = make([]*pairing.GT, n)
+	ct.C2 = make([]*pairing.G, n)
+	ct.C3 = make([]*pairing.G, n)
+	for i := 0; i < n; i++ {
+		c1Raw := d.Blob()
+		c2Raw := d.Blob()
+		c3Raw := d.Blob()
+		if d.Err() != nil {
+			return nil, fmt.Errorf("lewko ciphertext row %d: %w", i, d.Err())
+		}
+		if ct.C1[i], err = p.UnmarshalGT(c1Raw); err != nil {
+			return nil, fmt.Errorf("lewko ciphertext C1[%d]: %w", i, err)
+		}
+		if ct.C2[i], err = p.UnmarshalG(c2Raw); err != nil {
+			return nil, fmt.Errorf("lewko ciphertext C2[%d]: %w", i, err)
+		}
+		if ct.C3[i], err = p.UnmarshalG(c3Raw); err != nil {
+			return nil, fmt.Errorf("lewko ciphertext C3[%d]: %w", i, err)
+		}
+	}
+	if err := d.Done(); err != nil {
+		return nil, fmt.Errorf("lewko ciphertext: %w", err)
+	}
+	return ct, nil
+}
+
+// Marshal encodes one attribute's public key.
+func (pk *AttrPublicKey) Marshal() []byte {
+	var e wire.Encoder
+	e.String(pk.Attr)
+	e.Blob(pk.Egg.Marshal())
+	e.Blob(pk.GY.Marshal())
+	return e.Bytes()
+}
+
+// UnmarshalAttrPublicKey decodes one attribute's public key.
+func UnmarshalAttrPublicKey(p *pairing.Params, data []byte) (*AttrPublicKey, error) {
+	d := wire.NewDecoder(data)
+	attr := d.String()
+	eggRaw := d.Blob()
+	gyRaw := d.Blob()
+	if err := d.Done(); err != nil {
+		return nil, fmt.Errorf("lewko attr public key: %w", err)
+	}
+	egg, err := p.UnmarshalGT(eggRaw)
+	if err != nil {
+		return nil, fmt.Errorf("lewko attr public key %q: %w", attr, err)
+	}
+	gy, err := p.UnmarshalG(gyRaw)
+	if err != nil {
+		return nil, fmt.Errorf("lewko attr public key %q: %w", attr, err)
+	}
+	return &AttrPublicKey{Attr: attr, Egg: egg, GY: gy}, nil
+}

@@ -1,0 +1,89 @@
+package lewko
+
+import (
+	"bytes"
+	"crypto/rand"
+	"testing"
+)
+
+func TestSecretKeyMarshalRoundTrip(t *testing.T) {
+	f := newFixture(t, map[string][]string{"med": {"doctor", "nurse"}})
+	sk := f.keysFor("alice", map[string][]string{"med": {"doctor", "nurse"}})
+	data := sk.Marshal()
+	got, err := UnmarshalSecretKey(f.sys.Params, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.GID != sk.GID || len(got.KAttr) != len(sk.KAttr) {
+		t.Fatal("metadata changed")
+	}
+	for q, v := range sk.KAttr {
+		if !got.KAttr[q].Equal(v) {
+			t.Fatalf("attr %q changed", q)
+		}
+	}
+	if !bytes.Equal(data, got.Marshal()) {
+		t.Fatal("non-deterministic encoding")
+	}
+}
+
+func TestCiphertextMarshalRoundTripDecrypts(t *testing.T) {
+	f := newFixture(t, map[string][]string{
+		"med": {"doctor"},
+		"uni": {"researcher"},
+	})
+	sk := f.keysFor("alice", map[string][]string{
+		"med": {"doctor"},
+		"uni": {"researcher"},
+	})
+	m, _, err := f.sys.Params.RandomGT(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := Encrypt(f.sys, m, "med:doctor AND uni:researcher", f.pks, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalCiphertext(f.sys.Params, ct.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decrypt(f.sys, got, sk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Equal(m) {
+		t.Fatal("round-tripped ciphertext decrypts wrong")
+	}
+}
+
+func TestCiphertextUnmarshalRejectsGarbage(t *testing.T) {
+	f := newFixture(t, map[string][]string{"med": {"doctor"}})
+	m, _, err := f.sys.Params.RandomGT(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := Encrypt(f.sys, m, "med:doctor", f.pks, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := ct.Marshal()
+	if _, err := UnmarshalCiphertext(f.sys.Params, good[:len(good)/3]); err == nil {
+		t.Error("truncated accepted")
+	}
+	if _, err := UnmarshalCiphertext(f.sys.Params, append(append([]byte{}, good...), 1)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}
+
+func TestAttrPublicKeyMarshalRoundTrip(t *testing.T) {
+	f := newFixture(t, map[string][]string{"med": {"doctor"}})
+	pk := f.pks["med:doctor"]
+	got, err := UnmarshalAttrPublicKey(f.sys.Params, pk.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Attr != pk.Attr || !got.Egg.Equal(pk.Egg) || !got.GY.Equal(pk.GY) {
+		t.Fatal("round trip changed the key")
+	}
+}

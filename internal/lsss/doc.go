@@ -1,0 +1,24 @@
+// Package lsss implements linear secret sharing schemes (LSSS) over Z_r for
+// monotone boolean access policies, as required by CP-ABE encryption.
+//
+// A policy is written in a small expression language over attribute names:
+//
+//	AID1:doctor AND (AID2:researcher OR AID2:nurse)
+//	2 of (A:x, B:y, C:z)
+//
+// with operators AND, OR (case-insensitive), parentheses, and k-of-n
+// threshold gates "k of (e₁, …, eₙ)". The parser produces an access tree,
+// which is compiled into a monotone span program: an l×n matrix M over Z_r
+// together with a row-labelling function ρ mapping each row to an attribute.
+//
+// The compilation uses the standard recursive Vandermonde construction:
+// the root is labelled with the vector (1); a (t, n)-threshold node whose
+// vector is v (over c columns so far) gives its i-th child (i = 1…n) the
+// vector v + Σ_{j=1}^{t−1} i^j·e_{c+j}, appending t−1 fresh columns. AND is
+// (n, n) and OR is (1, n). This reproduces Shamir sharing at every gate, so
+// an attribute set S satisfies the policy iff (1, 0, …, 0) is in the span of
+// the rows labelled by S, which Reconstruct solves by Gaussian elimination.
+//
+// Per the paper's restriction, ρ must be injective: an attribute may appear
+// at most once in a policy (ErrDuplicateAttribute otherwise).
+package lsss

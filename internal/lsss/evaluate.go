@@ -1,0 +1,65 @@
+package lsss
+
+// Evaluate computes the boolean semantics of the access tree directly on an
+// attribute set. It is the reference semantics the span program must agree
+// with (Compile + Satisfies is tested against it), and a cheap pre-check for
+// callers that want to avoid a Gaussian elimination when the answer is "no".
+func (n *Node) Evaluate(attrs []string) bool {
+	set := make(map[string]bool, len(attrs))
+	for _, a := range attrs {
+		set[a] = true
+	}
+	return n.evaluate(set)
+}
+
+func (n *Node) evaluate(set map[string]bool) bool {
+	if n.IsLeaf() {
+		return set[n.Attr]
+	}
+	satisfied := 0
+	for _, c := range n.Children {
+		if c.evaluate(set) {
+			satisfied++
+			if satisfied >= n.Threshold {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Simplify returns an equivalent tree with nested same-kind gates flattened
+// (AND of ANDs, OR of ORs) and single-child gates collapsed. Leaves are
+// shared, not copied.
+func (n *Node) Simplify() *Node {
+	if n.IsLeaf() {
+		return n
+	}
+	children := make([]*Node, 0, len(n.Children))
+	for _, c := range n.Children {
+		children = append(children, c.Simplify())
+	}
+	if len(children) == 1 && n.Threshold == 1 {
+		return children[0]
+	}
+	isAnd := n.Threshold == len(children)
+	isOr := n.Threshold == 1
+	if isAnd || isOr {
+		flat := make([]*Node, 0, len(children))
+		for _, c := range children {
+			sameKind := !c.IsLeaf() &&
+				((isAnd && c.Threshold == len(c.Children)) || (isOr && c.Threshold == 1))
+			if sameKind {
+				flat = append(flat, c.Children...)
+			} else {
+				flat = append(flat, c)
+			}
+		}
+		t := 1
+		if isAnd {
+			t = len(flat)
+		}
+		return &Node{Threshold: t, Children: flat}
+	}
+	return &Node{Threshold: n.Threshold, Children: children}
+}

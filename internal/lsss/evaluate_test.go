@@ -1,0 +1,161 @@
+package lsss
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestEvaluateMatchesSatisfies(t *testing.T) {
+	policies := []string{
+		"a",
+		"a AND b",
+		"a OR b AND c",
+		"2 of (a, b, c)",
+		"(a OR b) AND 2 of (c, d, e)",
+		"3 of (a, b, c AND d, e)",
+	}
+	universe := []string{"a", "b", "c", "d", "e"}
+	for _, policy := range policies {
+		root, err := Parse(policy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := compile(t, policy)
+		for mask := 0; mask < 32; mask++ {
+			var attrs []string
+			for i, a := range universe {
+				if mask&(1<<i) != 0 {
+					attrs = append(attrs, a)
+				}
+			}
+			if root.Evaluate(attrs) != m.Satisfies(attrs) {
+				t.Fatalf("%q on %v: Evaluate and Satisfies disagree", policy, attrs)
+			}
+		}
+	}
+}
+
+func TestSimplifyPreservesSemantics(t *testing.T) {
+	policies := []string{
+		"a AND (b AND (c AND d))",
+		"a OR (b OR (c OR d))",
+		"(a AND b) OR (c AND (d OR e))",
+		"2 of (a, b OR (c OR d), e)",
+		"((a))",
+	}
+	universe := []string{"a", "b", "c", "d", "e"}
+	for _, policy := range policies {
+		root, err := Parse(policy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		simplified := root.Simplify()
+		if err := simplified.validate(); err != nil {
+			t.Fatalf("%q: simplified tree invalid: %v", policy, err)
+		}
+		for mask := 0; mask < 32; mask++ {
+			var attrs []string
+			for i, a := range universe {
+				if mask&(1<<i) != 0 {
+					attrs = append(attrs, a)
+				}
+			}
+			if root.Evaluate(attrs) != simplified.Evaluate(attrs) {
+				t.Fatalf("%q on %v: simplify changed semantics", policy, attrs)
+			}
+		}
+	}
+}
+
+func TestSimplifyFlattens(t *testing.T) {
+	root, err := Parse("a AND (b AND (c AND d))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := root.Simplify()
+	if len(s.Children) != 4 || s.Threshold != 4 {
+		t.Fatalf("not flattened: %s", s)
+	}
+	root, err = Parse("a OR (b OR c)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s = root.Simplify()
+	if len(s.Children) != 3 || s.Threshold != 1 {
+		t.Fatalf("not flattened: %s", s)
+	}
+}
+
+// randomPolicy builds a random access tree over the universe; used by the
+// randomized agreement test below.
+func randomPolicy(rng *rand.Rand, universe []string, depth int) *Node {
+	if depth == 0 || rng.Intn(3) == 0 {
+		return Leaf(universe[rng.Intn(len(universe))])
+	}
+	n := 2 + rng.Intn(3)
+	children := make([]*Node, n)
+	for i := range children {
+		children[i] = randomPolicy(rng, universe, depth-1)
+	}
+	t := 1 + rng.Intn(n)
+	return Threshold(t, children...)
+}
+
+// dedupeAttrs renames duplicate leaves so ρ stays injective while keeping a
+// mapping back to base attributes for evaluation.
+func dedupeAttrs(root *Node) {
+	count := map[string]int{}
+	root.walk(func(leaf *Node) {
+		count[leaf.Attr]++
+		if count[leaf.Attr] > 1 {
+			leaf.Attr = fmt.Sprintf("%s_%d", leaf.Attr, count[leaf.Attr])
+		}
+	})
+}
+
+func TestRandomPoliciesAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	base := []string{"a", "b", "c", "d"}
+	for trial := 0; trial < 60; trial++ {
+		root := randomPolicy(rng, base, 3)
+		dedupeAttrs(root)
+		m, err := Compile(root, testOrder)
+		if err != nil {
+			t.Fatalf("trial %d (%s): %v", trial, root, err)
+		}
+		// Random subsets of the (deduped) leaves.
+		leaves := root.Attributes()
+		for s := 0; s < 16; s++ {
+			var attrs []string
+			for _, a := range leaves {
+				if rng.Intn(2) == 0 {
+					attrs = append(attrs, a)
+				}
+			}
+			want := root.Evaluate(attrs)
+			if got := m.Satisfies(attrs); got != want {
+				t.Fatalf("trial %d (%s) on %v: matrix=%v tree=%v",
+					trial, root, attrs, got, want)
+			}
+		}
+	}
+}
+
+func TestRandomPolicyStringRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	base := []string{"x", "y", "z"}
+	for trial := 0; trial < 40; trial++ {
+		root := randomPolicy(rng, base, 2)
+		dedupeAttrs(root)
+		rendered := root.String()
+		back, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("trial %d: re-parse %q: %v", trial, rendered, err)
+		}
+		if !strings.EqualFold(back.String(), rendered) {
+			t.Fatalf("trial %d: unstable rendering %q vs %q", trial, rendered, back.String())
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package lsss
+
+import (
+	"math/big"
+	"testing"
+)
+
+// FuzzParse asserts the parser never panics and that everything it accepts
+// survives render → re-parse → compile.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"a",
+		"a AND b",
+		"a OR b AND c",
+		"2 of (a, b, c)",
+		"(a OR b) AND 3 of (c, d, e, f)",
+		"", "(", ")", "AND", "2 of", "2 of (", "a AND", "((a)", "1 of (a)",
+		"0 of (a)", "9999999999999 of (a)", "a:b:c AND x.y-z@w",
+		"a, b", "a b", "a ** b", "2 OF (A, B)",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	order := big.NewInt(1000003)
+	f.Fuzz(func(t *testing.T, policy string) {
+		root, err := Parse(policy)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		rendered := root.String()
+		back, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("accepted %q but rejected own rendering %q: %v", policy, rendered, err)
+		}
+		if back.String() != rendered {
+			t.Fatalf("unstable rendering: %q vs %q", rendered, back.String())
+		}
+		// Compilation must not panic; duplicate attributes may be rejected.
+		if m, err := Compile(root, order); err == nil {
+			if len(m.Rows) != len(root.Attributes()) {
+				t.Fatalf("row count %d ≠ leaf count %d", len(m.Rows), len(root.Attributes()))
+			}
+		}
+	})
+}

@@ -1,0 +1,126 @@
+package lsss
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Matrix is a monotone span program over Z_r: an l×n matrix whose rows are
+// labelled with attributes by Rho. A set of attributes S satisfies the
+// program iff (1, 0, …, 0) lies in the Z_r-span of the rows {i : Rho[i] ∈ S}.
+type Matrix struct {
+	// Rows holds the l row vectors, each of length Cols.
+	Rows [][]*big.Int
+	// Rho labels each row with its attribute; injective by construction.
+	Rho []string
+	// Cols is the number of columns n.
+	Cols int
+	// Order is the modulus r all arithmetic is performed under.
+	Order *big.Int
+}
+
+// Compile turns an access tree into a monotone span program over the given
+// prime order, using the recursive Vandermonde construction.
+func Compile(root *Node, order *big.Int) (*Matrix, error) {
+	if root == nil {
+		return nil, ErrEmptyPolicy
+	}
+	if err := root.validate(); err != nil {
+		return nil, err
+	}
+	m := &Matrix{Cols: 1, Order: new(big.Int).Set(order)}
+	seen := make(map[string]bool)
+	if err := m.build(root, []*big.Int{big.NewInt(1)}, seen); err != nil {
+		return nil, err
+	}
+	// Pad all rows to the final column count.
+	for i, row := range m.Rows {
+		for len(row) < m.Cols {
+			row = append(row, new(big.Int))
+		}
+		m.Rows[i] = row
+	}
+	return m, nil
+}
+
+// CompilePolicy parses and compiles a policy expression in one step.
+func CompilePolicy(policy string, order *big.Int) (*Matrix, error) {
+	root, err := Parse(policy)
+	if err != nil {
+		return nil, err
+	}
+	return Compile(root, order)
+}
+
+// build assigns vector v (length ≤ m.Cols) to node n. Leaves append a row;
+// a (t, k)-gate appends t−1 fresh columns and recurses with the Shamir
+// vectors v + Σ_j i^j·e_{c+j}.
+func (m *Matrix) build(n *Node, v []*big.Int, seen map[string]bool) error {
+	if n.IsLeaf() {
+		if seen[n.Attr] {
+			return fmt.Errorf("%w: %q", ErrDuplicateAttribute, n.Attr)
+		}
+		seen[n.Attr] = true
+		row := make([]*big.Int, len(v))
+		for i, c := range v {
+			row[i] = new(big.Int).Mod(c, m.Order)
+		}
+		m.Rows = append(m.Rows, row)
+		m.Rho = append(m.Rho, n.Attr)
+		return nil
+	}
+	t := n.Threshold
+	base := m.Cols
+	m.Cols += t - 1
+	for idx, child := range n.Children {
+		i := int64(idx + 1) // evaluation point for this child
+		cv := make([]*big.Int, m.Cols)
+		for j := range cv {
+			if j < len(v) {
+				cv[j] = new(big.Int).Set(v[j])
+			} else {
+				cv[j] = new(big.Int)
+			}
+		}
+		pw := big.NewInt(1)
+		bigI := big.NewInt(i)
+		for j := 1; j < t; j++ {
+			pw = new(big.Int).Mul(pw, bigI)
+			pw.Mod(pw, m.Order)
+			cv[base+j-1].Add(cv[base+j-1], pw)
+			cv[base+j-1].Mod(cv[base+j-1], m.Order)
+		}
+		if err := m.build(child, cv, seen); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RowOf returns the index of the row labelled attr, or −1.
+func (m *Matrix) RowOf(attr string) int {
+	for i, a := range m.Rho {
+		if a == attr {
+			return i
+		}
+	}
+	return -1
+}
+
+// Clone returns a deep copy of the matrix.
+func (m *Matrix) Clone() *Matrix {
+	out := &Matrix{
+		Rows:  make([][]*big.Int, len(m.Rows)),
+		Rho:   append([]string(nil), m.Rho...),
+		Cols:  m.Cols,
+		Order: new(big.Int).Set(m.Order),
+	}
+	for i, row := range m.Rows {
+		r := make([]*big.Int, len(row))
+		for j, c := range row {
+			r[j] = new(big.Int).Set(c)
+		}
+		out.Rows[i] = r
+	}
+	return out
+}

@@ -1,0 +1,296 @@
+package lsss
+
+import (
+	"crypto/rand"
+	"errors"
+	"math/big"
+	mrand "math/rand"
+	"testing"
+	"testing/quick"
+)
+
+var testOrder = big.NewInt(1000003) // small prime for readable tests
+
+func compile(t *testing.T, policy string) *Matrix {
+	t.Helper()
+	m, err := CompilePolicy(policy, testOrder)
+	if err != nil {
+		t.Fatalf("CompilePolicy(%q): %v", policy, err)
+	}
+	return m
+}
+
+func TestCompileSingleAttr(t *testing.T) {
+	m := compile(t, "a")
+	if len(m.Rows) != 1 || m.Cols != 1 {
+		t.Fatalf("got %dx%d, want 1x1", len(m.Rows), m.Cols)
+	}
+	if m.Rows[0][0].Int64() != 1 {
+		t.Fatalf("row = %v, want (1)", m.Rows[0])
+	}
+}
+
+func TestCompileDimensions(t *testing.T) {
+	cases := []struct {
+		policy string
+		rows   int
+		cols   int
+	}{
+		{"a AND b", 2, 2},
+		{"a OR b", 2, 1},
+		{"2 of (a, b, c)", 3, 2},
+		{"a AND b AND c", 3, 3},
+		{"(a OR b) AND (c OR d)", 4, 2},
+		{"a AND (b OR 2 of (c, d, e))", 5, 3},
+	}
+	for _, tc := range cases {
+		m := compile(t, tc.policy)
+		if len(m.Rows) != tc.rows || m.Cols != tc.cols {
+			t.Errorf("%q: got %dx%d, want %dx%d", tc.policy, len(m.Rows), m.Cols, tc.rows, tc.cols)
+		}
+		if len(m.Rho) != tc.rows {
+			t.Errorf("%q: |Rho| = %d", tc.policy, len(m.Rho))
+		}
+	}
+}
+
+func TestCompileRejectsDuplicateAttr(t *testing.T) {
+	_, err := CompilePolicy("a AND (b OR a)", testOrder)
+	if !errors.Is(err, ErrDuplicateAttribute) {
+		t.Fatalf("got %v, want ErrDuplicateAttribute", err)
+	}
+}
+
+func TestSatisfiesTruthTable(t *testing.T) {
+	cases := []struct {
+		policy string
+		attrs  []string
+		want   bool
+	}{
+		{"a", []string{"a"}, true},
+		{"a", []string{"b"}, false},
+		{"a AND b", []string{"a", "b"}, true},
+		{"a AND b", []string{"a"}, false},
+		{"a AND b", []string{"b"}, false},
+		{"a OR b", []string{"a"}, true},
+		{"a OR b", []string{"b"}, true},
+		{"a OR b", []string{"c"}, false},
+		{"2 of (a, b, c)", []string{"a", "b"}, true},
+		{"2 of (a, b, c)", []string{"a", "c"}, true},
+		{"2 of (a, b, c)", []string{"b", "c"}, true},
+		{"2 of (a, b, c)", []string{"a"}, false},
+		{"2 of (a, b, c)", []string{"c"}, false},
+		{"(a OR b) AND (c OR d)", []string{"a", "d"}, true},
+		{"(a OR b) AND (c OR d)", []string{"a", "b"}, false},
+		{"a AND (b OR 2 of (c, d, e))", []string{"a", "b"}, true},
+		{"a AND (b OR 2 of (c, d, e))", []string{"a", "c", "e"}, true},
+		{"a AND (b OR 2 of (c, d, e))", []string{"a", "c"}, false},
+		{"a AND (b OR 2 of (c, d, e))", []string{"b", "c", "d"}, false},
+		{"3 of (a, b, c, d)", []string{"a", "b", "c"}, true},
+		{"3 of (a, b, c, d)", []string{"a", "b"}, false},
+		// Extra attributes never hurt (monotonicity).
+		{"a AND b", []string{"a", "b", "z"}, true},
+	}
+	for _, tc := range cases {
+		m := compile(t, tc.policy)
+		if got := m.Satisfies(tc.attrs); got != tc.want {
+			t.Errorf("%q ⊨ %v = %v, want %v", tc.policy, tc.attrs, got, tc.want)
+		}
+	}
+}
+
+func TestShareReconstructRoundTrip(t *testing.T) {
+	policies := []struct {
+		policy string
+		attrs  []string
+	}{
+		{"a", []string{"a"}},
+		{"a AND b", []string{"a", "b"}},
+		{"a OR b", []string{"b"}},
+		{"2 of (a, b, c)", []string{"a", "c"}},
+		{"(a OR b) AND (c OR d)", []string{"b", "c"}},
+		{"a AND (b OR 2 of (c, d, e))", []string{"a", "d", "e"}},
+		{"3 of (a, b, c, d, e)", []string{"b", "d", "e"}},
+	}
+	for _, tc := range policies {
+		m := compile(t, tc.policy)
+		secret := big.NewInt(424242)
+		shares, err := m.Share(secret, rand.Reader)
+		if err != nil {
+			t.Fatalf("%q: Share: %v", tc.policy, err)
+		}
+		w, err := m.Reconstruct(tc.attrs)
+		if err != nil {
+			t.Fatalf("%q: Reconstruct(%v): %v", tc.policy, tc.attrs, err)
+		}
+		acc := new(big.Int)
+		for i, wi := range w {
+			acc.Add(acc, new(big.Int).Mul(wi, shares[i]))
+		}
+		acc.Mod(acc, testOrder)
+		if acc.Cmp(secret) != 0 {
+			t.Errorf("%q: reconstructed %v, want %v", tc.policy, acc, secret)
+		}
+	}
+}
+
+func TestReconstructOnlyUsesAuthorizedRows(t *testing.T) {
+	m := compile(t, "(a OR b) AND (c OR d)")
+	w, err := m.Reconstruct([]string{"a", "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range w {
+		if m.Rho[i] != "a" && m.Rho[i] != "c" {
+			t.Errorf("coefficient for unauthorized row %q", m.Rho[i])
+		}
+	}
+}
+
+func TestReconstructFailsForUnauthorizedSet(t *testing.T) {
+	m := compile(t, "a AND b")
+	if _, err := m.Reconstruct([]string{"a"}); !errors.Is(err, ErrNotSatisfied) {
+		t.Fatalf("got %v, want ErrNotSatisfied", err)
+	}
+	if _, err := m.Reconstruct(nil); !errors.Is(err, ErrNotSatisfied) {
+		t.Fatalf("empty set: got %v, want ErrNotSatisfied", err)
+	}
+}
+
+// TestPropertySatisfactionMatchesTreeSemantics cross-checks the span-program
+// satisfaction test against direct boolean evaluation of the access tree on
+// random attribute subsets.
+func TestPropertySatisfactionMatchesTreeSemantics(t *testing.T) {
+	policies := []string{
+		"a AND b",
+		"a OR b",
+		"2 of (a, b, c)",
+		"(a OR b) AND (c OR d)",
+		"a AND (b OR 2 of (c, d, e))",
+		"2 of (a AND b, c, d OR e)",
+		"3 of (a, b, c, d)",
+	}
+	universe := []string{"a", "b", "c", "d", "e"}
+	for _, policy := range policies {
+		root, err := Parse(policy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := compile(t, policy)
+		f := func(mask uint8) bool {
+			var attrs []string
+			for i, a := range universe {
+				if mask&(1<<i) != 0 {
+					attrs = append(attrs, a)
+				}
+			}
+			return m.Satisfies(attrs) == evalTree(root, attrs)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 64}); err != nil {
+			t.Errorf("%q: %v", policy, err)
+		}
+	}
+}
+
+// TestPropertyReconstructionRecoversSecret verifies on random satisfying sets
+// that the reconstruction coefficients recover a random secret.
+func TestPropertyReconstructionRecoversSecret(t *testing.T) {
+	m := compile(t, "2 of (a, b, c) AND (d OR e)")
+	root, _ := Parse("2 of (a, b, c) AND (d OR e)")
+	universe := []string{"a", "b", "c", "d", "e"}
+	rng := mrand.New(mrand.NewSource(7))
+	for trial := 0; trial < 64; trial++ {
+		mask := rng.Intn(32)
+		var attrs []string
+		for i, a := range universe {
+			if mask&(1<<i) != 0 {
+				attrs = append(attrs, a)
+			}
+		}
+		secret := big.NewInt(int64(rng.Intn(1000000)))
+		shares, err := m.Share(secret, rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := m.Reconstruct(attrs)
+		if evalTree(root, attrs) {
+			if err != nil {
+				t.Fatalf("satisfying set %v rejected: %v", attrs, err)
+			}
+			acc := new(big.Int)
+			for i, wi := range w {
+				acc.Add(acc, new(big.Int).Mul(wi, shares[i]))
+			}
+			acc.Mod(acc, testOrder)
+			if acc.Cmp(secret) != 0 {
+				t.Fatalf("attrs %v: reconstructed %v, want %v", attrs, acc, secret)
+			}
+		} else if err == nil {
+			t.Fatalf("non-satisfying set %v produced coefficients", attrs)
+		}
+	}
+}
+
+// evalTree evaluates the access tree directly as a boolean formula.
+func evalTree(n *Node, attrs []string) bool {
+	if n.IsLeaf() {
+		for _, a := range attrs {
+			if a == n.Attr {
+				return true
+			}
+		}
+		return false
+	}
+	sat := 0
+	for _, c := range n.Children {
+		if evalTree(c, attrs) {
+			sat++
+		}
+	}
+	return sat >= n.Threshold
+}
+
+func TestShareWithVectorValidatesLength(t *testing.T) {
+	m := compile(t, "a AND b")
+	if _, err := m.ShareWithVector([]*big.Int{big.NewInt(1)}); err == nil {
+		t.Fatal("ShareWithVector accepted wrong-length vector")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := compile(t, "a AND b")
+	c := m.Clone()
+	c.Rows[0][0].SetInt64(999)
+	if m.Rows[0][0].Int64() == 999 {
+		t.Fatal("Clone shares row storage")
+	}
+}
+
+func TestRowOf(t *testing.T) {
+	m := compile(t, "a AND b")
+	if m.RowOf("b") != 1 || m.RowOf("a") != 0 || m.RowOf("zz") != -1 {
+		t.Fatalf("RowOf wrong: a=%d b=%d zz=%d", m.RowOf("a"), m.RowOf("b"), m.RowOf("zz"))
+	}
+}
+
+// TestZeroSharing exercises the Lewko-style "share zero" usage: shares of 0
+// recombine to 0 with the same coefficients.
+func TestZeroSharing(t *testing.T) {
+	m := compile(t, "(a OR b) AND (c OR d)")
+	shares, err := m.Share(new(big.Int), rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := m.Reconstruct([]string{"b", "d"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := new(big.Int)
+	for i, wi := range w {
+		acc.Add(acc, new(big.Int).Mul(wi, shares[i]))
+	}
+	acc.Mod(acc, testOrder)
+	if acc.Sign() != 0 {
+		t.Fatalf("zero shares recombined to %v", acc)
+	}
+}

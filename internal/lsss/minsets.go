@@ -1,0 +1,126 @@
+package lsss
+
+import "sort"
+
+// MinimalSets enumerates the minimal authorized attribute sets of the
+// policy: every returned set satisfies the policy, no proper subset of a
+// returned set does, and every satisfying set contains one of them. Useful
+// for owners auditing who a policy actually admits, and for tests.
+//
+// The enumeration is exponential in the worst case (policies are monotone
+// boolean functions); maxSets caps the output (0 = no cap) and the second
+// return value reports whether the enumeration was truncated.
+func (n *Node) MinimalSets(maxSets int) (sets [][]string, truncated bool) {
+	raw, truncated := n.minimalSets(maxSets)
+	out := make([][]string, 0, len(raw))
+	for _, s := range raw {
+		attrs := make([]string, 0, len(s))
+		for a := range s {
+			attrs = append(attrs, a)
+		}
+		sort.Strings(attrs)
+		out = append(out, attrs)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i]) != len(out[j]) {
+			return len(out[i]) < len(out[j])
+		}
+		for k := range out[i] {
+			if out[i][k] != out[j][k] {
+				return out[i][k] < out[j][k]
+			}
+		}
+		return false
+	})
+	return out, truncated
+}
+
+type attrSet map[string]bool
+
+func (n *Node) minimalSets(maxSets int) ([]attrSet, bool) {
+	if n.IsLeaf() {
+		return []attrSet{{n.Attr: true}}, false
+	}
+	// Gather each child's minimal sets.
+	childSets := make([][]attrSet, len(n.Children))
+	truncated := false
+	for i, c := range n.Children {
+		cs, tr := c.minimalSets(maxSets)
+		childSets[i] = cs
+		truncated = truncated || tr
+	}
+	// A (t, n) gate is satisfied by choosing t children and one minimal set
+	// from each; union them, then prune non-minimal results.
+	var acc []attrSet
+	var choose func(start, picked int, cur attrSet)
+	choose = func(start, picked int, cur attrSet) {
+		if maxSets > 0 && len(acc) >= maxSets*4 {
+			truncated = true
+			return
+		}
+		if picked == n.Threshold {
+			cp := make(attrSet, len(cur))
+			for a := range cur {
+				cp[a] = true
+			}
+			acc = append(acc, cp)
+			return
+		}
+		if len(n.Children)-start < n.Threshold-picked {
+			return
+		}
+		for i := start; i < len(n.Children); i++ {
+			for _, cs := range childSets[i] {
+				added := make([]string, 0, len(cs))
+				for a := range cs {
+					if !cur[a] {
+						cur[a] = true
+						added = append(added, a)
+					}
+				}
+				choose(i+1, picked+1, cur)
+				for _, a := range added {
+					delete(cur, a)
+				}
+			}
+		}
+	}
+	choose(0, 0, make(attrSet))
+	acc = pruneNonMinimal(acc)
+	if maxSets > 0 && len(acc) > maxSets {
+		acc = acc[:maxSets]
+		truncated = true
+	}
+	return acc, truncated
+}
+
+// pruneNonMinimal drops sets that are supersets of another set.
+func pruneNonMinimal(sets []attrSet) []attrSet {
+	sort.Slice(sets, func(i, j int) bool { return len(sets[i]) < len(sets[j]) })
+	var out []attrSet
+	for _, s := range sets {
+		minimal := true
+		for _, kept := range out {
+			if isSubset(kept, s) {
+				minimal = false
+				break
+			}
+		}
+		if minimal {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func isSubset(small, big attrSet) bool {
+	if len(small) > len(big) {
+		return false
+	}
+	for a := range small {
+		if !big[a] {
+			return false
+		}
+	}
+	return true
+}

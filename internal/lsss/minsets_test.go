@@ -1,0 +1,98 @@
+package lsss
+
+import (
+	"fmt"
+	mrand "math/rand"
+	"strings"
+	"testing"
+)
+
+func TestMinimalSetsKnownPolicies(t *testing.T) {
+	cases := []struct {
+		policy string
+		want   []string // rendered as comma-joined sorted sets
+	}{
+		{"a", []string{"a"}},
+		{"a AND b", []string{"a,b"}},
+		{"a OR b", []string{"a", "b"}},
+		{"2 of (a, b, c)", []string{"a,b", "a,c", "b,c"}},
+		{"(a OR b) AND c", []string{"a,c", "b,c"}},
+		{"a AND (b OR (c AND d))", []string{"a,b", "a,c,d"}},
+		// Overlap across children: a appears on both sides of the AND.
+		{"2 of (a AND b, a AND c, d)", []string{"a,b,c", "a,b,d", "a,c,d"}},
+	}
+	for _, tc := range cases {
+		root, err := Parse(tc.policy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sets, truncated := root.MinimalSets(0)
+		if truncated {
+			t.Fatalf("%q: unexpectedly truncated", tc.policy)
+		}
+		got := make([]string, len(sets))
+		for i, s := range sets {
+			got[i] = strings.Join(s, ",")
+		}
+		if strings.Join(got, ";") != strings.Join(tc.want, ";") {
+			t.Errorf("%q: got %v, want %v", tc.policy, got, tc.want)
+		}
+	}
+}
+
+// TestMinimalSetsProperties checks, on random policies, that every minimal
+// set satisfies the policy, no proper subset does, and the matrix agrees.
+func TestMinimalSetsProperties(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(99))
+	base := []string{"a", "b", "c", "d"}
+	for trial := 0; trial < 30; trial++ {
+		root := randomPolicy(rng, base, 2)
+		dedupeAttrs(root)
+		m, err := Compile(root, testOrder)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sets, _ := root.MinimalSets(64)
+		if len(sets) == 0 {
+			t.Fatalf("trial %d (%s): no minimal sets", trial, root)
+		}
+		for _, s := range sets {
+			if !root.Evaluate(s) {
+				t.Fatalf("trial %d (%s): minimal set %v does not satisfy", trial, root, s)
+			}
+			if !m.Satisfies(s) {
+				t.Fatalf("trial %d (%s): matrix rejects minimal set %v", trial, root, s)
+			}
+			for drop := range s {
+				sub := append(append([]string{}, s[:drop]...), s[drop+1:]...)
+				if root.Evaluate(sub) {
+					t.Fatalf("trial %d (%s): %v is not minimal (drop %s still satisfies)",
+						trial, root, s, s[drop])
+				}
+			}
+		}
+	}
+}
+
+func TestMinimalSetsTruncation(t *testing.T) {
+	// 5-of-10 has C(10,5) = 252 minimal sets; cap at 10.
+	terms := make([]string, 10)
+	for i := range terms {
+		terms[i] = fmt.Sprintf("x%d", i)
+	}
+	root, err := Parse("5 of (" + strings.Join(terms, ", ") + ")")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets, truncated := root.MinimalSets(10)
+	if !truncated {
+		t.Fatal("expected truncation")
+	}
+	if len(sets) != 10 {
+		t.Fatalf("got %d sets, want 10", len(sets))
+	}
+	full, truncated := root.MinimalSets(0)
+	if truncated || len(full) != 252 {
+		t.Fatalf("full enumeration: %d sets (truncated=%v), want 252", len(full), truncated)
+	}
+}

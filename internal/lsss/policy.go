@@ -1,0 +1,348 @@
+package lsss
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Node is a node of a monotone access tree: either a leaf naming an
+// attribute, or a (Threshold, len(Children)) gate.
+type Node struct {
+	// Attr is the attribute name for a leaf node ("" for gates).
+	Attr string
+	// Threshold is the number of children that must be satisfied (gates
+	// only). AND over n children has Threshold n; OR has Threshold 1.
+	Threshold int
+	// Children are the sub-policies of a gate node (nil for leaves).
+	Children []*Node
+}
+
+// Errors produced by policy parsing and compilation.
+var (
+	ErrEmptyPolicy        = errors.New("lsss: empty policy")
+	ErrSyntax             = errors.New("lsss: policy syntax error")
+	ErrDuplicateAttribute = errors.New("lsss: duplicate attribute in policy (ρ must be injective)")
+	ErrBadThreshold       = errors.New("lsss: threshold out of range")
+)
+
+// IsLeaf reports whether n is an attribute leaf.
+func (n *Node) IsLeaf() bool { return len(n.Children) == 0 }
+
+// Leaf returns a leaf node for an attribute.
+func Leaf(attr string) *Node { return &Node{Attr: attr} }
+
+// And returns an AND gate over the given sub-policies.
+func And(children ...*Node) *Node {
+	return &Node{Threshold: len(children), Children: children}
+}
+
+// Or returns an OR gate over the given sub-policies.
+func Or(children ...*Node) *Node {
+	return &Node{Threshold: 1, Children: children}
+}
+
+// Threshold returns a k-of-n gate over the given sub-policies.
+func Threshold(k int, children ...*Node) *Node {
+	return &Node{Threshold: k, Children: children}
+}
+
+// String renders the tree back into the policy language. Single-child gates
+// collapse to the child so the rendering is a parse/render fixed point.
+func (n *Node) String() string {
+	if n.IsLeaf() {
+		return n.Attr
+	}
+	if len(n.Children) == 1 {
+		return n.Children[0].String()
+	}
+	parts := make([]string, len(n.Children))
+	for i, c := range n.Children {
+		parts[i] = c.String()
+	}
+	switch n.Threshold {
+	case 1:
+		return "(" + strings.Join(parts, " OR ") + ")"
+	case len(n.Children):
+		return "(" + strings.Join(parts, " AND ") + ")"
+	default:
+		return fmt.Sprintf("%d of (%s)", n.Threshold, strings.Join(parts, ", "))
+	}
+}
+
+// validate checks threshold ranges throughout the tree.
+func (n *Node) validate() error {
+	if n.IsLeaf() {
+		if n.Attr == "" {
+			return fmt.Errorf("%w: empty attribute name", ErrSyntax)
+		}
+		return nil
+	}
+	if n.Threshold < 1 || n.Threshold > len(n.Children) {
+		return fmt.Errorf("%w: %d of %d", ErrBadThreshold, n.Threshold, len(n.Children))
+	}
+	for _, c := range n.Children {
+		if err := c.validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Attributes returns the attribute names at the leaves, left to right.
+func (n *Node) Attributes() []string {
+	var out []string
+	n.walk(func(leaf *Node) {
+		out = append(out, leaf.Attr)
+	})
+	return out
+}
+
+func (n *Node) walk(visit func(leaf *Node)) {
+	if n.IsLeaf() {
+		visit(n)
+		return
+	}
+	for _, c := range n.Children {
+		c.walk(visit)
+	}
+}
+
+// ---- parser ----
+
+type tokenKind int
+
+const (
+	tokAttr tokenKind = iota + 1
+	tokAnd
+	tokOr
+	tokOf
+	tokNumber
+	tokLParen
+	tokRParen
+	tokComma
+	tokEOF
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+type lexer struct {
+	input string
+	pos   int
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.input) && (l.input[l.pos] == ' ' || l.input[l.pos] == '\t' || l.input[l.pos] == '\n') {
+		l.pos++
+	}
+	if l.pos >= len(l.input) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	switch c := l.input[l.pos]; {
+	case c == '(':
+		l.pos++
+		return token{kind: tokLParen, text: "(", pos: start}, nil
+	case c == ')':
+		l.pos++
+		return token{kind: tokRParen, text: ")", pos: start}, nil
+	case c == ',':
+		l.pos++
+		return token{kind: tokComma, text: ",", pos: start}, nil
+	case isWordByte(c):
+		for l.pos < len(l.input) && isWordByte(l.input[l.pos]) {
+			l.pos++
+		}
+		word := l.input[start:l.pos]
+		switch strings.ToUpper(word) {
+		case "AND":
+			return token{kind: tokAnd, text: word, pos: start}, nil
+		case "OR":
+			return token{kind: tokOr, text: word, pos: start}, nil
+		case "OF":
+			return token{kind: tokOf, text: word, pos: start}, nil
+		}
+		if isNumber(word) {
+			return token{kind: tokNumber, text: word, pos: start}, nil
+		}
+		return token{kind: tokAttr, text: word, pos: start}, nil
+	default:
+		return token{}, fmt.Errorf("%w: unexpected character %q at %d", ErrSyntax, c, start)
+	}
+}
+
+func isWordByte(c byte) bool {
+	return c == '_' || c == ':' || c == '.' || c == '-' || c == '@' || c == '#' ||
+		(c >= '0' && c <= '9') || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isNumber(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+type parser struct {
+	lex lexer
+	cur token
+}
+
+// Parse parses a policy expression into an access tree.
+//
+// Grammar (OR binds loosest, AND tighter, thresholds and parens tightest):
+//
+//	expr   := term ( OR term )*
+//	term   := factor ( AND factor )*
+//	factor := attr | '(' expr ')' | number OF '(' expr (',' expr)* ')'
+func Parse(policy string) (*Node, error) {
+	p := parser{lex: lexer{input: policy}}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if p.cur.kind == tokEOF {
+		return nil, ErrEmptyPolicy
+	}
+	node, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur.kind != tokEOF {
+		return nil, fmt.Errorf("%w: trailing input %q at %d", ErrSyntax, p.cur.text, p.cur.pos)
+	}
+	if err := node.validate(); err != nil {
+		return nil, err
+	}
+	return node, nil
+}
+
+func (p *parser) advance() error {
+	tok, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.cur = tok
+	return nil
+}
+
+func (p *parser) parseExpr() (*Node, error) {
+	left, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	children := []*Node{left}
+	for p.cur.kind == tokOr {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		next, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		children = append(children, next)
+	}
+	if len(children) == 1 {
+		return left, nil
+	}
+	return Or(children...), nil
+}
+
+func (p *parser) parseTerm() (*Node, error) {
+	left, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	children := []*Node{left}
+	for p.cur.kind == tokAnd {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		next, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		children = append(children, next)
+	}
+	if len(children) == 1 {
+		return left, nil
+	}
+	return And(children...), nil
+}
+
+func (p *parser) parseFactor() (*Node, error) {
+	switch p.cur.kind {
+	case tokAttr:
+		leaf := Leaf(p.cur.text)
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return leaf, nil
+	case tokLParen:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		node, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if p.cur.kind != tokRParen {
+			return nil, fmt.Errorf("%w: expected ')' at %d", ErrSyntax, p.cur.pos)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return node, nil
+	case tokNumber:
+		k := 0
+		for _, c := range p.cur.text {
+			k = k*10 + int(c-'0')
+			if k > 1<<20 {
+				return nil, fmt.Errorf("%w: threshold too large", ErrBadThreshold)
+			}
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.cur.kind != tokOf {
+			return nil, fmt.Errorf("%w: expected OF after threshold at %d", ErrSyntax, p.cur.pos)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.cur.kind != tokLParen {
+			return nil, fmt.Errorf("%w: expected '(' after OF at %d", ErrSyntax, p.cur.pos)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		var children []*Node
+		for {
+			child, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			children = append(children, child)
+			if p.cur.kind != tokComma {
+				break
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+		if p.cur.kind != tokRParen {
+			return nil, fmt.Errorf("%w: expected ')' at %d", ErrSyntax, p.cur.pos)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return Threshold(k, children...), nil
+	default:
+		return nil, fmt.Errorf("%w: unexpected token %q at %d", ErrSyntax, p.cur.text, p.cur.pos)
+	}
+}

@@ -1,0 +1,165 @@
+package lsss
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestParseSimpleAttr(t *testing.T) {
+	n, err := Parse("A:doctor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !n.IsLeaf() || n.Attr != "A:doctor" {
+		t.Fatalf("got %+v, want leaf A:doctor", n)
+	}
+}
+
+func TestParsePrecedenceAndOverOr(t *testing.T) {
+	n, err := Parse("a OR b AND c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Must parse as a OR (b AND c).
+	if n.IsLeaf() || n.Threshold != 1 || len(n.Children) != 2 {
+		t.Fatalf("root is %+v, want OR with 2 children", n)
+	}
+	right := n.Children[1]
+	if right.IsLeaf() || right.Threshold != 2 || len(right.Children) != 2 {
+		t.Fatalf("right child is %+v, want AND", right)
+	}
+}
+
+func TestParseParensOverridePrecedence(t *testing.T) {
+	n, err := Parse("(a OR b) AND c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Threshold != 2 || len(n.Children) != 2 {
+		t.Fatalf("root is %+v, want AND", n)
+	}
+	if n.Children[0].Threshold != 1 {
+		t.Fatalf("left child is %+v, want OR", n.Children[0])
+	}
+}
+
+func TestParseThresholdGate(t *testing.T) {
+	n, err := Parse("2 of (a, b, c)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Threshold != 2 || len(n.Children) != 3 {
+		t.Fatalf("got %+v, want 2-of-3", n)
+	}
+}
+
+func TestParseNestedThreshold(t *testing.T) {
+	n, err := Parse("x AND 2 of (a, b OR c, 3 of (d, e, f))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Threshold != 2 || len(n.Children) != 2 {
+		t.Fatalf("root: %+v", n)
+	}
+	th := n.Children[1]
+	if th.Threshold != 2 || len(th.Children) != 3 {
+		t.Fatalf("threshold gate: %+v", th)
+	}
+	inner := th.Children[2]
+	if inner.Threshold != 3 || len(inner.Children) != 3 {
+		t.Fatalf("inner gate: %+v", inner)
+	}
+}
+
+func TestParseCaseInsensitiveKeywords(t *testing.T) {
+	for _, policy := range []string{"a and b", "a AND b", "a And b"} {
+		n, err := Parse(policy)
+		if err != nil {
+			t.Fatalf("%q: %v", policy, err)
+		}
+		if n.Threshold != 2 {
+			t.Fatalf("%q: not an AND", policy)
+		}
+	}
+}
+
+func TestParseAttributeCharset(t *testing.T) {
+	n, err := Parse("hospital-1:chief_of-staff.v2@west")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Attr != "hospital-1:chief_of-staff.v2@west" {
+		t.Fatalf("attr mangled: %q", n.Attr)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]error{
+		"":               ErrEmptyPolicy,
+		"   ":            ErrEmptyPolicy,
+		"a AND":          ErrSyntax,
+		"AND a":          ErrSyntax,
+		"(a OR b":        ErrSyntax,
+		"a b":            ErrSyntax,
+		"a ** b":         ErrSyntax,
+		"4 of (a, b, c)": ErrBadThreshold,
+		"0 of (a, b)":    ErrBadThreshold,
+		"2 of a":         ErrSyntax,
+		"2 (a, b)":       ErrSyntax,
+		"a, b":           ErrSyntax,
+	}
+	for policy, want := range cases {
+		_, err := Parse(policy)
+		if err == nil {
+			t.Errorf("Parse(%q): expected error", policy)
+			continue
+		}
+		if !errors.Is(err, want) {
+			t.Errorf("Parse(%q): got %v, want %v", policy, err, want)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	for _, policy := range []string{
+		"a",
+		"(a AND b)",
+		"(a OR (b AND c))",
+		"2 of (a, b, c)",
+		"(x AND 2 of (a, (b OR c)))",
+	} {
+		n, err := Parse(policy)
+		if err != nil {
+			t.Fatalf("%q: %v", policy, err)
+		}
+		n2, err := Parse(n.String())
+		if err != nil {
+			t.Fatalf("re-parse %q: %v", n.String(), err)
+		}
+		if n2.String() != n.String() {
+			t.Errorf("unstable rendering: %q vs %q", n.String(), n2.String())
+		}
+	}
+}
+
+func TestAttributesInOrder(t *testing.T) {
+	n, err := Parse("a AND (b OR 2 of (c, d, e))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := strings.Join(n.Attributes(), ",")
+	if got != "a,b,c,d,e" {
+		t.Fatalf("Attributes() = %s", got)
+	}
+}
+
+func TestBuilderHelpers(t *testing.T) {
+	n := And(Leaf("a"), Or(Leaf("b"), Leaf("c")))
+	if err := n.validate(); err != nil {
+		t.Fatal(err)
+	}
+	if n.Threshold != 2 || n.Children[1].Threshold != 1 {
+		t.Fatalf("builders wrong: %+v", n)
+	}
+}

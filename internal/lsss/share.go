@@ -1,0 +1,157 @@
+package lsss
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+)
+
+// ErrNotSatisfied is returned by Reconstruct when the attribute set does not
+// satisfy the access structure.
+var ErrNotSatisfied = errors.New("lsss: attribute set does not satisfy the access structure")
+
+// Share splits secret s: it draws a random vector v = (s, y₂, …, yₙ) and
+// returns the shares λ_i = M_i · v, indexed like the matrix rows.
+func (m *Matrix) Share(secret *big.Int, rnd io.Reader) ([]*big.Int, error) {
+	v := make([]*big.Int, m.Cols)
+	v[0] = new(big.Int).Mod(secret, m.Order)
+	for j := 1; j < m.Cols; j++ {
+		y, err := rand.Int(rnd, m.Order)
+		if err != nil {
+			return nil, fmt.Errorf("share randomness: %w", err)
+		}
+		v[j] = y
+	}
+	return m.ShareWithVector(v)
+}
+
+// ShareWithVector computes λ_i = M_i · v for a caller-chosen vector; the
+// secret is v[0]. Exposed for schemes (Lewko) that also need shares of zero
+// with correlated randomness, and for deterministic tests.
+func (m *Matrix) ShareWithVector(v []*big.Int) ([]*big.Int, error) {
+	if len(v) != m.Cols {
+		return nil, fmt.Errorf("lsss: vector length %d ≠ %d columns", len(v), m.Cols)
+	}
+	shares := make([]*big.Int, len(m.Rows))
+	for i, row := range m.Rows {
+		acc := new(big.Int)
+		tmp := new(big.Int)
+		for j, c := range row {
+			acc.Add(acc, tmp.Mul(c, v[j]))
+		}
+		shares[i] = acc.Mod(acc, m.Order)
+	}
+	return shares, nil
+}
+
+// Satisfies reports whether the attribute set satisfies the access
+// structure.
+func (m *Matrix) Satisfies(attrs []string) bool {
+	_, err := m.Reconstruct(attrs)
+	return err == nil
+}
+
+// Reconstruct returns coefficients w indexed by row such that
+// Σ_{i : Rho[i] ∈ attrs} w[i]·M_i = (1, 0, …, 0); rows not labelled by attrs
+// get no entry. Decryption then computes the secret as Σ w[i]·λ_i.
+// It returns ErrNotSatisfied when no such coefficients exist.
+func (m *Matrix) Reconstruct(attrs []string) (map[int]*big.Int, error) {
+	have := make(map[string]bool, len(attrs))
+	for _, a := range attrs {
+		have[a] = true
+	}
+	var idx []int
+	for i, a := range m.Rho {
+		if have[a] {
+			idx = append(idx, i)
+		}
+	}
+	if len(idx) == 0 {
+		return nil, ErrNotSatisfied
+	}
+	// Solve wᵀ·M_I = e₁, i.e. (M_I)ᵀ·w = e₁: an m.Cols × len(idx) system.
+	rows := m.Cols
+	cols := len(idx)
+	a := make([][]*big.Int, rows)
+	for r := 0; r < rows; r++ {
+		a[r] = make([]*big.Int, cols+1)
+		for c := 0; c < cols; c++ {
+			a[r][c] = new(big.Int).Set(m.Rows[idx[c]][r])
+		}
+		a[r][cols] = new(big.Int)
+	}
+	a[0][cols].SetInt64(1)
+	sol, err := solve(a, rows, cols, m.Order)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[int]*big.Int, len(idx))
+	for c, i := range idx {
+		if sol[c].Sign() != 0 {
+			out[i] = sol[c]
+		}
+	}
+	if len(out) == 0 {
+		// All-zero solution can only happen if e₁ were zero; defensive.
+		return nil, ErrNotSatisfied
+	}
+	return out, nil
+}
+
+// solve performs Gaussian elimination on the augmented matrix a (rows ×
+// (cols+1)) over Z_order and returns one solution of A·x = b, or
+// ErrNotSatisfied if the system is inconsistent. Free variables are set
+// to zero.
+func solve(a [][]*big.Int, rows, cols int, order *big.Int) ([]*big.Int, error) {
+	pivotCol := make([]int, 0, rows)
+	r := 0
+	for c := 0; c < cols && r < rows; c++ {
+		// Find a pivot in column c at or below row r.
+		p := -1
+		for i := r; i < rows; i++ {
+			if a[i][c].Sign() != 0 {
+				p = i
+				break
+			}
+		}
+		if p == -1 {
+			continue
+		}
+		a[r], a[p] = a[p], a[r]
+		inv := new(big.Int).ModInverse(a[r][c], order)
+		for j := c; j <= cols; j++ {
+			a[r][j].Mul(a[r][j], inv)
+			a[r][j].Mod(a[r][j], order)
+		}
+		for i := 0; i < rows; i++ {
+			if i == r || a[i][c].Sign() == 0 {
+				continue
+			}
+			f := new(big.Int).Set(a[i][c])
+			tmp := new(big.Int)
+			for j := c; j <= cols; j++ {
+				tmp.Mul(f, a[r][j])
+				a[i][j].Sub(a[i][j], tmp)
+				a[i][j].Mod(a[i][j], order)
+			}
+		}
+		pivotCol = append(pivotCol, c)
+		r++
+	}
+	// Inconsistency check: a zero row with nonzero RHS.
+	for i := r; i < rows; i++ {
+		if a[i][cols].Sign() != 0 {
+			return nil, ErrNotSatisfied
+		}
+	}
+	sol := make([]*big.Int, cols)
+	for i := range sol {
+		sol[i] = new(big.Int)
+	}
+	for i, c := range pivotCol {
+		sol[c].Set(a[i][cols])
+	}
+	return sol, nil
+}

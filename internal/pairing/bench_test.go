@@ -1,0 +1,143 @@
+package pairing
+
+import (
+	"crypto/rand"
+	"math/big"
+	"testing"
+)
+
+// benchParams uses the paper-scale curve unless -short.
+func benchParams(b *testing.B) *Params {
+	b.Helper()
+	if testing.Short() {
+		return Test()
+	}
+	return Default()
+}
+
+func BenchmarkMillerLoop(b *testing.B) {
+	p := benchParams(b)
+	g := p.gen
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.miller(g, g)
+	}
+}
+
+func BenchmarkFinalExp(b *testing.B) {
+	p := benchParams(b)
+	f := p.miller(p.gen, p.gen)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.finalExp(f)
+	}
+}
+
+func BenchmarkFullPairing(b *testing.B) {
+	p := benchParams(b)
+	g := p.Generator()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.MustPair(g, g)
+	}
+}
+
+func BenchmarkPairProd4(b *testing.B) {
+	p := benchParams(b)
+	g := p.Generator()
+	as := make([]*G, 4)
+	bs := make([]*G, 4)
+	for i := range as {
+		ka, _ := p.RandomScalar(rand.Reader)
+		kb, _ := p.RandomScalar(rand.Reader)
+		as[i] = g.Exp(ka)
+		bs[i] = g.Exp(kb)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.PairProd(as, bs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExpJacobian(b *testing.B) {
+	p := benchParams(b)
+	k, _ := p.RandomScalar(rand.Reader)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.mulScalarJac(p.gen, k)
+	}
+}
+
+func BenchmarkExpAffine(b *testing.B) {
+	p := benchParams(b)
+	k, _ := p.RandomScalar(rand.Reader)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.mulScalarAffine(p.gen, k)
+	}
+}
+
+func BenchmarkExpFixedBase(b *testing.B) {
+	p := benchParams(b)
+	k, _ := p.RandomScalar(rand.Reader)
+	p.FixedBaseExp(k) // build the table outside the loop
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.FixedBaseExp(k)
+	}
+}
+
+func BenchmarkGTExpUnitary(b *testing.B) {
+	p := benchParams(b)
+	e := p.GTGenerator()
+	k, _ := p.RandomScalar(rand.Reader)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Exp(k)
+	}
+}
+
+func BenchmarkHashToG(b *testing.B) {
+	p := benchParams(b)
+	msg := []byte("med:doctor")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.HashToG(msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHashToScalar(b *testing.B) {
+	p := benchParams(b)
+	msg := []byte("med:doctor")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.HashToScalar(msg)
+	}
+}
+
+func BenchmarkGMarshalUnmarshal(b *testing.B) {
+	p := benchParams(b)
+	k, _ := p.RandomScalar(rand.Reader)
+	g := p.Generator().Exp(k)
+	data := g.Marshal()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.UnmarshalG(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFp2Mul(b *testing.B) {
+	p := benchParams(b)
+	x := p.GTGenerator().v
+	y := p.GTGenerator().Exp(big.NewInt(7)).v
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.fp2Mul(x, y)
+	}
+}

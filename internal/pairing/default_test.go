@@ -1,0 +1,57 @@
+package pairing
+
+import (
+	"crypto/rand"
+	"math/big"
+	"testing"
+)
+
+func TestDefaultParamsValid(t *testing.T) {
+	p := Default()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if got := p.R.BitLen(); got != 160 {
+		t.Errorf("default R bit length = %d, want 160 (paper's α-curve group order)", got)
+	}
+	if got := p.Q.BitLen(); got < 512 || got > 520 {
+		t.Errorf("default Q bit length = %d, want ≈512 (paper's α-curve base field)", got)
+	}
+	if Default() != p {
+		t.Error("Default() not memoized")
+	}
+}
+
+func TestTestParamsValid(t *testing.T) {
+	p := Test()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if got := p.R.BitLen(); got != 48 {
+		t.Errorf("test R bit length = %d, want 48", got)
+	}
+}
+
+func TestDefaultPairingBilinear(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size pairing in -short mode")
+	}
+	p := Default()
+	g := p.Generator()
+	a, err := p.RandomScalar(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.RandomScalar(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lhs := p.MustPair(g.Exp(a), g.Exp(b))
+	rhs := p.MustPair(g, g).Exp(new(big.Int).Mul(a, b))
+	if !lhs.Equal(rhs) {
+		t.Fatal("default params: e(g^a,g^b) ≠ e(g,g)^(ab)")
+	}
+	if lhs.IsOne() {
+		t.Fatal("default params: degenerate pairing value")
+	}
+}

@@ -1,0 +1,27 @@
+package pairing_test
+
+import (
+	"fmt"
+	"log"
+	"math/big"
+
+	"maacs/internal/pairing"
+)
+
+// Example demonstrates the bilinearity law e(g^a, g^b) = e(g,g)^(ab) on the
+// fast test curve, in the multiplicative notation the rest of the code uses.
+func Example() {
+	p := pairing.Test()
+	g := p.Generator()
+	a := big.NewInt(6)
+	b := big.NewInt(7)
+
+	lhs, err := p.Pair(g.Exp(a), g.Exp(b))
+	if err != nil {
+		log.Fatal(err)
+	}
+	rhs := p.GTGenerator().Exp(big.NewInt(42))
+	fmt.Println("e(g^6, g^7) == e(g,g)^42:", lhs.Equal(rhs))
+	// Output:
+	// e(g^6, g^7) == e(g,g)^42: true
+}

@@ -1,0 +1,51 @@
+package pairing
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnmarshalG asserts the point decoder never panics, never accepts an
+// element outside the order-r subgroup, and round-trips what it accepts.
+func FuzzUnmarshalG(f *testing.F) {
+	p := Test()
+	f.Add(p.Generator().Marshal())
+	f.Add(p.OneG().Marshal())
+	f.Add([]byte{})
+	f.Add([]byte{0x02})
+	f.Add(bytes.Repeat([]byte{0xFF}, p.GByteLen()))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := p.UnmarshalG(data)
+		if err != nil {
+			return
+		}
+		if !p.hasOrderDividingR(g.pt) {
+			t.Fatal("accepted point outside the subgroup")
+		}
+		back, err := p.UnmarshalG(g.Marshal())
+		if err != nil || !back.Equal(g) {
+			t.Fatal("accepted point does not round-trip")
+		}
+	})
+}
+
+// FuzzUnmarshalGT mirrors FuzzUnmarshalG for the target group.
+func FuzzUnmarshalGT(f *testing.F) {
+	p := Test()
+	f.Add(p.GTGenerator().Marshal())
+	f.Add([]byte{})
+	f.Add(make([]byte, p.GTByteLen()))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, err := p.UnmarshalGT(data)
+		if err != nil {
+			return
+		}
+		if !p.fp2Exp(v.v, p.R).isOne() {
+			t.Fatal("accepted GT element outside the subgroup")
+		}
+		back, err := p.UnmarshalGT(v.Marshal())
+		if err != nil || !back.Equal(v) {
+			t.Fatal("accepted GT element does not round-trip")
+		}
+	})
+}

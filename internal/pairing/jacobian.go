@@ -1,0 +1,171 @@
+package pairing
+
+import "math/big"
+
+// Jacobian-coordinate point arithmetic for scalar multiplication: a point
+// (X, Y, Z) represents the affine point (X/Z², Y/Z³). Doubling and addition
+// avoid the per-step modular inversion of the affine formulas, which makes
+// exponentiation in G several times faster. The Miller loop stays affine
+// (it needs the chord/tangent slopes explicitly); only scalar multiplication
+// routes through here. mulScalarAffine remains as the reference
+// implementation the tests cross-check against.
+
+// jacPoint is a Jacobian-projective point; inf is encoded as Z = 0.
+type jacPoint struct {
+	x, y, z *big.Int
+}
+
+func (j jacPoint) isInf() bool { return j.z.Sign() == 0 }
+
+func jacInfinity() jacPoint {
+	return jacPoint{x: big.NewInt(1), y: big.NewInt(1), z: new(big.Int)}
+}
+
+// toJac lifts an affine point.
+func toJac(pt point) jacPoint {
+	if pt.inf {
+		return jacInfinity()
+	}
+	return jacPoint{
+		x: new(big.Int).Set(pt.x),
+		y: new(big.Int).Set(pt.y),
+		z: big.NewInt(1),
+	}
+}
+
+// toAffine projects back, paying the single inversion.
+func (p *Params) toAffine(j jacPoint) point {
+	if j.isInf() {
+		return infinity()
+	}
+	zInv := new(big.Int).ModInverse(j.z, p.Q)
+	zInv2 := new(big.Int).Mul(zInv, zInv)
+	zInv2.Mod(zInv2, p.Q)
+	x := new(big.Int).Mul(j.x, zInv2)
+	x.Mod(x, p.Q)
+	zInv3 := zInv2.Mul(zInv2, zInv)
+	zInv3.Mod(zInv3, p.Q)
+	y := new(big.Int).Mul(j.y, zInv3)
+	y.Mod(y, p.Q)
+	return point{x: x, y: y}
+}
+
+// jacDouble doubles a Jacobian point on y² = x³ + x (a = 1):
+//
+//	M = 3X² + Z⁴,  S = 2((X+Y²)² − X² − Y⁴)
+//	X3 = M² − 2S,  Y3 = M(S − X3) − 8Y⁴,  Z3 = 2YZ
+func (p *Params) jacDouble(j jacPoint) jacPoint {
+	if j.isInf() || j.y.Sign() == 0 {
+		return jacInfinity()
+	}
+	q := p.Q
+	xx := new(big.Int).Mul(j.x, j.x)
+	xx.Mod(xx, q)
+	yy := new(big.Int).Mul(j.y, j.y)
+	yy.Mod(yy, q)
+	yyyy := new(big.Int).Mul(yy, yy)
+	yyyy.Mod(yyyy, q)
+	zz := new(big.Int).Mul(j.z, j.z)
+	zz.Mod(zz, q)
+
+	s := new(big.Int).Add(j.x, yy)
+	s.Mul(s, s)
+	s.Sub(s, xx)
+	s.Sub(s, yyyy)
+	s.Lsh(s, 1)
+	s.Mod(s, q)
+
+	m := new(big.Int).Lsh(xx, 1)
+	m.Add(m, xx) // 3X²
+	zz4 := new(big.Int).Mul(zz, zz)
+	m.Add(m, zz4) // + a·Z⁴ with a = 1
+	m.Mod(m, q)
+
+	x3 := new(big.Int).Mul(m, m)
+	x3.Sub(x3, new(big.Int).Lsh(s, 1))
+	x3.Mod(x3, q)
+
+	y3 := new(big.Int).Sub(s, x3)
+	y3.Mul(y3, m)
+	y3.Sub(y3, new(big.Int).Lsh(yyyy, 3))
+	y3.Mod(y3, q)
+
+	z3 := new(big.Int).Mul(j.y, j.z)
+	z3.Lsh(z3, 1)
+	z3.Mod(z3, q)
+
+	return jacPoint{x: x3, y: y3, z: z3}
+}
+
+// jacAddAffine adds an affine point (the fixed base of a scalar
+// multiplication) to a Jacobian accumulator using mixed addition:
+//
+//	U2 = x·Z², S2 = y·Z³, H = U2 − X, R = S2 − Y
+//	X3 = R² − H³ − 2XH², Y3 = R(XH² − X3) − YH³, Z3 = ZH
+func (p *Params) jacAddAffine(j jacPoint, a point) jacPoint {
+	if a.inf {
+		return j
+	}
+	if j.isInf() {
+		return toJac(a)
+	}
+	q := p.Q
+	zz := new(big.Int).Mul(j.z, j.z)
+	zz.Mod(zz, q)
+	u2 := new(big.Int).Mul(a.x, zz)
+	u2.Mod(u2, q)
+	zzz := new(big.Int).Mul(zz, j.z)
+	zzz.Mod(zzz, q)
+	s2 := new(big.Int).Mul(a.y, zzz)
+	s2.Mod(s2, q)
+
+	h := new(big.Int).Sub(u2, j.x)
+	h.Mod(h, q)
+	r := new(big.Int).Sub(s2, j.y)
+	r.Mod(r, q)
+	if h.Sign() == 0 {
+		if r.Sign() == 0 {
+			return p.jacDouble(j) // same point
+		}
+		return jacInfinity() // opposite points
+	}
+
+	hh := new(big.Int).Mul(h, h)
+	hh.Mod(hh, q)
+	hhh := new(big.Int).Mul(hh, h)
+	hhh.Mod(hhh, q)
+	v := new(big.Int).Mul(j.x, hh)
+	v.Mod(v, q)
+
+	x3 := new(big.Int).Mul(r, r)
+	x3.Sub(x3, hhh)
+	x3.Sub(x3, new(big.Int).Lsh(v, 1))
+	x3.Mod(x3, q)
+
+	y3 := new(big.Int).Sub(v, x3)
+	y3.Mul(y3, r)
+	t := new(big.Int).Mul(j.y, hhh)
+	y3.Sub(y3, t)
+	y3.Mod(y3, q)
+
+	z3 := new(big.Int).Mul(j.z, h)
+	z3.Mod(z3, q)
+
+	return jacPoint{x: x3, y: y3, z: z3}
+}
+
+// mulScalarJac computes k·pt (k ≥ 0, unreduced) with Jacobian doubling and
+// mixed additions.
+func (p *Params) mulScalarJac(pt point, k *big.Int) point {
+	if pt.inf || k.Sign() == 0 {
+		return infinity()
+	}
+	acc := jacInfinity()
+	for i := k.BitLen() - 1; i >= 0; i-- {
+		acc = p.jacDouble(acc)
+		if k.Bit(i) == 1 {
+			acc = p.jacAddAffine(acc, pt)
+		}
+	}
+	return p.toAffine(acc)
+}

@@ -1,0 +1,82 @@
+package pairing
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func TestJacobianMatchesAffineScalarMult(t *testing.T) {
+	p := Test()
+	g := p.gen
+	f := func(k64 uint64) bool {
+		k := new(big.Int).SetUint64(k64)
+		return p.mulScalarJac(g, k).equal(p.mulScalarAffine(g, k))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJacobianEdgeCases(t *testing.T) {
+	p := Test()
+	g := p.gen
+	cases := []*big.Int{
+		new(big.Int),                         // 0 → ∞
+		big.NewInt(1),                        // 1 → g
+		big.NewInt(2),                        // doubling only
+		big.NewInt(3),                        // double + add
+		new(big.Int).Sub(p.R, big.NewInt(1)), // r−1 → −g
+		new(big.Int).Set(p.R),                // r → ∞
+		new(big.Int).Add(p.R, big.NewInt(1)), // r+1 → g
+		new(big.Int).Set(p.H),                // the cofactor (raw, > r)
+	}
+	for _, k := range cases {
+		want := p.mulScalarAffine(g, k)
+		got := p.mulScalarJac(g, k)
+		if !got.equal(want) {
+			t.Fatalf("k=%v: jacobian %v ≠ affine %v", k, got, want)
+		}
+	}
+	// Infinity base.
+	if !p.mulScalarJac(infinity(), big.NewInt(7)).inf {
+		t.Fatal("7·∞ ≠ ∞")
+	}
+	// Two-torsion base: (0,0) doubles to ∞.
+	twoTor := point{x: new(big.Int), y: new(big.Int)}
+	if !p.mulScalarJac(twoTor, big.NewInt(2)).inf {
+		t.Fatal("2·(0,0) ≠ ∞ in jacobian path")
+	}
+	if !p.mulScalarJac(twoTor, big.NewInt(3)).equal(twoTor) {
+		t.Fatal("3·(0,0) ≠ (0,0) in jacobian path")
+	}
+}
+
+func TestJacAddAffineOppositePoints(t *testing.T) {
+	p := Test()
+	g := p.gen
+	j := toJac(g)
+	if !p.jacAddAffine(j, p.neg(g)).isInf() {
+		t.Fatal("g + (−g) ≠ ∞")
+	}
+	// Same point through mixed addition must fall back to doubling.
+	sum := p.toAffine(p.jacAddAffine(j, g))
+	if !sum.equal(p.double(g)) {
+		t.Fatal("mixed add of equal points ≠ doubling")
+	}
+}
+
+func TestJacRoundTrip(t *testing.T) {
+	p := Test()
+	f := func(k64 uint64) bool {
+		k := new(big.Int).SetUint64(k64)
+		pt := p.mulScalarAffine(p.gen, k)
+		return p.toAffine(toJac(pt)).equal(pt)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+	if !p.toAffine(jacInfinity()).inf {
+		t.Fatal("∞ round trip failed")
+	}
+}

@@ -1,0 +1,103 @@
+package pairing
+
+import (
+	"math/big"
+	"sync"
+)
+
+// This file holds performance extensions that go beyond what the paper's
+// evaluation used: a multi-pairing product that shares one final
+// exponentiation across Miller loops, and fixed-base exponentiation of the
+// generator with a precomputed window table. The scheme implementations use
+// the plain operations so their cost profiles match the paper; these
+// variants are exercised by the ablation benchmarks and are available to
+// API users who want the speed.
+
+// PairProd computes Π_i e(a_i, b_i) with a single final exponentiation:
+// the Miller-loop values multiply in F_q² before the (q²−1)/r power, which
+// is sound because the final exponentiation is a group homomorphism.
+func (p *Params) PairProd(as, bs []*G) (*GT, error) {
+	if len(as) != len(bs) {
+		return nil, ErrBadEncoding
+	}
+	acc := fp2One()
+	for i := range as {
+		if as[i].p != p || bs[i].p != p {
+			return nil, ErrMixedParams
+		}
+		if as[i].pt.inf || bs[i].pt.inf {
+			continue
+		}
+		acc = p.fp2Mul(acc, p.miller(as[i].pt, bs[i].pt))
+	}
+	return &GT{p: p, v: p.finalExp(acc)}, nil
+}
+
+// fixedBaseWindow is the window width in bits for the generator table.
+const fixedBaseWindow = 4
+
+// fixedBaseTable holds (w · 2^(windowIdx·window)) · gen for every window
+// position and window value, built lazily on first use.
+type fixedBaseTable struct {
+	once sync.Once
+	rows [][]point // rows[windowIdx][w]
+}
+
+var fixedTables sync.Map // *Params → *fixedBaseTable
+
+func (p *Params) fixedTable() *fixedBaseTable {
+	v, _ := fixedTables.LoadOrStore(p, &fixedBaseTable{})
+	t := v.(*fixedBaseTable)
+	t.once.Do(func() {
+		windows := (p.R.BitLen() + fixedBaseWindow - 1) / fixedBaseWindow
+		t.rows = make([][]point, windows)
+		base := p.gen.clone()
+		for j := 0; j < windows; j++ {
+			row := make([]point, 1<<fixedBaseWindow)
+			row[0] = infinity()
+			for w := 1; w < 1<<fixedBaseWindow; w++ {
+				row[w] = p.add(row[w-1], base)
+			}
+			t.rows[j] = row
+			// Advance base by 2^window doublings.
+			for d := 0; d < fixedBaseWindow; d++ {
+				base = p.double(base)
+			}
+		}
+	})
+	return t
+}
+
+// FixedBaseExp computes g^k for the generator g using the precomputed
+// window table: one point addition per window instead of a double-and-add
+// pass. k is reduced mod R.
+func (p *Params) FixedBaseExp(k *big.Int) *G {
+	kk := new(big.Int).Mod(k, p.R)
+	t := p.fixedTable()
+	acc := infinity()
+	words := kk.Bits()
+	bitLen := kk.BitLen()
+	for j := 0; j*fixedBaseWindow < bitLen || j == 0; j++ {
+		w := extractWindow(words, j*fixedBaseWindow)
+		if w != 0 {
+			acc = p.add(acc, t.rows[j][w])
+		}
+	}
+	return &G{p: p, pt: acc}
+}
+
+// extractWindow reads fixedBaseWindow bits starting at bit offset from the
+// little-endian word representation.
+func extractWindow(words []big.Word, offset int) int {
+	const wordBits = 32 << (^big.Word(0) >> 63) // 32 or 64
+	word := offset / wordBits
+	if word >= len(words) {
+		return 0
+	}
+	shift := offset % wordBits
+	v := uint(words[word] >> shift)
+	if shift+fixedBaseWindow > wordBits && word+1 < len(words) {
+		v |= uint(words[word+1]) << (wordBits - shift)
+	}
+	return int(v & (1<<fixedBaseWindow - 1))
+}

@@ -1,0 +1,97 @@
+package pairing
+
+import (
+	"crypto/rand"
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func TestPairProdMatchesProductOfPairs(t *testing.T) {
+	p := Test()
+	g := p.Generator()
+	for _, n := range []int{0, 1, 2, 5} {
+		as := make([]*G, n)
+		bs := make([]*G, n)
+		want := p.OneGT()
+		for i := 0; i < n; i++ {
+			a, _ := p.RandomScalar(rand.Reader)
+			b, _ := p.RandomScalar(rand.Reader)
+			as[i] = g.Exp(a)
+			bs[i] = g.Exp(b)
+			want = want.Mul(p.MustPair(as[i], bs[i]))
+		}
+		got, err := p.PairProd(as, bs)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("n=%d: PairProd ≠ Π Pair", n)
+		}
+	}
+}
+
+func TestPairProdSkipsIdentity(t *testing.T) {
+	p := Test()
+	g := p.Generator()
+	got, err := p.PairProd([]*G{p.OneG(), g}, []*G{g, g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(p.MustPair(g, g)) {
+		t.Fatal("identity pair contributed")
+	}
+}
+
+func TestPairProdValidatesInput(t *testing.T) {
+	p := Test()
+	g := p.Generator()
+	if _, err := p.PairProd([]*G{g}, nil); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	p2, err := GenerateParams(40, 80, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.PairProd([]*G{p2.Generator()}, []*G{g}); err == nil {
+		t.Fatal("mixed params accepted")
+	}
+}
+
+func TestFixedBaseExpMatchesExp(t *testing.T) {
+	p := Test()
+	g := p.Generator()
+	f := func(k64 uint64) bool {
+		k := new(big.Int).SetUint64(k64)
+		return p.FixedBaseExp(k).Equal(g.Exp(k))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+	// Edge cases.
+	for _, k := range []*big.Int{
+		new(big.Int),                         // 0
+		big.NewInt(1),                        // 1
+		new(big.Int).Sub(p.R, big.NewInt(1)), // r−1
+		new(big.Int).Set(p.R),                // r ≡ 0
+		new(big.Int).Neg(big.NewInt(5)),      // negative
+	} {
+		if !p.FixedBaseExp(k).Equal(g.Exp(k)) {
+			t.Fatalf("FixedBaseExp(%v) ≠ Exp", k)
+		}
+	}
+}
+
+func TestFixedBaseExpFullRangeDefault(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale table in -short mode")
+	}
+	p := Default()
+	k, err := p.RandomScalar(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.FixedBaseExp(k).Equal(p.Generator().Exp(k)) {
+		t.Fatal("fixed-base mismatch at paper scale")
+	}
+}

@@ -1,0 +1,218 @@
+package pairing
+
+import (
+	"crypto/rand"
+	"math/big"
+	"testing"
+)
+
+// freshParams generates small parameters for tests that need a brand-new
+// parameter set (most tests use the shared Test() parameters instead).
+func freshParams(t *testing.T) *Params {
+	t.Helper()
+	p, err := GenerateParams(40, 80, rand.Reader)
+	if err != nil {
+		t.Fatalf("GenerateParams: %v", err)
+	}
+	return p
+}
+
+func TestGenerateParamsValid(t *testing.T) {
+	p := freshParams(t)
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// q + 1 = h·r and q ≡ 3 mod 4 are re-checked by Validate; check sizes.
+	if got := p.R.BitLen(); got != 40 {
+		t.Errorf("R bit length = %d, want 40", got)
+	}
+	if got := p.Q.BitLen(); got < 72 || got > 88 {
+		t.Errorf("Q bit length = %d, want ≈80", got)
+	}
+}
+
+func TestGeneratorOnCurveAndOrder(t *testing.T) {
+	p := freshParams(t)
+	g := p.Generator()
+	if !p.onCurve(g.pt) {
+		t.Fatal("generator not on curve")
+	}
+	if !p.hasOrderDividingR(g.pt) {
+		t.Fatal("r·g ≠ ∞ (generator order does not divide r)")
+	}
+	if g.IsOne() {
+		t.Fatal("generator is the identity")
+	}
+}
+
+func TestPairingNonDegenerate(t *testing.T) {
+	p := freshParams(t)
+	g := p.Generator()
+	e := p.MustPair(g, g)
+	if e.IsOne() {
+		t.Fatal("e(g,g) = 1: pairing degenerate")
+	}
+	if !p.fp2Exp(e.v, p.R).isOne() {
+		t.Fatal("e(g,g)^r ≠ 1: pairing value outside order-r subgroup")
+	}
+}
+
+func TestPairingBilinear(t *testing.T) {
+	p := freshParams(t)
+	g := p.Generator()
+	for i := 0; i < 8; i++ {
+		a, err := p.RandomScalar(rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := p.RandomScalar(rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lhs := p.MustPair(g.Exp(a), g.Exp(b))
+		ab := new(big.Int).Mul(a, b)
+		rhs := p.MustPair(g, g).Exp(ab)
+		if !lhs.Equal(rhs) {
+			t.Fatalf("iteration %d: e(g^a, g^b) ≠ e(g,g)^(ab)", i)
+		}
+	}
+}
+
+func TestPairingDistributesOverMul(t *testing.T) {
+	p := freshParams(t)
+	g := p.Generator()
+	a, _ := p.RandomScalar(rand.Reader)
+	b, _ := p.RandomScalar(rand.Reader)
+	c, _ := p.RandomScalar(rand.Reader)
+	ga, gb, gc := g.Exp(a), g.Exp(b), g.Exp(c)
+	lhs := p.MustPair(ga.Mul(gb), gc)
+	rhs := p.MustPair(ga, gc).Mul(p.MustPair(gb, gc))
+	if !lhs.Equal(rhs) {
+		t.Fatal("e(g^a·g^b, g^c) ≠ e(g^a,g^c)·e(g^b,g^c)")
+	}
+}
+
+func TestPairingSymmetric(t *testing.T) {
+	p := freshParams(t)
+	g := p.Generator()
+	a, _ := p.RandomScalar(rand.Reader)
+	b, _ := p.RandomScalar(rand.Reader)
+	if !p.MustPair(g.Exp(a), g.Exp(b)).Equal(p.MustPair(g.Exp(b), g.Exp(a))) {
+		t.Fatal("pairing not symmetric")
+	}
+}
+
+func TestPairingIdentity(t *testing.T) {
+	p := freshParams(t)
+	g := p.Generator()
+	if !p.MustPair(p.OneG(), g).IsOne() {
+		t.Fatal("e(1, g) ≠ 1")
+	}
+	if !p.MustPair(g, p.OneG()).IsOne() {
+		t.Fatal("e(g, 1) ≠ 1")
+	}
+}
+
+func TestPairInverse(t *testing.T) {
+	p := freshParams(t)
+	g := p.Generator()
+	a, _ := p.RandomScalar(rand.Reader)
+	e1 := p.MustPair(g.Exp(a).Inv(), g)
+	e2 := p.MustPair(g.Exp(a), g).Inv()
+	if !e1.Equal(e2) {
+		t.Fatal("e(g^-a, g) ≠ e(g^a, g)^-1")
+	}
+}
+
+func TestPairRejectsMixedParams(t *testing.T) {
+	p1 := freshParams(t)
+	p2 := freshParams(t)
+	if _, err := p1.Pair(p1.Generator(), p2.Generator()); err == nil {
+		t.Fatal("Pair accepted elements from different parameter sets")
+	}
+}
+
+func TestHashToGInSubgroup(t *testing.T) {
+	p := freshParams(t)
+	for _, input := range []string{"", "a", "hello world", "AID1:doctor"} {
+		h, err := p.HashToG([]byte(input))
+		if err != nil {
+			t.Fatalf("HashToG(%q): %v", input, err)
+		}
+		if !p.hasOrderDividingR(h.pt) {
+			t.Fatalf("HashToG(%q) not in order-r subgroup", input)
+		}
+	}
+	// Determinism.
+	h1, _ := p.HashToG([]byte("x"))
+	h2, _ := p.HashToG([]byte("x"))
+	if !h1.Equal(h2) {
+		t.Fatal("HashToG not deterministic")
+	}
+	h3, _ := p.HashToG([]byte("y"))
+	if h1.Equal(h3) {
+		t.Fatal("HashToG collision on distinct inputs (overwhelmingly unlikely)")
+	}
+}
+
+func TestHashToScalarRangeAndDeterminism(t *testing.T) {
+	p := freshParams(t)
+	seen := make(map[string]bool)
+	for _, input := range []string{"", "a", "b", "doctor", "nurse"} {
+		k := p.HashToScalar([]byte(input))
+		if k.Sign() < 0 || k.Cmp(p.R) >= 0 {
+			t.Fatalf("HashToScalar(%q) out of range", input)
+		}
+		seen[k.String()] = true
+		if k2 := p.HashToScalar([]byte(input)); k2.Cmp(k) != 0 {
+			t.Fatalf("HashToScalar(%q) not deterministic", input)
+		}
+	}
+	if len(seen) != 5 {
+		t.Fatalf("HashToScalar collisions among 5 inputs: %d distinct", len(seen))
+	}
+}
+
+func TestExportRoundTrip(t *testing.T) {
+	p := freshParams(t)
+	q, r, h, gx, gy := p.Export()
+	p2, err := NewParams(q, r, h, gx, gy)
+	if err != nil {
+		t.Fatalf("NewParams round-trip: %v", err)
+	}
+	if !p2.hasOrderDividingR(p2.gen) {
+		t.Fatal("round-tripped generator wrong order")
+	}
+	if p2.Q.Cmp(p.Q) != 0 || p2.R.Cmp(p.R) != 0 || p2.H.Cmp(p.H) != 0 {
+		t.Fatal("round-tripped parameters differ")
+	}
+}
+
+func TestNewParamsRejectsBadInput(t *testing.T) {
+	p := freshParams(t)
+	q, r, h, gx, gy := p.Export()
+	cases := []struct {
+		name            string
+		q, r, h, gx, gy string
+	}{
+		{"garbage", "xyz", r, h, gx, gy},
+		{"wrong cofactor", q, r, "8", gx, gy},
+		{"off-curve generator", q, r, h, gx, "1"},
+		{"composite order", q, new(big.Int).Add(mustInt(r), big.NewInt(1)).String(), h, gx, gy},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := NewParams(tc.q, tc.r, tc.h, tc.gx, tc.gy); err == nil {
+				t.Fatal("NewParams accepted invalid input")
+			}
+		})
+	}
+}
+
+func mustInt(s string) *big.Int {
+	v, ok := new(big.Int).SetString(s, 10)
+	if !ok {
+		panic("bad int in test")
+	}
+	return v
+}

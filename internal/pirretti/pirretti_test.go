@@ -1,0 +1,156 @@
+package pirretti
+
+import (
+	"crypto/rand"
+	"errors"
+	"testing"
+
+	"maacs/internal/pairing"
+)
+
+func setup(t *testing.T) (*Authority, *pairing.Params) {
+	t.Helper()
+	p := pairing.Test()
+	a, err := NewAuthority(p, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, p
+}
+
+func encrypt(t *testing.T, a *Authority, p *pairing.Params, policy string) (*pairing.GT, *Ciphertext) {
+	t.Helper()
+	m, _, err := p.RandomGT(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := a.Encrypt(m, policy, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, ct
+}
+
+func TestEpochRoundTrip(t *testing.T) {
+	a, p := setup(t)
+	a.Grant("alice", []string{"doctor", "nurse"})
+	key, err := a.Issue("alice", rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ct := encrypt(t, a, p, "doctor AND nurse")
+	got, err := Decrypt(p, ct, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(m) {
+		t.Fatal("decryption mismatch")
+	}
+}
+
+func TestThresholdPolicyStamping(t *testing.T) {
+	a, p := setup(t)
+	a.Grant("alice", []string{"x", "z"})
+	key, err := a.Issue("alice", rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ct := encrypt(t, a, p, "2 of (x, y, z)")
+	got, err := Decrypt(p, ct, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(m) {
+		t.Fatal("threshold policy failed after epoch stamping")
+	}
+}
+
+// TestRevocationNotImmediate pins down the baseline's defining weakness: a
+// revoked user keeps access within the current epoch.
+func TestRevocationNotImmediate(t *testing.T) {
+	a, p := setup(t)
+	a.Grant("alice", []string{"doctor"})
+	key, err := a.Issue("alice", rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Revoke("alice", "doctor"); err != nil {
+		t.Fatal(err)
+	}
+	// Same epoch: the old key still opens data encrypted NOW.
+	m, ct := encrypt(t, a, p, "doctor")
+	got, err := Decrypt(p, ct, key)
+	if err != nil {
+		t.Fatalf("timed rekeying should NOT be immediate: %v", err)
+	}
+	if !got.Equal(m) {
+		t.Fatal("mismatch")
+	}
+}
+
+func TestRevocationTakesEffectNextEpoch(t *testing.T) {
+	a, p := setup(t)
+	a.Grant("alice", []string{"doctor"})
+	a.Grant("bob", []string{"doctor"})
+	if err := a.Revoke("alice", "doctor"); err != nil {
+		t.Fatal(err)
+	}
+	a.AdvanceEpoch()
+
+	aliceKey, err := a.Issue("alice", rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bobKey, err := a.Issue("bob", rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ct := encrypt(t, a, p, "doctor")
+	// Alice's refreshed key lacks doctor#1.
+	if got, err := Decrypt(p, ct, aliceKey); err == nil && got.Equal(m) {
+		t.Fatal("revoked user decrypts after epoch advance")
+	}
+	got, err := Decrypt(p, ct, bobKey)
+	if err != nil || !got.Equal(m) {
+		t.Fatalf("active user failed after refresh: %v", err)
+	}
+}
+
+func TestStaleKeyRejected(t *testing.T) {
+	a, p := setup(t)
+	a.Grant("alice", []string{"doctor"})
+	key, err := a.Issue("alice", rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.AdvanceEpoch()
+	_, ct := encrypt(t, a, p, "doctor")
+	if _, err := Decrypt(p, ct, key); !errors.Is(err, ErrStaleKey) {
+		t.Fatalf("got %v, want ErrStaleKey", err)
+	}
+}
+
+func TestRevokeValidation(t *testing.T) {
+	a, _ := setup(t)
+	if err := a.Revoke("ghost", "doctor"); !errors.Is(err, ErrUnknownUser) {
+		t.Fatalf("got %v, want ErrUnknownUser", err)
+	}
+	if _, err := a.Issue("ghost", rand.Reader); !errors.Is(err, ErrUnknownUser) {
+		t.Fatalf("got %v, want ErrUnknownUser", err)
+	}
+}
+
+func TestStampPolicy(t *testing.T) {
+	cases := map[string]string{
+		"doctor":              "doctor#3",
+		"a AND b":             "a#3 AND b#3",
+		"2 of (x, y, z)":      "2 of (x#3, y#3, z#3)",
+		"(a OR b) AND c":      "(a#3 OR b#3) AND c#3",
+		"med:doctor OR nurse": "med:doctor#3 OR nurse#3",
+	}
+	for in, want := range cases {
+		if got := stampPolicy(in, 3); got != want {
+			t.Errorf("stampPolicy(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,211 @@
+// Package waters implements Waters' single-authority CP-ABE (PKC 2011,
+// reference [3] of the paper — the construction the paper's own scheme and
+// security reduction build on). It serves two roles in this reproduction:
+// it is the "traditional single-authority CP-ABE" the introduction contrasts
+// with, and it is the substrate for the Hur–Noh revocation baseline in
+// internal/hur.
+//
+// Setup:    α, a ∈ Z_r; PK = (g, e(g,g)^α, g^a, H:attr→G); MSK = g^α
+// KeyGen:   t ∈ Z_r; K = g^α·g^(at), L = g^t, K_x = H(x)^t
+// Encrypt:  s, shares λ_i of s, per-row r_i:
+//
+//	C = m·e(g,g)^(αs), C' = g^s,
+//	C_i = g^(a·λ_i)·H(ρ(i))^(−r_i), D_i = g^(r_i)
+//
+// Decrypt:  e(C',K) / Π_i (e(C_i,L)·e(D_i,K_{ρ(i)}))^(w_i) = e(g,g)^(αs)
+package waters
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+
+	"maacs/internal/lsss"
+	"maacs/internal/pairing"
+)
+
+// Errors reported by the scheme.
+var (
+	ErrPolicyNotSatisfied = errors.New("waters: attributes do not satisfy the access policy")
+	ErrMissingKey         = errors.New("waters: key missing a required attribute component")
+)
+
+// PublicKey is the authority's public key.
+type PublicKey struct {
+	sys *pairing.Params
+	// EggAlpha is e(g,g)^α.
+	EggAlpha *pairing.GT
+	// GA is g^a.
+	GA *pairing.G
+}
+
+// MasterKey is the authority's master secret g^α (plus a for key issuing).
+type MasterKey struct {
+	GAlpha *pairing.G
+	A      *big.Int
+}
+
+// Authority couples the key pair with the pairing parameters.
+type Authority struct {
+	Params *pairing.Params
+	PK     *PublicKey
+	msk    *MasterKey
+}
+
+// SecretKey is a user's decryption key for an attribute set.
+type SecretKey struct {
+	K     *pairing.G
+	L     *pairing.G
+	KAttr map[string]*pairing.G
+}
+
+// Ciphertext is a Waters CP-ABE encryption of a G_T element.
+type Ciphertext struct {
+	Policy string
+	Matrix *lsss.Matrix
+	C      *pairing.GT
+	CPrime *pairing.G
+	Ci     []*pairing.G
+	Di     []*pairing.G
+}
+
+// Setup creates a single-authority CP-ABE system over the given pairing
+// parameters.
+func Setup(params *pairing.Params, rnd io.Reader) (*Authority, error) {
+	alpha, err := params.RandomScalar(rnd)
+	if err != nil {
+		return nil, fmt.Errorf("waters setup: %w", err)
+	}
+	a, err := params.RandomScalar(rnd)
+	if err != nil {
+		return nil, fmt.Errorf("waters setup: %w", err)
+	}
+	return &Authority{
+		Params: params,
+		PK: &PublicKey{
+			sys:      params,
+			EggAlpha: params.GTGenerator().Exp(alpha),
+			GA:       params.Generator().Exp(a),
+		},
+		msk: &MasterKey{
+			GAlpha: params.Generator().Exp(alpha),
+			A:      a,
+		},
+	}, nil
+}
+
+// hashAttr maps attribute names into G (the random-oracle h_x).
+func hashAttr(p *pairing.Params, attr string) (*pairing.G, error) {
+	return p.HashToG([]byte("waters-attr:" + attr))
+}
+
+// KeyGen issues a key for the attribute set.
+func (a *Authority) KeyGen(attrs []string, rnd io.Reader) (*SecretKey, error) {
+	p := a.Params
+	t, err := p.RandomScalar(rnd)
+	if err != nil {
+		return nil, fmt.Errorf("waters keygen: %w", err)
+	}
+	at := new(big.Int).Mul(a.msk.A, t)
+	sk := &SecretKey{
+		K:     a.msk.GAlpha.Mul(p.Generator().Exp(at)),
+		L:     p.Generator().Exp(t),
+		KAttr: make(map[string]*pairing.G, len(attrs)),
+	}
+	for _, x := range attrs {
+		h, err := hashAttr(p, x)
+		if err != nil {
+			return nil, err
+		}
+		sk.KAttr[x] = h.Exp(t)
+	}
+	return sk, nil
+}
+
+// Encrypt encrypts m under an LSSS policy.
+func Encrypt(pk *PublicKey, m *pairing.GT, policy string, rnd io.Reader) (*Ciphertext, error) {
+	matrix, err := lsss.CompilePolicy(policy, pk.sys.R)
+	if err != nil {
+		return nil, fmt.Errorf("waters encrypt: %w", err)
+	}
+	return EncryptMatrix(pk, m, policy, matrix, rnd)
+}
+
+// EncryptMatrix is Encrypt for a pre-compiled access structure.
+func EncryptMatrix(pk *PublicKey, m *pairing.GT, policy string, matrix *lsss.Matrix, rnd io.Reader) (*Ciphertext, error) {
+	p := pk.sys
+	s, err := p.RandomScalar(rnd)
+	if err != nil {
+		return nil, err
+	}
+	lambda, err := matrix.Share(s, rnd)
+	if err != nil {
+		return nil, err
+	}
+	l := len(matrix.Rho)
+	ct := &Ciphertext{
+		Policy: policy,
+		Matrix: matrix,
+		C:      m.Mul(pk.EggAlpha.Exp(s)),
+		CPrime: p.Generator().Exp(s),
+		Ci:     make([]*pairing.G, l),
+		Di:     make([]*pairing.G, l),
+	}
+	g := p.Generator()
+	for i, q := range matrix.Rho {
+		ri, err := p.RandomScalar(rnd)
+		if err != nil {
+			return nil, err
+		}
+		h, err := hashAttr(p, q)
+		if err != nil {
+			return nil, err
+		}
+		ct.Ci[i] = pk.GA.Exp(lambda[i]).Mul(h.Exp(new(big.Int).Neg(ri)))
+		ct.Di[i] = g.Exp(ri)
+	}
+	return ct, nil
+}
+
+// Decrypt recovers the message when sk's attributes satisfy the policy.
+func Decrypt(p *pairing.Params, ct *Ciphertext, sk *SecretKey) (*pairing.GT, error) {
+	held := make([]string, 0, len(sk.KAttr))
+	for q := range sk.KAttr {
+		held = append(held, q)
+	}
+	w, err := ct.Matrix.Reconstruct(held)
+	if err != nil {
+		if errors.Is(err, lsss.ErrNotSatisfied) {
+			return nil, fmt.Errorf("%w: %v", ErrPolicyNotSatisfied, err)
+		}
+		return nil, err
+	}
+	num, err := p.Pair(ct.CPrime, sk.K)
+	if err != nil {
+		return nil, err
+	}
+	den := p.OneGT()
+	for i, wi := range w {
+		q := ct.Matrix.Rho[i]
+		kx, ok := sk.KAttr[q]
+		if !ok {
+			return nil, fmt.Errorf("%w: %q", ErrMissingKey, q)
+		}
+		e1, err := p.Pair(ct.Ci[i], sk.L)
+		if err != nil {
+			return nil, err
+		}
+		e2, err := p.Pair(ct.Di[i], kx)
+		if err != nil {
+			return nil, err
+		}
+		den = den.Mul(e1.Mul(e2).Exp(wi))
+	}
+	return ct.C.Div(num.Div(den)), nil
+}
+
+// Size returns the cryptographic payload size: |G_T| + (2l+1)·|G|.
+func (ct *Ciphertext) Size(p *pairing.Params) int {
+	return p.GTByteLen() + (2*len(ct.Ci)+1)*p.GByteLen()
+}

@@ -1,0 +1,140 @@
+package waters
+
+import (
+	"crypto/rand"
+	"errors"
+	"testing"
+
+	"maacs/internal/pairing"
+)
+
+func setup(t *testing.T) (*Authority, *pairing.Params) {
+	t.Helper()
+	p := pairing.Test()
+	a, err := Setup(p, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, p
+}
+
+func TestEncryptDecrypt(t *testing.T) {
+	a, p := setup(t)
+	cases := []struct {
+		policy string
+		attrs  []string
+	}{
+		{"doctor", []string{"doctor"}},
+		{"doctor AND nurse", []string{"doctor", "nurse"}},
+		{"doctor OR nurse", []string{"nurse"}},
+		{"2 of (a, b, c)", []string{"a", "c"}},
+		{"(a OR b) AND (c OR d)", []string{"b", "d"}},
+	}
+	for _, tc := range cases {
+		m, _, err := p.RandomGT(rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ct, err := Encrypt(a.PK, m, tc.policy, rand.Reader)
+		if err != nil {
+			t.Fatalf("%q: %v", tc.policy, err)
+		}
+		sk, err := a.KeyGen(tc.attrs, rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Decrypt(p, ct, sk)
+		if err != nil {
+			t.Fatalf("%q: %v", tc.policy, err)
+		}
+		if !got.Equal(m) {
+			t.Fatalf("%q: decryption mismatch", tc.policy)
+		}
+	}
+}
+
+func TestDecryptFailsUnauthorized(t *testing.T) {
+	a, p := setup(t)
+	m, _, err := p.RandomGT(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := Encrypt(a.PK, m, "doctor AND nurse", rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk, err := a.KeyGen([]string{"doctor"}, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decrypt(p, ct, sk); !errors.Is(err, ErrPolicyNotSatisfied) {
+		t.Fatalf("got %v, want ErrPolicyNotSatisfied", err)
+	}
+}
+
+func TestCollusionResistance(t *testing.T) {
+	a, p := setup(t)
+	m, _, err := p.RandomGT(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := Encrypt(a.PK, m, "doctor AND nurse", rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk1, err := a.KeyGen([]string{"doctor"}, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk2, err := a.KeyGen([]string{"nurse"}, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pool components across the two keys (different t values).
+	pooled := &SecretKey{
+		K:     sk1.K,
+		L:     sk1.L,
+		KAttr: map[string]*pairing.G{"doctor": sk1.KAttr["doctor"], "nurse": sk2.KAttr["nurse"]},
+	}
+	if got, err := Decrypt(p, ct, pooled); err == nil && got.Equal(m) {
+		t.Fatal("collusion succeeded: keys with different t combined")
+	}
+}
+
+func TestDistinctKeysBothWork(t *testing.T) {
+	a, p := setup(t)
+	m, _, err := p.RandomGT(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := Encrypt(a.PK, m, "doctor", rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		sk, err := a.KeyGen([]string{"doctor"}, rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Decrypt(p, ct, sk)
+		if err != nil || !got.Equal(m) {
+			t.Fatalf("key %d failed: %v", i, err)
+		}
+	}
+}
+
+func TestCiphertextSize(t *testing.T) {
+	a, p := setup(t)
+	m, _, err := p.RandomGT(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := Encrypt(a.PK, m, "a AND b", rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := p.GTByteLen() + (2*2+1)*p.GByteLen()
+	if got := ct.Size(p); got != want {
+		t.Fatalf("size = %d, want %d", got, want)
+	}
+}

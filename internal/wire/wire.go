@@ -1,0 +1,150 @@
+// Package wire provides a minimal, dependency-free binary codec used to
+// serialize keys, ciphertexts and protocol messages: length-prefixed byte
+// strings and unsigned varints, with explicit error accumulation on decode
+// so callers check a single error at the end.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Errors reported on decode.
+var (
+	ErrTruncated = errors.New("wire: truncated input")
+	ErrOversized = errors.New("wire: declared length exceeds input")
+	ErrTrailing  = errors.New("wire: trailing bytes after message")
+)
+
+// Encoder accumulates a message. The zero value is ready to use.
+type Encoder struct {
+	buf []byte
+}
+
+// Bytes returns the encoded message.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Uvarint appends an unsigned varint.
+func (e *Encoder) Uvarint(v uint64) {
+	e.buf = binary.AppendUvarint(e.buf, v)
+}
+
+// Int appends a non-negative int as a uvarint.
+func (e *Encoder) Int(v int) {
+	if v < 0 {
+		panic(fmt.Sprintf("wire: negative int %d", v))
+	}
+	e.Uvarint(uint64(v))
+}
+
+// Blob appends a length-prefixed byte string.
+func (e *Encoder) Blob(b []byte) {
+	e.Uvarint(uint64(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// String appends a length-prefixed string.
+func (e *Encoder) String(s string) {
+	e.Uvarint(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// Decoder consumes a message produced by Encoder. Errors stick: after the
+// first failure every accessor returns zero values and Err reports the
+// cause.
+type Decoder struct {
+	data []byte
+	off  int
+	err  error
+}
+
+// NewDecoder wraps an encoded message.
+func NewDecoder(data []byte) *Decoder {
+	return &Decoder{data: data}
+}
+
+// Err returns the first decoding error, if any.
+func (d *Decoder) Err() error { return d.err }
+
+// Done reports success and that the input was fully consumed.
+func (d *Decoder) Done() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(d.data) {
+		return fmt.Errorf("%w: %d bytes left", ErrTrailing, len(d.data)-d.off)
+	}
+	return nil
+}
+
+func (d *Decoder) fail(err error) {
+	if d.err == nil {
+		d.err = err
+	}
+}
+
+// Uvarint reads an unsigned varint.
+func (d *Decoder) Uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.data[d.off:])
+	if n <= 0 {
+		d.fail(ErrTruncated)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// Int reads a non-negative int.
+func (d *Decoder) Int() int {
+	v := d.Uvarint()
+	if v > math.MaxInt32 {
+		d.fail(fmt.Errorf("%w: int %d too large", ErrOversized, v))
+		return 0
+	}
+	return int(v)
+}
+
+// Count reads an element count and validates it against the remaining
+// input: each counted element must occupy at least minBytesPerItem bytes, so
+// a forged count can never make the caller loop past the message. Use this
+// instead of Int for loop bounds.
+func (d *Decoder) Count(minBytesPerItem int) int {
+	n := d.Int()
+	if d.err != nil {
+		return 0
+	}
+	if minBytesPerItem < 1 {
+		minBytesPerItem = 1
+	}
+	if n > (len(d.data)-d.off)/minBytesPerItem {
+		d.fail(fmt.Errorf("%w: count %d exceeds remaining input", ErrOversized, n))
+		return 0
+	}
+	return n
+}
+
+// Blob reads a length-prefixed byte string. The returned slice aliases the
+// input.
+func (d *Decoder) Blob() []byte {
+	n := d.Uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(len(d.data)-d.off) {
+		d.fail(ErrOversized)
+		return nil
+	}
+	out := d.data[d.off : d.off+int(n)]
+	d.off += int(n)
+	return out
+}
+
+// String reads a length-prefixed string.
+func (d *Decoder) String() string {
+	return string(d.Blob())
+}

@@ -1,0 +1,117 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	f := func(a uint64, b []byte, s string, n uint16) bool {
+		var e Encoder
+		e.Uvarint(a)
+		e.Blob(b)
+		e.String(s)
+		e.Int(int(n))
+
+		d := NewDecoder(e.Bytes())
+		if d.Uvarint() != a {
+			return false
+		}
+		if !bytes.Equal(d.Blob(), b) {
+			return false
+		}
+		if d.String() != s {
+			return false
+		}
+		if d.Int() != int(n) {
+			return false
+		}
+		return d.Done() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmptyMessage(t *testing.T) {
+	var e Encoder
+	d := NewDecoder(e.Bytes())
+	if err := d.Done(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTruncated(t *testing.T) {
+	var e Encoder
+	e.Blob([]byte("hello"))
+	data := e.Bytes()
+	d := NewDecoder(data[:2])
+	d.Blob()
+	if err := d.Done(); !errors.Is(err, ErrOversized) && !errors.Is(err, ErrTruncated) {
+		t.Fatalf("got %v, want truncation error", err)
+	}
+}
+
+func TestOversizedLength(t *testing.T) {
+	// Declared length 1000, only 2 bytes of payload.
+	var e Encoder
+	e.Uvarint(1000)
+	e.buf = append(e.buf, 0x1, 0x2)
+	d := NewDecoder(e.Bytes())
+	if d.Blob() != nil {
+		t.Fatal("Blob returned data for oversized length")
+	}
+	if !errors.Is(d.Err(), ErrOversized) {
+		t.Fatalf("got %v, want ErrOversized", d.Err())
+	}
+}
+
+func TestTrailingBytes(t *testing.T) {
+	var e Encoder
+	e.Uvarint(7)
+	e.buf = append(e.buf, 0xFF)
+	d := NewDecoder(e.Bytes())
+	d.Uvarint()
+	if err := d.Done(); !errors.Is(err, ErrTrailing) {
+		t.Fatalf("got %v, want ErrTrailing", err)
+	}
+}
+
+func TestErrorsStick(t *testing.T) {
+	d := NewDecoder(nil)
+	d.Uvarint() // fails: empty input
+	if d.Err() == nil {
+		t.Fatal("no error recorded")
+	}
+	first := d.Err()
+	d.Blob()
+	_ = d.String()
+	if d.Err() != first {
+		t.Fatal("error was overwritten")
+	}
+	if d.Blob() != nil || d.String() != "" || d.Uvarint() != 0 {
+		t.Fatal("accessors returned non-zero values after error")
+	}
+}
+
+func TestIntRejectsHuge(t *testing.T) {
+	var e Encoder
+	e.Uvarint(1 << 40)
+	d := NewDecoder(e.Bytes())
+	d.Int()
+	if !errors.Is(d.Err(), ErrOversized) {
+		t.Fatalf("got %v, want ErrOversized", d.Err())
+	}
+}
+
+func TestIntPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Int(-1) did not panic")
+		}
+	}()
+	var e Encoder
+	e.Int(-1)
+}

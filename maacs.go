@@ -1,0 +1,122 @@
+// Package maacs is a Go implementation of multi-authority attribute-based
+// access control for cloud storage, reproducing Yang & Jia, "Attribute-based
+// Access Control for Multi-Authority Systems in Cloud Storage" (ICDCS 2012).
+//
+// The package offers two levels of API:
+//
+//   - A deployment-level API (Environment, Authority, Owner, User, the cloud
+//     Server) that wires the paper's Fig. 1 system model: register
+//     authorities and users, upload records split into policy-guarded
+//     components (Fig. 2), download with fine-grained access, and revoke
+//     attributes end to end (key update + server-side proxy re-encryption).
+//
+//   - The raw scheme primitives (CA, AA, DataOwner, Ciphertext, Decrypt,
+//     ReEncrypt, …) for callers that want to drive the eight algorithms of
+//     the paper directly.
+//
+// Quick start:
+//
+//	env := maacs.NewEnvironment()
+//	med, _ := env.AddAuthority("med", []string{"doctor", "nurse"})
+//	hospital, _ := env.AddOwner("hospital")
+//	alice, _ := env.AddUser("alice")
+//	med.GrantAttributes(alice, []string{"doctor"})
+//	hospital.Upload("rec1", []maacs.UploadComponent{
+//	    {Label: "diagnosis", Data: data, Policy: "med:doctor"},
+//	})
+//	plaintext, err := alice.Download("rec1", "diagnosis")
+//
+// The cryptography (a Type-A symmetric pairing, LSSS policies, the
+// multi-authority CP-ABE with revocation, and the Lewko–Waters, Waters and
+// Hur–Noh baselines) is implemented from scratch on the Go standard library;
+// see DESIGN.md. It is a research reproduction and is NOT constant-time —
+// do not protect real data with it.
+package maacs
+
+import (
+	"crypto/rand"
+
+	"maacs/internal/cloud"
+	"maacs/internal/core"
+	"maacs/internal/pairing"
+)
+
+// Deployment-level types (the Fig. 1 system model).
+type (
+	// Environment is a wired deployment: CA, authorities, owners, users and
+	// the cloud server, with per-channel communication accounting.
+	Environment = cloud.Env
+	// Authority is a deployed attribute authority.
+	Authority = cloud.Authority
+	// Owner is a deployed data owner.
+	Owner = cloud.OwnerClient
+	// User is a deployed data consumer.
+	User = cloud.UserClient
+	// Server is the cloud storage server.
+	Server = cloud.Server
+	// Record is a stored data record in the paper's Fig. 2 format.
+	Record = cloud.Record
+	// UploadComponent is one data component with its access policy.
+	UploadComponent = cloud.UploadComponent
+	// RevocationReport summarizes one end-to-end attribute revocation.
+	RevocationReport = cloud.RevocationReport
+	// Accounting meters bytes per communication channel (Table IV).
+	Accounting = cloud.Accounting
+)
+
+// Scheme-level types (the paper's eight algorithms live on these).
+type (
+	// System carries the global bilinear-group parameters.
+	System = core.System
+	// CA is the certificate authority (global Setup).
+	CA = core.CA
+	// AA is a raw attribute authority (AAGen, KeyGen, ReKey).
+	AA = core.AA
+	// DataOwner is a raw data owner (OwnerGen, Encrypt, update info).
+	DataOwner = core.Owner
+	// Ciphertext is a CP-ABE ciphertext (of a content key).
+	Ciphertext = core.Ciphertext
+	// SecretKey is a user decryption key from one authority.
+	SecretKey = core.SecretKey
+	// UpdateKey carries (UK1, UK2) from one ReKey operation.
+	UpdateKey = core.UpdateKey
+	// UpdateInfo is the owner-generated re-encryption information.
+	UpdateInfo = core.UpdateInfo
+	// UserPublicKey is a user's global identity key PK_UID = g^u.
+	UserPublicKey = core.UserPublicKey
+	// Attribute is a qualified (AID, name) attribute.
+	Attribute = core.Attribute
+)
+
+// Errors re-exported for matching with errors.Is.
+var (
+	// ErrNoAccess reports a failed download (policy not satisfied or keys
+	// stale).
+	ErrNoAccess = cloud.ErrNoAccess
+	// ErrPolicyNotSatisfied reports a CP-ABE decryption the user's
+	// attributes cannot perform.
+	ErrPolicyNotSatisfied = core.ErrPolicyNotSatisfied
+	// ErrVersionMismatch reports stale keys or ciphertexts after a
+	// revocation.
+	ErrVersionMismatch = core.ErrVersionMismatch
+)
+
+// NewEnvironment creates a deployment at the paper's security scale
+// (160-bit group order, 512-bit base field — the PBC α-curve sizes used in
+// the paper's evaluation).
+func NewEnvironment() *Environment {
+	return cloud.NewEnv(core.NewSystem(pairing.Default()), rand.Reader)
+}
+
+// NewDemoEnvironment creates a deployment over small, cryptographically
+// worthless parameters that runs two orders of magnitude faster. Use it for
+// demos and tests only.
+func NewDemoEnvironment() *Environment {
+	return cloud.NewEnv(core.NewSystem(pairing.Test()), rand.Reader)
+}
+
+// NewSystem returns the raw scheme-level system at paper scale, for callers
+// driving the eight algorithms (core.Decrypt, core.ReEncrypt, …) directly.
+func NewSystem() *System {
+	return core.NewSystem(pairing.Default())
+}

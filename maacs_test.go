@@ -1,0 +1,101 @@
+package maacs
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// TestPublicAPIEndToEnd drives the facade the way README's quick start does,
+// over the fast demo parameters.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	env := NewDemoEnvironment()
+	med, err := env.AddAuthority("med", []string{"doctor", "nurse"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trial, err := env.AddAuthority("trial", []string{"researcher"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hospital, err := env.AddOwner("hospital")
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice, err := env.AddUser("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := med.GrantAttributes(alice, []string{"doctor"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := trial.GrantAttributes(alice, []string{"researcher"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hospital.Upload("rec1", []UploadComponent{
+		{Label: "diagnosis", Data: []byte("hypertension"), Policy: "med:doctor AND trial:researcher"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := alice.Download("rec1", "diagnosis")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte("hypertension")) {
+		t.Fatalf("got %q", got)
+	}
+
+	// Revoke and verify the exported error surfaces.
+	if _, err := med.RevokeAttribute("alice", "doctor"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := alice.Download("rec1", "diagnosis"); !errors.Is(err, ErrNoAccess) {
+		t.Fatalf("got %v, want ErrNoAccess", err)
+	}
+}
+
+// TestNewSystemExposesSchemePrimitives checks the scheme-level entry point.
+func TestNewSystemExposesSchemePrimitives(t *testing.T) {
+	sys := NewSystem()
+	if sys == nil || sys.Params == nil {
+		t.Fatal("NewSystem returned incomplete system")
+	}
+	if got := sys.Params.R.BitLen(); got != 160 {
+		t.Fatalf("paper-scale group order is %d bits, want 160", got)
+	}
+}
+
+// TestPaperScaleSmoke exercises the default (512-bit) parameters once so the
+// published API is verified at the paper's security level, not just the toy
+// curve.
+func TestPaperScaleSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale crypto in -short mode")
+	}
+	env := NewEnvironment()
+	aa, err := env.AddAuthority("a", []string{"x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner, err := env.AddOwner("o")
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := env.AddUser("u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := aa.GrantAttributes(u, []string{"x"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := owner.Upload("r", []UploadComponent{{Label: "d", Data: []byte("v"), Policy: "a:x"}}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := u.Download("r", "d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte("v")) {
+		t.Fatalf("got %q", got)
+	}
+}
