@@ -39,13 +39,14 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("maacs-bench", flag.ContinueOnError)
-	what := fs.String("what", "tables,fig3,fig4,revocation,ablation,scale", "comma-separated experiments to run")
+	what := fs.String("what", "tables,fig3,fig4,revocation,ablation,scale,engine", "comma-separated experiments to run")
 	points := fs.String("points", "2,5,8,11,14,17,20", "sweep values for the figures (paper: 2..20)")
 	fixed := fs.Int("fixed", 5, "value of the non-swept axis (paper: 5)")
 	trials := fs.Int("trials", 2, "trials per sweep point (paper: 20)")
 	ciphertexts := fs.Int("ciphertexts", 4, "stored ciphertexts in the revocation experiment")
 	fast := fs.Bool("fast", false, "use the small test curve instead of paper-scale parameters")
 	csvDir := fs.String("csv", "", "directory to write CSV series into (optional)")
+	engineJSON := fs.String("engine-json", "BENCH_engine.json", "output path for the engine serial-vs-parallel report")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -147,6 +148,26 @@ func run(args []string, out io.Writer) error {
 		points := bench.ScaleSweep(params, []int{8, 64, 512, 4096, 32768}, *fixed)
 		bench.RenderScale(out, points, *fixed)
 		fmt.Fprintln(out)
+	}
+
+	if want["engine"] {
+		report, err := bench.MeasureEngine(params, rand.Reader, []int{2, 4, 6, 8, 10}, *trials, *ciphertexts*2)
+		if err != nil {
+			return fmt.Errorf("engine: %w", err)
+		}
+		report.Render(out)
+		f, err := os.Create(*engineJSON)
+		if err != nil {
+			return err
+		}
+		if err := report.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "  wrote %s\n\n", *engineJSON)
 	}
 	return nil
 }

@@ -1,0 +1,214 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"maacs/internal/cloud"
+	"maacs/internal/core"
+	"maacs/internal/engine"
+	"maacs/internal/pairing"
+)
+
+// EnginePoint is one measured (attribute count, operation) cell of the
+// engine comparison: the same work run on the inline serial path
+// (workers=1) and on the pool at its default width.
+type EnginePoint struct {
+	// Attrs is the number of policy rows / attributes involved.
+	Attrs int `json:"attrs"`
+	// Op is "encrypt", "decrypt" or "reencrypt".
+	Op string `json:"op"`
+	// SerialNs and ParallelNs are the best-of-trials wall times.
+	SerialNs   int64 `json:"serial_ns"`
+	ParallelNs int64 `json:"parallel_ns"`
+	// Speedup is SerialNs / ParallelNs.
+	Speedup float64 `json:"speedup"`
+}
+
+// EngineReport is the machine-readable result of MeasureEngine, written to
+// BENCH_engine.json. GOMAXPROCS is recorded because the speedups only mean
+// something relative to it: on a single-core host the pool degrades to the
+// serial path and speedups hover around 1.0 by construction.
+type EngineReport struct {
+	GOMAXPROCS  int           `json:"gomaxprocs"`
+	Workers     int           `json:"workers"`
+	RBits       int           `json:"r_bits"`
+	QBits       int           `json:"q_bits"`
+	Trials      int           `json:"trials"`
+	Ciphertexts int           `json:"reencrypt_ciphertexts"`
+	Points      []EnginePoint `json:"points"`
+}
+
+// timeBest runs f trials times under the given worker count and returns the
+// fastest wall time — the standard way to strip scheduler noise from
+// single-shot measurements.
+func timeBest(workers, trials int, f func() error) (time.Duration, error) {
+	restore := engine.SetWorkers(workers)
+	defer restore()
+	best := time.Duration(0)
+	for t := 0; t < trials; t++ {
+		start := time.Now()
+		if err := f(); err != nil {
+			return 0, err
+		}
+		d := time.Since(start)
+		if best == 0 || d < best {
+			best = d
+		}
+	}
+	return best, nil
+}
+
+// measurePair times f serially (workers=1) and on the default-width pool,
+// and appends the resulting point.
+func (r *EngineReport) measurePair(attrs int, op string, trials int, f func() error) error {
+	serial, err := timeBest(1, trials, f)
+	if err != nil {
+		return fmt.Errorf("%s/%d serial: %w", op, attrs, err)
+	}
+	parallel, err := timeBest(0, trials, f)
+	if err != nil {
+		return fmt.Errorf("%s/%d parallel: %w", op, attrs, err)
+	}
+	r.Points = append(r.Points, EnginePoint{
+		Attrs:      attrs,
+		Op:         op,
+		SerialNs:   serial.Nanoseconds(),
+		ParallelNs: parallel.Nanoseconds(),
+		Speedup:    float64(serial.Nanoseconds()) / float64(parallel.Nanoseconds()),
+	})
+	return nil
+}
+
+// reencryptWorkload builds one full revocation scenario: numCTs ciphertexts
+// stored on a cloud server, a rekeyed authority, and the owner-side update
+// information — everything Server.ReEncrypt consumes. It returns a closure
+// that performs the re-encryption once (on fresh clones each call, so it can
+// be timed repeatedly).
+func reencryptWorkload(cfg Config, numCTs int) (func() error, error) {
+	w, err := SetupOurs(cfg)
+	if err != nil {
+		return nil, err
+	}
+	cts := make([]*core.Ciphertext, numCTs)
+	for i := range cts {
+		ct, _, err := w.Encrypt()
+		if err != nil {
+			return nil, err
+		}
+		cts[i] = ct
+	}
+	aa := w.AAs[0]
+	fromV, _, err := aa.Rekey(cfg.Rnd)
+	if err != nil {
+		return nil, err
+	}
+	uk, err := aa.UpdateKeyFor(w.Owner.SecretKeyForAAs(), fromV)
+	if err != nil {
+		return nil, err
+	}
+	uiList, err := w.Owner.RevocationUpdate(uk, cts)
+	if err != nil {
+		return nil, err
+	}
+	uis := make(map[string]*core.UpdateInfo, len(uiList))
+	for i, ui := range uiList {
+		if ui != nil {
+			uis[cts[i].ID] = ui
+		}
+	}
+
+	return func() error {
+		// Fresh server each call: ReEncrypt mutates stored records, and the
+		// version bump makes a second application fail by design.
+		srv := cloud.NewServer(w.Sys, cloud.NewAccounting())
+		for i, ct := range cts {
+			rec := &cloud.Record{
+				ID:      fmt.Sprintf("rec%02d", i),
+				OwnerID: w.Owner.ID(),
+				Components: []cloud.StoredComponent{
+					{Label: "data", CT: ct.Clone()},
+				},
+			}
+			if err := srv.Store(rec); err != nil {
+				return err
+			}
+		}
+		n, _, err := srv.ReEncrypt(w.Owner.ID(), uis, uk)
+		if err != nil {
+			return err
+		}
+		if n != numCTs {
+			return fmt.Errorf("bench: re-encrypted %d of %d ciphertexts", n, numCTs)
+		}
+		return nil
+	}, nil
+}
+
+// MeasureEngine produces the serial-vs-parallel comparison behind
+// BENCH_engine.json: encryption, decryption (Eq. 1 path) and server-side
+// re-encryption at each attribute count, timed on the inline serial path and
+// on the engine pool.
+func MeasureEngine(params *pairing.Params, rnd io.Reader, attrCounts []int, trials, numCTs int) (*EngineReport, error) {
+	report := &EngineReport{
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Workers:     engine.New(0).Workers(),
+		RBits:       params.R.BitLen(),
+		QBits:       params.Q.BitLen(),
+		Trials:      trials,
+		Ciphertexts: numCTs,
+	}
+	for _, n := range attrCounts {
+		cfg := Config{Params: params, Authorities: 1, AttrsPerAuthority: n, Rnd: rnd}
+		w, err := SetupOurs(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("engine bench setup n=%d: %w", n, err)
+		}
+		if err := report.measurePair(n, "encrypt", trials, func() error {
+			_, _, err := w.Encrypt()
+			return err
+		}); err != nil {
+			return nil, err
+		}
+		ct, _, err := w.Encrypt()
+		if err != nil {
+			return nil, err
+		}
+		if err := report.measurePair(n, "decrypt", trials, func() error {
+			_, err := w.Decrypt(ct)
+			return err
+		}); err != nil {
+			return nil, err
+		}
+		reenc, err := reencryptWorkload(cfg, numCTs)
+		if err != nil {
+			return nil, fmt.Errorf("engine bench reencrypt n=%d: %w", n, err)
+		}
+		if err := report.measurePair(n, "reencrypt", trials, reenc); err != nil {
+			return nil, err
+		}
+	}
+	return report, nil
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *EngineReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Render prints a human-readable table of the report.
+func (r *EngineReport) Render(w io.Writer) {
+	fmt.Fprintf(w, "Engine serial vs parallel — GOMAXPROCS=%d, workers=%d, |r|=%d bits (%d trials, best-of)\n",
+		r.GOMAXPROCS, r.Workers, r.RBits, r.Trials)
+	fmt.Fprintf(w, "%6s %-10s %14s %14s %8s\n", "attrs", "op", "serial", "parallel", "speedup")
+	for _, pt := range r.Points {
+		fmt.Fprintf(w, "%6d %-10s %14s %14s %7.2fx\n",
+			pt.Attrs, pt.Op,
+			time.Duration(pt.SerialNs), time.Duration(pt.ParallelNs), pt.Speedup)
+	}
+}

@@ -3,9 +3,11 @@ package cloud
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"maacs/internal/core"
+	"maacs/internal/engine"
 )
 
 // Errors reported by the server.
@@ -115,24 +117,34 @@ func (s *Server) Delete(recordID, ownerID string) (*Record, error) {
 	return rec, nil
 }
 
-// RecordIDs lists stored record IDs (not metered: directory metadata).
+// RecordIDs lists stored record IDs in sorted order, so HTTP/RPC responses
+// and tests never depend on map iteration order (not metered: directory
+// metadata).
 func (s *Server) RecordIDs() []string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.sortedIDsLocked()
+}
+
+// sortedIDsLocked returns the record IDs sorted. Caller holds s.mu.
+func (s *Server) sortedIDsLocked() []string {
 	out := make([]string, 0, len(s.records))
 	for id := range s.records {
 		out = append(out, id)
 	}
+	sort.Strings(out)
 	return out
 }
 
 // CiphertextsOf returns the content-key ciphertexts of an owner's records
-// (the inputs the owner needs to build revocation update information).
+// (the inputs the owner needs to build revocation update information), in
+// stable order: records sorted by ID, components in stored order.
 func (s *Server) CiphertextsOf(ownerID string) []*core.Ciphertext {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var out []*core.Ciphertext
-	for _, rec := range s.records {
+	for _, id := range s.sortedIDsLocked() {
+		rec := s.records[id]
 		if rec.OwnerID != ownerID {
 			continue
 		}
@@ -144,9 +156,11 @@ func (s *Server) CiphertextsOf(ownerID string) []*core.Ciphertext {
 }
 
 // ReEncrypt runs the proxy re-encryption for one revocation: it applies the
-// owner-supplied update information to every affected stored ciphertext.
-// Only rows with attributes of the revoking authority are touched. It
-// returns the number of ciphertexts updated and the total rows re-encrypted.
+// owner-supplied update information to every affected stored ciphertext,
+// fanning the per-ciphertext work out across the engine pool (each job also
+// parallelizes across its rows for wide policies). It returns the number of
+// ciphertexts updated and the total rows re-encrypted. The update is
+// all-or-nothing: on error no stored ciphertext is replaced.
 func (s *Server) ReEncrypt(ownerID string, uis map[string]*core.UpdateInfo, uk *core.UpdateKey) (cts, rows int, err error) {
 	for _, ui := range uis {
 		s.acct.Add(ChanServerOwner, ui.Size(s.sys.Params))
@@ -155,24 +169,45 @@ func (s *Server) ReEncrypt(ownerID string, uis map[string]*core.UpdateInfo, uk *
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for _, rec := range s.records {
+
+	// Collect the affected components in stable record order, then fan out.
+	type workItem struct {
+		rec *Record
+		idx int
+		ui  *core.UpdateInfo
+	}
+	var work []workItem
+	for _, id := range s.sortedIDsLocked() {
+		rec := s.records[id]
 		if rec.OwnerID != ownerID {
 			continue
 		}
 		for i := range rec.Components {
-			ct := rec.Components[i].CT
-			ui, ok := uis[ct.ID]
-			if !ok {
-				continue
+			if ui, ok := uis[rec.Components[i].CT.ID]; ok {
+				work = append(work, workItem{rec: rec, idx: i, ui: ui})
 			}
-			reenc, touched, err := core.ReEncrypt(s.sys, ct, ui, uk)
-			if err != nil {
-				return cts, rows, fmt.Errorf("re-encrypt record %q: %w", rec.ID, err)
-			}
-			rec.Components[i].CT = reenc
-			cts++
-			rows += touched
 		}
+	}
+
+	reencs := make([]*core.Ciphertext, len(work))
+	touched := make([]int, len(work))
+	err = engine.Default().Run(len(work), func(j int) error {
+		w := work[j]
+		reenc, n, err := core.ReEncrypt(s.sys, w.rec.Components[w.idx].CT, w.ui, uk)
+		if err != nil {
+			return fmt.Errorf("re-encrypt record %q: %w", w.rec.ID, err)
+		}
+		reencs[j] = reenc
+		touched[j] = n
+		return nil
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	for j, w := range work {
+		w.rec.Components[w.idx].CT = reencs[j]
+		cts++
+		rows += touched[j]
 	}
 	return cts, rows, nil
 }

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"sync"
 
+	"maacs/internal/engine"
 	"maacs/internal/pairing"
 )
 
@@ -139,6 +140,7 @@ func (aa *AA) PublicKeys() *PublicKeys {
 		names = append(names, n)
 	}
 	aa.mu.Unlock()
+	sort.Strings(names)
 
 	p := aa.sys.Params
 	pks := &PublicKeys{
@@ -149,15 +151,22 @@ func (aa *AA) PublicKeys() *PublicKeys {
 		},
 		Attrs: make(map[string]*AttrPublicKey, len(names)),
 	}
-	g := p.Generator()
-	for _, n := range names {
-		attr := Attribute{AID: aa.aid, Name: n}
+	// Each attribute key is an independent fixed-base exponentiation of the
+	// generator; fan them out across the engine pool and assemble the map
+	// serially afterwards.
+	attrPKs := make([]*AttrPublicKey, len(names))
+	_ = engine.Default().Run(len(names), func(i int) error {
+		attr := Attribute{AID: aa.aid, Name: names[i]}
 		e := new(big.Int).Mul(alpha, p.HashToScalar([]byte(attr.Qualified())))
-		pks.Attrs[attr.Qualified()] = &AttrPublicKey{
+		attrPKs[i] = &AttrPublicKey{
 			Attr:    attr,
 			Version: version,
-			PK:      g.Exp(e),
+			PK:      p.FixedBaseExp(e),
 		}
+		return nil
+	})
+	for _, apk := range attrPKs {
+		pks.Attrs[apk.Attr.Qualified()] = apk
 	}
 	return pks
 }
@@ -178,8 +187,9 @@ func (aa *AA) KeyGen(user *UserPublicKey, ownerSK *OwnerSecretKey, attrNames []s
 	aa.mu.Unlock()
 
 	p := aa.sys.Params
-	// K = PK_UID^(r/β) · g^(α/β); g^(α/β) = (g^(1/β))^α.
-	k := user.PK.Exp(ownerSK.ROverBeta).Mul(ownerSK.GInvBeta.Exp(alpha))
+	// K = PK_UID^(r/β) · g^(α/β); g^(α/β) = (g^(1/β))^α. The two halves
+	// share one squaring chain (Shamir's trick).
+	k := engine.DualExp(user.PK, ownerSK.ROverBeta, ownerSK.GInvBeta, alpha)
 	sk := &SecretKey{
 		UID:     user.UID,
 		AID:     aa.aid,
@@ -188,10 +198,17 @@ func (aa *AA) KeyGen(user *UserPublicKey, ownerSK *OwnerSecretKey, attrNames []s
 		K:       k,
 		KAttr:   make(map[string]*pairing.G, len(attrNames)),
 	}
-	for _, n := range attrNames {
-		attr := Attribute{AID: aa.aid, Name: n}
+	// Per-attribute key components are independent exponentiations of
+	// PK_UID; run them on the engine pool.
+	kAttrs := make([]*pairing.G, len(attrNames))
+	_ = engine.Default().Run(len(attrNames), func(i int) error {
+		attr := Attribute{AID: aa.aid, Name: attrNames[i]}
 		e := new(big.Int).Mul(alpha, p.HashToScalar([]byte(attr.Qualified())))
-		sk.KAttr[attr.Qualified()] = user.PK.Exp(e)
+		kAttrs[i] = user.PK.Exp(e)
+		return nil
+	})
+	for i, n := range attrNames {
+		sk.KAttr[Attribute{AID: aa.aid, Name: n}.Qualified()] = kAttrs[i]
 	}
 	return sk, nil
 }
@@ -267,8 +284,14 @@ func UpdateSecretKey(sk *SecretKey, uk *UpdateKey) (*SecretKey, error) {
 		K:       sk.K.Mul(uk.UK1),
 		KAttr:   make(map[string]*pairing.G, len(sk.KAttr)),
 	}
-	for q, kx := range sk.KAttr {
-		out.KAttr[q] = kx.Exp(uk.UK2)
+	qs := sortedKeys(sk.KAttr)
+	updated := make([]*pairing.G, len(qs))
+	_ = engine.Default().Run(len(qs), func(i int) error {
+		updated[i] = sk.KAttr[qs[i]].Exp(uk.UK2)
+		return nil
+	})
+	for i, q := range qs {
+		out.KAttr[q] = updated[i]
 	}
 	return out, nil
 }

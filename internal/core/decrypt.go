@@ -4,7 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"math/big"
+	"sort"
 
+	"maacs/internal/engine"
 	"maacs/internal/lsss"
 	"maacs/internal/pairing"
 )
@@ -18,48 +20,58 @@ import (
 //	m = C / B⁻¹ … concretely  m = C · den / num  with num/den = Π e(g,g)^(α_k s)
 //
 // which costs n_A + 2·Σ_k|I_{AID_k}| pairings — the cost profile the paper's
-// figures report. The caller must supply a secret key from every authority
-// involved in the ciphertext (all issued for the ciphertext's owner, at the
-// ciphertext's versions).
+// figures report. The pairings are independent, so they run as jobs on the
+// engine pool; partial results combine in index order, which keeps the
+// output bit-identical to the serial loop. The caller must supply a secret
+// key from every authority involved in the ciphertext (all issued for the
+// ciphertext's owner, at the ciphertext's versions).
 func Decrypt(sys *System, ct *Ciphertext, user *UserPublicKey, sks map[string]*SecretKey) (*pairing.GT, error) {
-	rows, w, nA, err := decryptionPlan(sys, ct, user, sks)
+	plan, err := newDecryptionPlan(sys, ct, user, sks)
 	if err != nil {
 		return nil, err
 	}
 	p := sys.Params
 
-	// Numerator: Π_{k∈I_A} e(C', K_{UID,AID_k}).
-	num := p.OneGT()
-	aids, err := ct.InvolvedAuthorities()
-	if err != nil {
-		return nil, err
-	}
-	for _, aid := range aids {
-		e, err := p.Pair(ct.CPrime, sks[aid].K)
-		if err != nil {
-			return nil, err
+	// Job layout: [0, n_A) numerator pairings e(C', K_k);
+	// [n_A, n_A+|used|) denominator terms (e(C_i, PK_UID)·e(C', K_ρ(i)))^(w_i·n_A).
+	nNum := len(plan.aids)
+	numTerms := make([]*pairing.GT, nNum)
+	denTerms := make([]*pairing.GT, len(plan.used))
+	err = engine.Default().Run(nNum+len(plan.used), func(j int) error {
+		if j < nNum {
+			e, err := p.Pair(ct.CPrime, sks[plan.aids[j]].K)
+			if err != nil {
+				return err
+			}
+			numTerms[j] = e
+			return nil
 		}
-		num = num.Mul(e)
-	}
-
-	// Denominator: the per-row pairings, each raised to w_i·n_A.
-	den := p.OneGT()
-	bigNA := big.NewInt(int64(nA))
-	for i, wi := range w {
-		sk := sks[rows[i].aid]
-		kx := sk.KAttr[rows[i].attr]
+		i := plan.used[j-nNum]
+		kx := sks[plan.rows[i].aid].KAttr[plan.rows[i].attr]
 		e1, err := p.Pair(ct.Rows[i], user.PK)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		e2, err := p.Pair(ct.CPrime, kx)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		exp := new(big.Int).Mul(wi, bigNA)
-		den = den.Mul(e1.Mul(e2).Exp(exp))
+		exp := new(big.Int).Mul(plan.w[i], plan.bigNA)
+		denTerms[j-nNum] = e1.Mul(e2).Exp(exp)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
+	num := p.OneGT()
+	for _, e := range numTerms {
+		num = num.Mul(e)
+	}
+	den := p.OneGT()
+	for _, e := range denTerms {
+		den = den.Mul(e)
+	}
 	// num/den = e(g,g)^(u·s·r·n_A) · Π e(g,g)^(α_k s) / e(g,g)^(u·s·r·n_A).
 	blind := num.Div(den)
 	return ct.C.Div(blind), nil
@@ -73,30 +85,36 @@ func Decrypt(sys *System, ct *Ciphertext, user *UserPublicKey, sks map[string]*S
 //	den  = e(Π_i C_i^(w_i·n_A), PK_UID)
 //	m    = C · den · num⁻¹ … with the same algebra as Decrypt.
 //
-// It exists for the decrypt-aggregation ablation benchmark; the figures use
+// The per-row exponentiations run as jobs on the engine pool; the two
+// remaining pairings share one final exponentiation through PairProd. It
+// exists for the decrypt-aggregation ablation benchmark; the figures use
 // Decrypt so that the measured cost profile matches the paper's.
 func DecryptFast(sys *System, ct *Ciphertext, user *UserPublicKey, sks map[string]*SecretKey) (*pairing.GT, error) {
-	rows, w, nA, err := decryptionPlan(sys, ct, user, sks)
+	plan, err := newDecryptionPlan(sys, ct, user, sks)
 	if err != nil {
 		return nil, err
 	}
 	p := sys.Params
-	bigNA := big.NewInt(int64(nA))
+
+	cTerms := make([]*pairing.G, len(plan.used))
+	kTerms := make([]*pairing.G, len(plan.used))
+	_ = engine.Default().Run(len(plan.used), func(j int) error {
+		i := plan.used[j]
+		exp := new(big.Int).Mul(plan.w[i], plan.bigNA)
+		cTerms[j] = ct.Rows[i].Exp(exp)
+		kx := sks[plan.rows[i].aid].KAttr[plan.rows[i].attr]
+		kTerms[j] = kx.Exp(new(big.Int).Neg(exp))
+		return nil
+	})
 
 	kAgg := p.OneG()
-	aids, err := ct.InvolvedAuthorities()
-	if err != nil {
-		return nil, err
-	}
-	for _, aid := range aids {
+	for _, aid := range plan.aids {
 		kAgg = kAgg.Mul(sks[aid].K)
 	}
 	cAgg := p.OneG()
-	for i, wi := range w {
-		exp := new(big.Int).Mul(wi, bigNA)
-		cAgg = cAgg.Mul(ct.Rows[i].Exp(exp))
-		kx := sks[rows[i].aid].KAttr[rows[i].attr]
-		kAgg = kAgg.Mul(kx.Exp(new(big.Int).Neg(exp)))
+	for j := range plan.used {
+		cAgg = cAgg.Mul(cTerms[j])
+		kAgg = kAgg.Mul(kTerms[j])
 	}
 	// den/num = e(cAgg, PK_UID) · e(C'⁻¹, kAgg), computed as one
 	// multi-pairing sharing a single final exponentiation.
@@ -114,43 +132,57 @@ func DecryptFast(sys *System, ct *Ciphertext, user *UserPublicKey, sks map[strin
 // the pairings of Eq. 1 (2·Σ|I_k| + n_A of them) but precomputes the Miller
 // loops of the two elements that repeat as a first argument — C' (paired
 // with every key component) and PK_UID (paired with every row) — the
-// equivalent of PBC's pairing_pp preprocessing. Same operation count as
+// equivalent of PBC's pairing_pp preprocessing. The preparations come from
+// the engine's LRU cache, so decrypting the same ciphertext (or the same
+// user decrypting anything) repeatedly skips even the preparation; the
+// pairings themselves fan out across the pool. Same operation count as
 // Decrypt, ~4× less work per pairing.
 func DecryptPrepared(sys *System, ct *Ciphertext, user *UserPublicKey, sks map[string]*SecretKey) (*pairing.GT, error) {
-	rows, w, nA, err := decryptionPlan(sys, ct, user, sks)
+	plan, err := newDecryptionPlan(sys, ct, user, sks)
 	if err != nil {
 		return nil, err
 	}
 	p := sys.Params
-	preC := p.Prepare(ct.CPrime)
-	preU := p.Prepare(user.PK)
+	preC := engine.Prepared(ct.CPrime)
+	preU := engine.Prepared(user.PK)
 
-	num := p.OneGT()
-	aids, err := ct.InvolvedAuthorities()
-	if err != nil {
-		return nil, err
-	}
-	for _, aid := range aids {
-		e, err := preC.Pair(sks[aid].K)
-		if err != nil {
-			return nil, err
+	nNum := len(plan.aids)
+	numTerms := make([]*pairing.GT, nNum)
+	denTerms := make([]*pairing.GT, len(plan.used))
+	err = engine.Default().Run(nNum+len(plan.used), func(j int) error {
+		if j < nNum {
+			e, err := preC.Pair(sks[plan.aids[j]].K)
+			if err != nil {
+				return err
+			}
+			numTerms[j] = e
+			return nil
 		}
-		num = num.Mul(e)
-	}
-	den := p.OneGT()
-	bigNA := big.NewInt(int64(nA))
-	for i, wi := range w {
-		kx := sks[rows[i].aid].KAttr[rows[i].attr]
+		i := plan.used[j-nNum]
+		kx := sks[plan.rows[i].aid].KAttr[plan.rows[i].attr]
 		e1, err := preU.Pair(ct.Rows[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
 		e2, err := preC.Pair(kx)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		exp := new(big.Int).Mul(wi, bigNA)
-		den = den.Mul(e1.Mul(e2).Exp(exp))
+		exp := new(big.Int).Mul(plan.w[i], plan.bigNA)
+		denTerms[j-nNum] = e1.Mul(e2).Exp(exp)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	num := p.OneGT()
+	for _, e := range numTerms {
+		num = num.Mul(e)
+	}
+	den := p.OneGT()
+	for _, e := range denTerms {
+		den = den.Mul(e)
 	}
 	return ct.C.Div(num.Div(den)), nil
 }
@@ -160,26 +192,36 @@ type rowAttr struct {
 	aid  string
 }
 
-// decryptionPlan validates keys against the ciphertext and produces the
-// reconstruction coefficients. It returns the row labelling, the coefficient
-// map (row index → w_i), and n_A = |I_A|.
-func decryptionPlan(sys *System, ct *Ciphertext, user *UserPublicKey, sks map[string]*SecretKey) ([]rowAttr, map[int]*big.Int, int, error) {
+// decryptionPlan is the validated, engine-ready description of one
+// decryption: the row labelling, the reconstruction coefficients, the sorted
+// list of row indices that participate, and the involved authorities.
+type decryptionPlan struct {
+	rows  []rowAttr
+	w     map[int]*big.Int
+	used  []int // sorted keys of w, the deterministic job order
+	aids  []string
+	bigNA *big.Int
+}
+
+// newDecryptionPlan validates keys against the ciphertext and produces the
+// reconstruction coefficients.
+func newDecryptionPlan(sys *System, ct *Ciphertext, user *UserPublicKey, sks map[string]*SecretKey) (*decryptionPlan, error) {
 	aids, err := ct.InvolvedAuthorities()
 	if err != nil {
-		return nil, nil, 0, err
+		return nil, err
 	}
 	for _, aid := range aids {
 		sk, ok := sks[aid]
 		if !ok {
-			return nil, nil, 0, fmt.Errorf("%w: %q", ErrMissingSecretKey, aid)
+			return nil, fmt.Errorf("%w: %q", ErrMissingSecretKey, aid)
 		}
 		switch {
 		case sk.UID != user.UID:
-			return nil, nil, 0, fmt.Errorf("core: key UID %q ≠ user %q", sk.UID, user.UID)
+			return nil, fmt.Errorf("core: key UID %q ≠ user %q", sk.UID, user.UID)
 		case sk.OwnerID != ct.OwnerID:
-			return nil, nil, 0, fmt.Errorf("%w: key for owner %q, ciphertext of %q", ErrWrongOwner, sk.OwnerID, ct.OwnerID)
+			return nil, fmt.Errorf("%w: key for owner %q, ciphertext of %q", ErrWrongOwner, sk.OwnerID, ct.OwnerID)
 		case sk.Version != ct.Versions[aid]:
-			return nil, nil, 0, fmt.Errorf("%w: key@%d vs ciphertext@%d for %q",
+			return nil, fmt.Errorf("%w: key@%d vs ciphertext@%d for %q",
 				ErrVersionMismatch, sk.Version, ct.Versions[aid], aid)
 		}
 	}
@@ -189,7 +231,7 @@ func decryptionPlan(sys *System, ct *Ciphertext, user *UserPublicKey, sks map[st
 	for i, q := range ct.Matrix.Rho {
 		attr, err := ParseAttribute(q)
 		if err != nil {
-			return nil, nil, 0, err
+			return nil, err
 		}
 		rows[i] = rowAttr{attr: q, aid: attr.AID}
 		if sk, ok := sks[attr.AID]; ok {
@@ -201,9 +243,20 @@ func decryptionPlan(sys *System, ct *Ciphertext, user *UserPublicKey, sks map[st
 	w, err := ct.Matrix.Reconstruct(held)
 	if err != nil {
 		if errors.Is(err, lsss.ErrNotSatisfied) {
-			return nil, nil, 0, fmt.Errorf("%w: %v", ErrPolicyNotSatisfied, err)
+			return nil, fmt.Errorf("%w: %v", ErrPolicyNotSatisfied, err)
 		}
-		return nil, nil, 0, err
+		return nil, err
 	}
-	return rows, w, len(aids), nil
+	used := make([]int, 0, len(w))
+	for i := range w {
+		used = append(used, i)
+	}
+	sort.Ints(used)
+	return &decryptionPlan{
+		rows:  rows,
+		w:     w,
+		used:  used,
+		aids:  aids,
+		bigNA: big.NewInt(int64(len(aids))),
+	}, nil
 }

@@ -8,6 +8,7 @@ import (
 	"math/big"
 	"sync"
 
+	"maacs/internal/engine"
 	"maacs/internal/lsss"
 	"maacs/internal/pairing"
 )
@@ -158,14 +159,18 @@ func (o *Owner) EncryptMatrix(m *pairing.GT, policy string, matrix *lsss.Matrix,
 		Matrix:   matrix,
 		Versions: versions,
 		C:        m.Mul(eggProduct.Exp(s)),
-		CPrime:   p.Generator().Exp(betaS),
+		CPrime:   p.FixedBaseExp(betaS),
 		Rows:     make([]*pairing.G, len(matrix.Rho)),
 	}
+	// All randomness is drawn by now; the per-row jobs are pure group
+	// arithmetic, so they fan out across the engine pool. Each row is one
+	// simultaneous two-base exponentiation g^(r·λ_i) · PK_{ρ(i)}^(−βs).
 	g := p.Generator()
-	for i := range matrix.Rho {
+	_ = engine.Default().Run(len(matrix.Rho), func(i int) error {
 		rl := new(big.Int).Mul(o.r, shares[i])
-		ct.Rows[i] = g.Exp(rl).Mul(rowPKs[i].PK.Exp(negBetaS))
-	}
+		ct.Rows[i] = engine.DualExp(g, rl, rowPKs[i].PK, negBetaS)
+		return nil
+	})
 
 	id, err := freshID(rnd)
 	if err != nil {
@@ -206,7 +211,7 @@ func (o *Owner) ApplyUpdate(uk *UpdateKey) error {
 		o.apks[q] = &AttrPublicKey{
 			Attr:    apk.Attr,
 			Version: uk.ToVersion,
-			PK:      apk.PK.Exp(uk.UK2),
+			PK:      engine.PreparedExp(apk.PK).Exp(uk.UK2),
 		}
 	}
 	return nil
@@ -288,8 +293,17 @@ func (o *Owner) UpdateInfoFor(ct *Ciphertext, uk *UpdateKey) (*UpdateInfo, error
 		ToVersion:    uk.ToVersion,
 		UI:           make(map[string]*pairing.G, len(affected)),
 	}
-	for q, apk := range affected {
-		ui.UI[q] = apk.PK.Exp(exp)
+	// One revocation exponentiates the same PK_x for every stored ciphertext
+	// (and again in ApplyUpdate), so the doubling tables come from the
+	// engine's LRU cache after the first ciphertext pays to build them.
+	qs := sortedKeys(affected)
+	uiVals := make([]*pairing.G, len(qs))
+	_ = engine.Default().Run(len(qs), func(i int) error {
+		uiVals[i] = engine.PreparedExp(affected[qs[i]].PK).Exp(exp)
+		return nil
+	})
+	for i, q := range qs {
+		ui.UI[q] = uiVals[i]
 	}
 	return ui, nil
 }
@@ -301,15 +315,19 @@ func (o *Owner) UpdateInfoFor(ct *Ciphertext, uk *UpdateKey) (*UpdateInfo, error
 // skipped (nil entry).
 func (o *Owner) RevocationUpdate(uk *UpdateKey, cts []*Ciphertext) ([]*UpdateInfo, error) {
 	uis := make([]*UpdateInfo, len(cts))
-	for i, ct := range cts {
-		if _, involved := ct.Versions[uk.AID]; !involved {
-			continue
+	err := engine.Default().Run(len(cts), func(i int) error {
+		if _, involved := cts[i].Versions[uk.AID]; !involved {
+			return nil
 		}
-		ui, err := o.UpdateInfoFor(ct, uk)
+		ui, err := o.UpdateInfoFor(cts[i], uk)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		uis[i] = ui
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	if err := o.ApplyUpdate(uk); err != nil {
 		return nil, err

@@ -1,6 +1,10 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"maacs/internal/engine"
+)
 
 // ReEncrypt is the paper's ReEncrypt(CT, UI_AID, UK_AID), run by the cloud
 // server with the proxy re-encryption method — the server never sees the
@@ -32,21 +36,29 @@ func ReEncrypt(sys *System, ct *Ciphertext, ui *UpdateInfo, uk *UpdateKey) (*Cip
 	}
 
 	out := ct.Clone()
-	e, err := sys.Params.Pair(uk.UK1, ct.CPrime)
+	// One revocation applies the same UK1 to every stored ciphertext, so its
+	// Miller-loop preparation comes from the engine's LRU cache: the first
+	// ciphertext pays for it, the rest pair at ~¼ the cost.
+	e, err := engine.Prepared(uk.UK1).Pair(ct.CPrime)
 	if err != nil {
 		return nil, 0, err
 	}
 	out.C = ct.C.Mul(e)
 
-	touched := 0
+	// Affected rows are independent one-multiplication jobs; at server scale
+	// ReEncrypt itself runs as a job per ciphertext, so the row fan-out only
+	// kicks in when a single wide ciphertext dominates.
+	affected := make([]int, 0, len(ct.Matrix.Rho))
 	for i, q := range ct.Matrix.Rho {
-		uiX, ok := ui.UI[q]
-		if !ok {
-			continue // row not managed by the revoking authority
+		if _, ok := ui.UI[q]; ok {
+			affected = append(affected, i)
 		}
-		out.Rows[i] = ct.Rows[i].Mul(uiX)
-		touched++
 	}
+	_ = engine.Default().Run(len(affected), func(j int) error {
+		i := affected[j]
+		out.Rows[i] = ct.Rows[i].Mul(ui.UI[ct.Matrix.Rho[i]])
+		return nil
+	})
 	out.Versions[uk.AID] = uk.ToVersion
-	return out, touched, nil
+	return out, len(affected), nil
 }

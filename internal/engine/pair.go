@@ -1,0 +1,161 @@
+package engine
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"maacs/internal/pairing"
+)
+
+// PairProd computes Π_i e(as[i], bs[i]) on the pool. The index range is
+// split into one contiguous chunk per worker; each chunk shares a single
+// final exponentiation through Params.PairProd and the chunk products are
+// multiplied in index order. Because the final exponentiation is a group
+// homomorphism the result is the same field element the serial
+// Params.PairProd computes.
+func (p *Pool) PairProd(params *pairing.Params, as, bs []*pairing.G) (*pairing.GT, error) {
+	n := len(as)
+	if n != len(bs) {
+		return nil, pairing.ErrBadEncoding
+	}
+	// One final exponentiation per chunk only pays off when a chunk bundles
+	// several Miller loops.
+	chunks := p.workers
+	if chunks > n/2 {
+		chunks = n / 2
+	}
+	if chunks <= 1 {
+		return params.PairProd(as, bs)
+	}
+	parts, err := Collect(p, chunks, func(c int) (*pairing.GT, error) {
+		lo, hi := c*n/chunks, (c+1)*n/chunks
+		return params.PairProd(as[lo:hi], bs[lo:hi])
+	})
+	if err != nil {
+		return nil, err
+	}
+	acc := parts[0]
+	for _, part := range parts[1:] {
+		acc = acc.Mul(part)
+	}
+	return acc, nil
+}
+
+// PairAll computes e(a, bs[i]) for every i on the pool, preparing the shared
+// first argument once through the prepared-point cache.
+func (p *Pool) PairAll(a *pairing.G, bs []*pairing.G) ([]*pairing.GT, error) {
+	pre := Prepared(a)
+	return Collect(p, len(bs), func(i int) (*pairing.GT, error) {
+		return pre.Pair(bs[i])
+	})
+}
+
+// preparedCacheCap bounds the prepared-point and exp-table caches.
+// Decryption prepares at most two points per ciphertext (C' and PK_UID) and
+// revocation exponentiates one base per affected attribute, so even a busy
+// server working a few dozen hot ciphertexts fits.
+const preparedCacheCap = 128
+
+// prepKey identifies a cached derivation: same parameter set, same
+// serialized point.
+type prepKey struct {
+	params *pairing.Params
+	enc    string
+}
+
+type prepEntry[V any] struct {
+	key prepKey
+	val V
+}
+
+// pointCache is a lock-guarded LRU of per-point derivations (Miller-loop
+// preparations, doubling tables) keyed by the serialized point.
+type pointCache[V any] struct {
+	mu      sync.Mutex
+	entries map[prepKey]*list.Element
+	order   list.List // front = most recently used; element values are *prepEntry[V]
+
+	hits, misses atomic.Uint64
+}
+
+// get returns the cached derivation of g, computing it with build on a miss.
+// build runs outside the lock: it does the expensive group work, and two
+// goroutines racing on the same fresh point merely duplicate it once.
+func (c *pointCache[V]) get(g *pairing.G, build func() V) V {
+	key := prepKey{params: g.Params(), enc: string(g.Marshal())}
+
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		val := el.Value.(*prepEntry[V]).val
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return val
+	}
+	c.mu.Unlock()
+
+	val := build()
+	c.misses.Add(1)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		return el.Value.(*prepEntry[V]).val
+	}
+	c.entries[key] = c.order.PushFront(&prepEntry[V]{key: key, val: val})
+	for len(c.entries) > preparedCacheCap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*prepEntry[V]).key)
+	}
+	return val
+}
+
+func (c *pointCache[V]) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+var (
+	preparations = pointCache[*pairing.PreparedG]{entries: make(map[prepKey]*list.Element)}
+	expTables    = pointCache[*pairing.ExpTable]{entries: make(map[prepKey]*list.Element)}
+)
+
+// Prepared returns the Miller-loop preparation of g, serving repeats from
+// the LRU cache. PreparedG values are immutable after construction, so a
+// cached preparation may be used by any number of goroutines.
+func Prepared(g *pairing.G) *pairing.PreparedG {
+	return preparations.get(g, func() *pairing.PreparedG { return g.Params().Prepare(g) })
+}
+
+// PreparedExp returns the doubling table of g, serving repeats from the LRU
+// cache. Building a table costs about one exponentiation, so the cache makes
+// every repeat exponentiation of a hot base (an attribute public key during
+// revocation, say) roughly twice as cheap.
+func PreparedExp(g *pairing.G) *pairing.ExpTable {
+	return expTables.get(g, func() *pairing.ExpTable { return g.Params().PrepareExp(g) })
+}
+
+// PreparedCacheStats reports prepared-point cache effectiveness (used by
+// tests and the benchmark report).
+func PreparedCacheStats() (hits, misses uint64) {
+	return preparations.hits.Load(), preparations.misses.Load()
+}
+
+// PreparedCacheLen reports the number of cached preparations.
+func PreparedCacheLen() int {
+	return preparations.len()
+}
+
+// ExpCacheStats reports exp-table cache effectiveness.
+func ExpCacheStats() (hits, misses uint64) {
+	return expTables.hits.Load(), expTables.misses.Load()
+}
+
+// ExpCacheLen reports the number of cached doubling tables.
+func ExpCacheLen() int {
+	return expTables.len()
+}

@@ -1,0 +1,124 @@
+package engine
+
+import (
+	"crypto/rand"
+	"testing"
+
+	"maacs/internal/pairing"
+)
+
+func randomPairs(t *testing.T, p *pairing.Params, n int) (as, bs []*pairing.G) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		a, _, err := p.RandomG(rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _, err := p.RandomG(rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		as, bs = append(as, a), append(bs, b)
+	}
+	return as, bs
+}
+
+func TestPoolPairProdMatchesSerial(t *testing.T) {
+	p := pairing.Test()
+	for _, n := range []int{0, 1, 2, 3, 9, 16} {
+		as, bs := randomPairs(t, p, n)
+		want, err := p.PairProd(as, bs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 2, 8} {
+			got, err := New(workers).PairProd(p, as, bs)
+			if err != nil {
+				t.Fatalf("n=%d workers=%d: %v", n, workers, err)
+			}
+			if !got.Equal(want) {
+				t.Fatalf("n=%d workers=%d: chunked product diverged from serial", n, workers)
+			}
+		}
+	}
+}
+
+func TestPoolPairProdMismatchedLengths(t *testing.T) {
+	p := pairing.Test()
+	as, bs := randomPairs(t, p, 3)
+	if _, err := New(4).PairProd(p, as, bs[:2]); err == nil {
+		t.Fatal("expected error on mismatched slice lengths")
+	}
+}
+
+func TestPairAllMatchesPair(t *testing.T) {
+	p := pairing.Test()
+	a, _, err := p.RandomG(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, _ := randomPairs(t, p, 6)
+	got, err := New(4).PairAll(a, bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range bs {
+		want, err := p.Pair(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got[i].Equal(want) {
+			t.Fatalf("PairAll[%d] diverged from Pair", i)
+		}
+	}
+}
+
+func TestPreparedCacheHits(t *testing.T) {
+	p := pairing.Test()
+	a, _, err := p.RandomG(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h0, m0 := PreparedCacheStats()
+	pre1 := Prepared(a)
+	pre2 := Prepared(a.Clone()) // equal value, distinct pointer: must hit
+	h1, m1 := PreparedCacheStats()
+	if pre1 != pre2 {
+		t.Fatal("cache returned distinct preparations for the same point")
+	}
+	if m1 != m0+1 {
+		t.Fatalf("misses went %d → %d, want exactly one new miss", m0, m1)
+	}
+	if h1 != h0+1 {
+		t.Fatalf("hits went %d → %d, want exactly one new hit", h0, h1)
+	}
+	b, _, err := p.RandomG(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gt, err := Prepared(b).Pair(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := p.Pair(b, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gt.Equal(want) {
+		t.Fatal("cached preparation pairs wrong")
+	}
+}
+
+func TestPreparedCacheBounded(t *testing.T) {
+	p := pairing.Test()
+	for i := 0; i < preparedCacheCap+32; i++ {
+		g, _, err := p.RandomG(rand.Reader)
+		if err != nil {
+			t.Fatal(err)
+		}
+		Prepared(g)
+	}
+	if n := PreparedCacheLen(); n > preparedCacheCap {
+		t.Fatalf("cache grew to %d entries, cap is %d", n, preparedCacheCap)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"sync"
 
+	"maacs/internal/engine"
 	"maacs/internal/pairing"
 	"maacs/internal/waters"
 )
@@ -139,13 +140,16 @@ func (m *Manager) Protect(ct *waters.Ciphertext) (*ProtectedCiphertext, error) {
 		Versions: make(map[string]int),
 		Headers:  make(map[string]*Header),
 	}
+	// Look up group keys and build headers serially (both read manager
+	// state, and header errors must surface in row order as before); the
+	// per-row exponentiations then fan out across the engine pool.
+	gks := make([]*big.Int, len(ct.Matrix.Rho))
 	for i, q := range ct.Matrix.Rho {
 		gk, ok := m.groupKey[q]
 		if !ok {
 			return nil, fmt.Errorf("%w: %q", ErrUnknownAttr, q)
 		}
-		out.Inner.Ci[i] = ct.Ci[i].Exp(gk)
-		out.Inner.Di[i] = ct.Di[i].Exp(gk)
+		gks[i] = gk
 		if _, done := out.Versions[q]; !done {
 			out.Versions[q] = m.version[q]
 			h, err := m.headerLocked(q)
@@ -155,6 +159,11 @@ func (m *Manager) Protect(ct *waters.Ciphertext) (*ProtectedCiphertext, error) {
 			out.Headers[q] = h
 		}
 	}
+	_ = engine.Default().Run(len(ct.Matrix.Rho), func(i int) error {
+		out.Inner.Ci[i] = ct.Ci[i].Exp(gks[i])
+		out.Inner.Di[i] = ct.Di[i].Exp(gks[i])
+		return nil
+	})
 	return out, nil
 }
 
@@ -185,27 +194,41 @@ func (m *Manager) Revoke(attr, uid string, cts []*ProtectedCiphertext, rnd io.Re
 	ratio.Mul(ratio, newGK)
 	ratio.Mod(ratio, m.params.R)
 
-	touched := 0
+	// Flatten the affected (ciphertext, row) pairs and fan the row
+	// exponentiations out across the engine pool; headers and version
+	// bumps stay serial (they read manager state under m.mu).
+	type rowRef struct {
+		ct  *ProtectedCiphertext
+		row int
+	}
+	var work []rowRef
+	var involved []*ProtectedCiphertext
 	for _, ct := range cts {
-		if _, involved := ct.Versions[attr]; !involved {
+		if _, ok := ct.Versions[attr]; !ok {
 			continue
 		}
+		involved = append(involved, ct)
 		for i, q := range ct.Inner.Matrix.Rho {
-			if q != attr {
-				continue
+			if q == attr {
+				work = append(work, rowRef{ct: ct, row: i})
 			}
-			ct.Inner.Ci[i] = ct.Inner.Ci[i].Exp(ratio)
-			ct.Inner.Di[i] = ct.Inner.Di[i].Exp(ratio)
-			touched++
 		}
+	}
+	_ = engine.Default().Run(len(work), func(j int) error {
+		ct, i := work[j].ct, work[j].row
+		ct.Inner.Ci[i] = ct.Inner.Ci[i].Exp(ratio)
+		ct.Inner.Di[i] = ct.Inner.Di[i].Exp(ratio)
+		return nil
+	})
+	for _, ct := range involved {
 		ct.Versions[attr] = m.version[attr]
 		h, err := m.headerLocked(attr)
 		if err != nil {
-			return touched, err
+			return len(work), err
 		}
 		ct.Headers[attr] = h
 	}
-	return touched, nil
+	return len(work), nil
 }
 
 // User is the client-side state: the Waters key, the KEK path keys, and the

@@ -1,0 +1,63 @@
+package lewko
+
+import (
+	mrand "math/rand"
+	"testing"
+
+	"maacs/internal/engine"
+)
+
+// Differential test: encrypt and decrypt must be bit-identical at workers=1
+// (inline serial path) and workers=8 given the same randomness stream.
+func TestSerialParallelIdentical(t *testing.T) {
+	f := newFixture(t, map[string][]string{
+		"med": {"doctor", "nurse", "surgeon"},
+		"uni": {"researcher", "student"},
+	})
+	sk := f.keysFor("alice", map[string][]string{
+		"med": {"doctor", "nurse"},
+		"uni": {"researcher"},
+	})
+	m, _, err := f.sys.Params.RandomGT(mrand.New(mrand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for pi, policy := range []string{
+		"med:doctor",
+		"med:doctor AND uni:researcher",
+		"2 of (med:doctor, med:nurse, uni:student)",
+	} {
+		encrypt := func(workers int) *Ciphertext {
+			restore := engine.SetWorkers(workers)
+			defer restore()
+			ct, err := Encrypt(f.sys, m, policy, f.pks, mrand.New(mrand.NewSource(int64(100+pi))))
+			if err != nil {
+				t.Fatalf("Encrypt(%q) workers=%d: %v", policy, workers, err)
+			}
+			return ct
+		}
+		ctS, ctP := encrypt(1), encrypt(8)
+		if !ctS.C0.Equal(ctP.C0) {
+			t.Fatalf("%q: C0 differs", policy)
+		}
+		for i := range ctS.C1 {
+			if !ctS.C1[i].Equal(ctP.C1[i]) || !ctS.C2[i].Equal(ctP.C2[i]) || !ctS.C3[i].Equal(ctP.C3[i]) {
+				t.Fatalf("%q: row %d differs", policy, i)
+			}
+		}
+
+		decrypt := func(workers int) bool {
+			restore := engine.SetWorkers(workers)
+			defer restore()
+			got, err := Decrypt(f.sys, ctS, sk)
+			if err != nil {
+				t.Fatalf("Decrypt(%q) workers=%d: %v", policy, workers, err)
+			}
+			return got.Equal(m)
+		}
+		if !decrypt(1) || !decrypt(8) {
+			t.Fatalf("%q: decryption mismatch", policy)
+		}
+	}
+}

@@ -25,8 +25,10 @@ import (
 	"fmt"
 	"io"
 	"math/big"
+	"sort"
 	"sync"
 
+	"maacs/internal/engine"
 	"maacs/internal/lsss"
 	"maacs/internal/pairing"
 )
@@ -123,14 +125,24 @@ func (a *Authority) PublicKeys() map[string]*AttrPublicKey {
 
 	p := a.sys.Params
 	egg := p.GTGenerator()
-	g := p.Generator()
-	out := make(map[string]*AttrPublicKey, len(qualified))
-	for q, sec := range qualified {
-		out[q] = &AttrPublicKey{
-			Attr: q,
+	qs := make([]string, 0, len(qualified))
+	for q := range qualified {
+		qs = append(qs, q)
+	}
+	sort.Strings(qs)
+	pks := make([]*AttrPublicKey, len(qs))
+	_ = engine.Default().Run(len(qs), func(i int) error {
+		sec := qualified[qs[i]]
+		pks[i] = &AttrPublicKey{
+			Attr: qs[i],
 			Egg:  egg.Exp(sec.alpha),
-			GY:   g.Exp(sec.y),
+			GY:   p.FixedBaseExp(sec.y),
 		}
+		return nil
+	})
+	out := make(map[string]*AttrPublicKey, len(qs))
+	for i, q := range qs {
+		out[q] = pks[i]
 	}
 	return out
 }
@@ -151,15 +163,29 @@ func (a *Authority) KeyGen(gid string, attrNames []string) (*SecretKey, error) {
 	}
 	g := a.sys.Params.Generator()
 	sk := &SecretKey{GID: gid, KAttr: make(map[string]*pairing.G, len(attrNames))}
+
+	// Snapshot the secrets under the lock, then run the per-attribute
+	// two-base exponentiations g^α_x · H(GID)^y_x on the engine pool.
+	secs := make([]*attrSecret, len(attrNames))
 	a.mu.Lock()
-	defer a.mu.Unlock()
-	for _, n := range attrNames {
+	for i, n := range attrNames {
 		q := a.aid + ":" + n
 		sec, ok := a.secrets[q]
 		if !ok {
+			a.mu.Unlock()
 			return nil, fmt.Errorf("%w: %q", ErrUnknownAttribute, q)
 		}
-		sk.KAttr[q] = g.Exp(sec.alpha).Mul(h.Exp(sec.y))
+		secs[i] = sec
+	}
+	a.mu.Unlock()
+
+	keys := make([]*pairing.G, len(attrNames))
+	_ = engine.Default().Run(len(attrNames), func(i int) error {
+		keys[i] = engine.DualExp(g, secs[i].alpha, h, secs[i].y)
+		return nil
+	})
+	for i, n := range attrNames {
+		sk.KAttr[a.aid+":"+n] = keys[i]
 	}
 	return sk, nil
 }
@@ -251,19 +277,30 @@ func EncryptMatrix(sys *System, m *pairing.GT, policy string, matrix *lsss.Matri
 		C2:     make([]*pairing.G, l),
 		C3:     make([]*pairing.G, l),
 	}
+	// Resolve public keys and draw every per-row scalar serially first (so a
+	// deterministic rnd produces the same ciphertext at any worker count),
+	// then fan the row arithmetic out across the engine pool.
+	rowPKs := make([]*AttrPublicKey, l)
+	rs := make([]*big.Int, l)
 	for i, q := range matrix.Rho {
 		pk, ok := pks[q]
 		if !ok {
 			return nil, fmt.Errorf("%w: %q", ErrMissingPublicKey, q)
 		}
+		rowPKs[i] = pk
 		ri, err := p.RandomScalar(rnd)
 		if err != nil {
 			return nil, err
 		}
-		ct.C1[i] = egg.Exp(lambda[i]).Mul(pk.Egg.Exp(ri))
-		ct.C2[i] = g.Exp(ri)
-		ct.C3[i] = pk.GY.Exp(ri).Mul(g.Exp(omega[i]))
+		rs[i] = ri
 	}
+	_ = engine.Default().Run(l, func(i int) error {
+		pk, ri := rowPKs[i], rs[i]
+		ct.C1[i] = engine.DualExpGT(egg, lambda[i], pk.Egg, ri)
+		ct.C2[i] = p.FixedBaseExp(ri)
+		ct.C3[i] = engine.DualExp(pk.GY, ri, g, omega[i])
+		return nil
+	})
 	return ct, nil
 }
 
@@ -275,6 +312,7 @@ func Decrypt(sys *System, ct *Ciphertext, sk *SecretKey) (*pairing.GT, error) {
 	for q := range sk.KAttr {
 		held = append(held, q)
 	}
+	sort.Strings(held) // deterministic row selection in Reconstruct
 	w, err := ct.Matrix.Reconstruct(held)
 	if err != nil {
 		if errors.Is(err, lsss.ErrNotSatisfied) {
@@ -287,24 +325,40 @@ func Decrypt(sys *System, ct *Ciphertext, sk *SecretKey) (*pairing.GT, error) {
 		return nil, err
 	}
 
+	// The two pairings per used row are independent; run each row as an
+	// engine job and fold the terms in row order. Pairing count per row is
+	// unchanged (the profile the paper's Figures 3(b)/4(b) report).
+	used := make([]int, 0, len(w))
+	for i := range w {
+		used = append(used, i)
+	}
+	sort.Ints(used)
 	p := sys.Params
-	blind := p.OneGT()
-	for i, wi := range w {
+	terms := make([]*pairing.GT, len(used))
+	err = engine.Default().Run(len(used), func(j int) error {
+		i := used[j]
 		q := ct.Matrix.Rho[i]
 		kx, ok := sk.KAttr[q]
 		if !ok {
-			return nil, fmt.Errorf("%w: %q", ErrMissingKey, q)
+			return fmt.Errorf("%w: %q", ErrMissingKey, q)
 		}
 		e3, err := p.Pair(h, ct.C3[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
 		e2, err := p.Pair(kx, ct.C2[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
-		term := ct.C1[i].Mul(e3).Div(e2)
-		blind = blind.Mul(term.Exp(wi))
+		terms[j] = ct.C1[i].Mul(e3).Div(e2).Exp(w[i])
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	blind := p.OneGT()
+	for _, term := range terms {
+		blind = blind.Mul(term)
 	}
 	return ct.C0.Div(blind), nil
 }

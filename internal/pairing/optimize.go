@@ -101,3 +101,51 @@ func extractWindow(words []big.Word, offset int) int {
 	}
 	return int(v & (1<<fixedBaseWindow - 1))
 }
+
+// ExpTable is the arbitrary-base analogue of the generator's fixed-base
+// table: the doubling chain 2^i·P of one base, precomputed once. Each
+// subsequent exponentiation with that base then costs only the mixed
+// additions for the set bits of the exponent (~|r|/2 of them) instead of a
+// full double-and-add ladder — roughly half the work. Building the table
+// costs about one plain exponentiation, so it pays for itself from the
+// second use; the engine layer caches tables for hot bases (e.g. attribute
+// public keys, which owners exponentiate once per stored ciphertext during
+// a revocation).
+type ExpTable struct {
+	p    *Params
+	inf  bool
+	pows []point // pows[i] = 2^i · base, affine
+}
+
+// PrepareExp builds the doubling table for g.
+func (p *Params) PrepareExp(g *G) *ExpTable {
+	t := &ExpTable{p: p, inf: g.pt.inf}
+	if t.inf {
+		return t
+	}
+	n := p.R.BitLen()
+	t.pows = make([]point, n)
+	cur := g.pt.clone()
+	for i := 0; i < n; i++ {
+		t.pows[i] = cur
+		cur = p.double(cur)
+	}
+	return t
+}
+
+// Exp computes base^k using the table. k is reduced mod R and may be
+// negative; the result is bit-identical to base.Exp(k).
+func (t *ExpTable) Exp(k *big.Int) *G {
+	p := t.p
+	if t.inf {
+		return p.OneG()
+	}
+	kk := new(big.Int).Mod(k, p.R)
+	acc := jacInfinity()
+	for i := 0; i < kk.BitLen(); i++ {
+		if kk.Bit(i) == 1 {
+			acc = p.jacAddAffine(acc, t.pows[i])
+		}
+	}
+	return &G{p: p, pt: p.toAffine(acc)}
+}

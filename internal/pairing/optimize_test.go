@@ -95,3 +95,129 @@ func TestFixedBaseExpFullRangeDefault(t *testing.T) {
 		t.Fatal("fixed-base mismatch at paper scale")
 	}
 }
+
+func TestPairProdEmptyInputs(t *testing.T) {
+	p := Test()
+	for _, tc := range []struct {
+		name   string
+		as, bs []*G
+	}{
+		{"nil-nil", nil, nil},
+		{"empty-empty", []*G{}, []*G{}},
+		{"nil-empty", nil, []*G{}},
+	} {
+		got, err := p.PairProd(tc.as, tc.bs)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if !got.IsOne() {
+			t.Fatalf("%s: empty product ≠ 1", tc.name)
+		}
+	}
+}
+
+func TestPairProdIdentityPlacement(t *testing.T) {
+	p := Test()
+	g := p.Generator()
+	a, _ := p.RandomScalar(rand.Reader)
+	b, _ := p.RandomScalar(rand.Reader)
+	ga, gb := g.Exp(a), g.Exp(b)
+	want := p.MustPair(ga, gb)
+	inf := p.OneG()
+	for _, tc := range []struct {
+		name   string
+		as, bs []*G
+	}{
+		{"identity-second-slot", []*G{ga, g}, []*G{gb, inf}},
+		{"identity-interleaved", []*G{inf, ga, inf}, []*G{g, gb, g}},
+		{"identity-both-slots", []*G{ga, inf}, []*G{gb, inf}},
+	} {
+		got, err := p.PairProd(tc.as, tc.bs)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("%s: identity pair contributed", tc.name)
+		}
+	}
+	// All-identity input collapses to 1.
+	got, err := p.PairProd([]*G{inf, inf}, []*G{inf, g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.IsOne() {
+		t.Fatal("all-identity product ≠ 1")
+	}
+}
+
+func TestPairProdMismatchedLengths(t *testing.T) {
+	p := Test()
+	g := p.Generator()
+	for _, tc := range []struct {
+		name   string
+		as, bs []*G
+	}{
+		{"more-as", []*G{g, g}, []*G{g}},
+		{"more-bs", []*G{g}, []*G{g, g}},
+		{"nil-vs-one", nil, []*G{g}},
+	} {
+		if _, err := p.PairProd(tc.as, tc.bs); err == nil {
+			t.Fatalf("%s: length mismatch accepted", tc.name)
+		}
+	}
+}
+
+func TestPairProdAgreesAtLargerSizes(t *testing.T) {
+	p := Test()
+	g := p.Generator()
+	for _, n := range []int{8, 13} {
+		as := make([]*G, n)
+		bs := make([]*G, n)
+		want := p.OneGT()
+		for i := 0; i < n; i++ {
+			a, _ := p.RandomScalar(rand.Reader)
+			b, _ := p.RandomScalar(rand.Reader)
+			as[i] = g.Exp(a)
+			bs[i] = g.Exp(b)
+			want = want.Mul(p.MustPair(as[i], bs[i]))
+		}
+		got, err := p.PairProd(as, bs)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("n=%d: PairProd ≠ Π Pair", n)
+		}
+	}
+}
+
+func TestPrepareExpMatchesExp(t *testing.T) {
+	p := Test()
+	g := p.Generator()
+	a, _ := p.RandomScalar(rand.Reader)
+	base := g.Exp(a)
+	tbl := p.PrepareExp(base)
+	f := func(k64 uint64) bool {
+		k := new(big.Int).SetUint64(k64)
+		return tbl.Exp(k).Equal(base.Exp(k))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+	for _, k := range []*big.Int{
+		new(big.Int),                         // 0
+		big.NewInt(1),                        // 1
+		new(big.Int).Sub(p.R, big.NewInt(1)), // r−1
+		new(big.Int).Set(p.R),                // r ≡ 0
+		new(big.Int).Neg(big.NewInt(5)),      // negative
+	} {
+		if !tbl.Exp(k).Equal(base.Exp(k)) {
+			t.Fatalf("ExpTable.Exp(%v) ≠ Exp", k)
+		}
+	}
+	// Identity base: every power is the identity.
+	infTbl := p.PrepareExp(p.OneG())
+	if !infTbl.Exp(big.NewInt(7)).IsOne() {
+		t.Fatal("ExpTable over identity base not identity")
+	}
+}

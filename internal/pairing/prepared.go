@@ -93,6 +93,9 @@ func (p *Params) chordCoeff(r, s point) lineCoeff {
 // Pair computes e(P, q) using the cached lines.
 func (pre *PreparedG) Pair(q *G) (*GT, error) {
 	p := pre.p
+	if q == nil {
+		return nil, ErrBadEncoding
+	}
 	if q.p != p {
 		return nil, ErrMixedParams
 	}

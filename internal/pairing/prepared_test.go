@@ -97,3 +97,40 @@ func BenchmarkPrepare(b *testing.B) {
 		p.Prepare(g)
 	}
 }
+
+func TestPreparedPairBothIdentity(t *testing.T) {
+	p := Test()
+	preInf := p.Prepare(p.OneG())
+	got, err := preInf.Pair(p.OneG())
+	if err != nil || !got.IsOne() {
+		t.Fatalf("e(∞, ∞) = %v, %v", got, err)
+	}
+}
+
+func TestPreparedPairAgreesWithNSinglePairings(t *testing.T) {
+	p := Test()
+	g := p.Generator()
+	a, _ := p.RandomScalar(rand.Reader)
+	ga := g.Exp(a)
+	pre := p.Prepare(ga)
+	const n = 6
+	for i := 0; i < n; i++ {
+		k, _ := p.RandomScalar(rand.Reader)
+		q := g.Exp(k)
+		got, err := pre.Pair(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(p.MustPair(ga, q)) {
+			t.Fatalf("pairing %d: prepared ≠ plain", i)
+		}
+	}
+}
+
+func TestPreparedPairRejectsNil(t *testing.T) {
+	p := Test()
+	pre := p.Prepare(p.Generator())
+	if _, err := pre.Pair(nil); err == nil {
+		t.Fatal("nil second argument accepted")
+	}
+}

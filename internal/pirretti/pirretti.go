@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -141,12 +142,38 @@ func (a *Authority) Issue(uid string, rnd io.Reader) (*UserKey, error) {
 		}
 	}
 	a.mu.Unlock()
+	sort.Strings(attrs)
 
 	sk, err := a.inner.KeyGen(attrs, rnd)
 	if err != nil {
 		return nil, err
 	}
 	return &UserKey{UID: uid, Epoch: epoch, SK: sk}, nil
+}
+
+// ReissueAll refreshes every enrolled user's key for the current epoch — the
+// authority-side bulk of each rekeying interval, and the workload the
+// revocation-cost comparison charges to this baseline. Users are processed
+// in sorted order so the rnd consumption sequence is reproducible; the
+// per-attribute work inside each KeyGen fans out on the engine pool.
+func (a *Authority) ReissueAll(rnd io.Reader) (map[string]*UserKey, error) {
+	a.mu.Lock()
+	uids := make([]string, 0, len(a.granted))
+	for uid := range a.granted {
+		uids = append(uids, uid)
+	}
+	a.mu.Unlock()
+	sort.Strings(uids)
+
+	keys := make(map[string]*UserKey, len(uids))
+	for _, uid := range uids {
+		key, err := a.Issue(uid, rnd)
+		if err != nil {
+			return nil, err
+		}
+		keys[uid] = key
+	}
+	return keys, nil
 }
 
 // Encrypt encrypts m under the policy, stamped with the current epoch.

@@ -154,3 +154,40 @@ func TestStampPolicy(t *testing.T) {
 		}
 	}
 }
+
+func TestReissueAll(t *testing.T) {
+	a, p := setup(t)
+	a.Grant("alice", []string{"doctor"})
+	a.Grant("bob", []string{"doctor", "nurse"})
+	if err := a.Revoke("bob", "nurse"); err != nil {
+		t.Fatal(err)
+	}
+	a.AdvanceEpoch()
+
+	keys, err := a.ReissueAll(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 2 {
+		t.Fatalf("got %d keys, want 2", len(keys))
+	}
+	for uid, k := range keys {
+		if k.UID != uid || k.Epoch != 1 {
+			t.Fatalf("key %q: uid=%q epoch=%d", uid, k.UID, k.Epoch)
+		}
+	}
+	// Bob's refreshed key omits the revoked attribute: it opens a
+	// doctor-policy ciphertext but not a nurse-policy one.
+	m, ct := encrypt(t, a, p, "doctor")
+	got, err := Decrypt(p, ct, keys["bob"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(m) {
+		t.Fatal("decryption mismatch after reissue")
+	}
+	_, ct2 := encrypt(t, a, p, "nurse")
+	if _, err := Decrypt(p, ct2, keys["bob"]); err == nil {
+		t.Fatal("revoked attribute still decrypts after reissue")
+	}
+}

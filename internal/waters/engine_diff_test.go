@@ -1,0 +1,84 @@
+package waters
+
+import (
+	"crypto/rand"
+	mrand "math/rand"
+	"testing"
+
+	"maacs/internal/engine"
+	"maacs/internal/pairing"
+)
+
+// Differential test: KeyGen, Encrypt and Decrypt must be bit-identical at
+// workers=1 (inline serial path) and workers=8 given the same randomness
+// stream.
+func TestSerialParallelIdentical(t *testing.T) {
+	p := pairing.Test()
+	auth, err := Setup(p, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attrs := []string{"doctor", "nurse", "researcher", "student"}
+
+	keygen := func(workers int) *SecretKey {
+		restore := engine.SetWorkers(workers)
+		defer restore()
+		sk, err := auth.KeyGen(attrs, mrand.New(mrand.NewSource(5)))
+		if err != nil {
+			t.Fatalf("KeyGen workers=%d: %v", workers, err)
+		}
+		return sk
+	}
+	skS, skP := keygen(1), keygen(8)
+	if !skS.K.Equal(skP.K) || !skS.L.Equal(skP.L) {
+		t.Fatal("K/L differ")
+	}
+	for q, k := range skS.KAttr {
+		if !k.Equal(skP.KAttr[q]) {
+			t.Fatalf("KAttr[%q] differs", q)
+		}
+	}
+
+	m, _, err := p.RandomGT(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pi, policy := range []string{
+		"doctor",
+		"doctor AND researcher",
+		"2 of (doctor, nurse, student)",
+		"(doctor AND nurse) OR researcher",
+	} {
+		encrypt := func(workers int) *Ciphertext {
+			restore := engine.SetWorkers(workers)
+			defer restore()
+			ct, err := Encrypt(auth.PK, m, policy, mrand.New(mrand.NewSource(int64(300+pi))))
+			if err != nil {
+				t.Fatalf("Encrypt(%q) workers=%d: %v", policy, workers, err)
+			}
+			return ct
+		}
+		ctS, ctP := encrypt(1), encrypt(8)
+		if !ctS.C.Equal(ctP.C) || !ctS.CPrime.Equal(ctP.CPrime) {
+			t.Fatalf("%q: C/C' differ", policy)
+		}
+		for i := range ctS.Ci {
+			if !ctS.Ci[i].Equal(ctP.Ci[i]) || !ctS.Di[i].Equal(ctP.Di[i]) {
+				t.Fatalf("%q: row %d differs", policy, i)
+			}
+		}
+
+		decrypt := func(workers int) bool {
+			restore := engine.SetWorkers(workers)
+			defer restore()
+			got, err := Decrypt(p, ctS, skS)
+			if err != nil {
+				t.Fatalf("Decrypt(%q) workers=%d: %v", policy, workers, err)
+			}
+			return got.Equal(m)
+		}
+		if !decrypt(1) || !decrypt(8) {
+			t.Fatalf("%q: decryption mismatch", policy)
+		}
+	}
+}

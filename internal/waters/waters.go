@@ -20,7 +20,9 @@ import (
 	"fmt"
 	"io"
 	"math/big"
+	"sort"
 
+	"maacs/internal/engine"
 	"maacs/internal/lsss"
 	"maacs/internal/pairing"
 )
@@ -109,16 +111,26 @@ func (a *Authority) KeyGen(attrs []string, rnd io.Reader) (*SecretKey, error) {
 	}
 	at := new(big.Int).Mul(a.msk.A, t)
 	sk := &SecretKey{
-		K:     a.msk.GAlpha.Mul(p.Generator().Exp(at)),
-		L:     p.Generator().Exp(t),
+		K:     a.msk.GAlpha.Mul(p.FixedBaseExp(at)),
+		L:     p.FixedBaseExp(t),
 		KAttr: make(map[string]*pairing.G, len(attrs)),
 	}
-	for _, x := range attrs {
-		h, err := hashAttr(p, x)
+	// Per-attribute components H(x)^t are independent hash+exponentiation
+	// jobs for the engine pool.
+	kAttrs := make([]*pairing.G, len(attrs))
+	err = engine.Default().Run(len(attrs), func(i int) error {
+		h, err := hashAttr(p, attrs[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
-		sk.KAttr[x] = h.Exp(t)
+		kAttrs[i] = h.Exp(t)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, x := range attrs {
+		sk.KAttr[x] = kAttrs[i]
 	}
 	return sk, nil
 }
@@ -148,22 +160,31 @@ func EncryptMatrix(pk *PublicKey, m *pairing.GT, policy string, matrix *lsss.Mat
 		Policy: policy,
 		Matrix: matrix,
 		C:      m.Mul(pk.EggAlpha.Exp(s)),
-		CPrime: p.Generator().Exp(s),
+		CPrime: p.FixedBaseExp(s),
 		Ci:     make([]*pairing.G, l),
 		Di:     make([]*pairing.G, l),
 	}
-	g := p.Generator()
-	for i, q := range matrix.Rho {
+	// Draw every per-row scalar serially first (deterministic rnd
+	// consumption at any worker count), then fan the row arithmetic out.
+	rs := make([]*big.Int, l)
+	for i := range matrix.Rho {
 		ri, err := p.RandomScalar(rnd)
 		if err != nil {
 			return nil, err
 		}
-		h, err := hashAttr(p, q)
+		rs[i] = ri
+	}
+	err = engine.Default().Run(l, func(i int) error {
+		h, err := hashAttr(p, matrix.Rho[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
-		ct.Ci[i] = pk.GA.Exp(lambda[i]).Mul(h.Exp(new(big.Int).Neg(ri)))
-		ct.Di[i] = g.Exp(ri)
+		ct.Ci[i] = engine.DualExp(pk.GA, lambda[i], h, new(big.Int).Neg(rs[i]))
+		ct.Di[i] = p.FixedBaseExp(rs[i])
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return ct, nil
 }
@@ -174,6 +195,7 @@ func Decrypt(p *pairing.Params, ct *Ciphertext, sk *SecretKey) (*pairing.GT, err
 	for q := range sk.KAttr {
 		held = append(held, q)
 	}
+	sort.Strings(held)
 	w, err := ct.Matrix.Reconstruct(held)
 	if err != nil {
 		if errors.Is(err, lsss.ErrNotSatisfied) {
@@ -181,26 +203,42 @@ func Decrypt(p *pairing.Params, ct *Ciphertext, sk *SecretKey) (*pairing.GT, err
 		}
 		return nil, err
 	}
+	used := make([]int, 0, len(w))
+	for i := range w {
+		used = append(used, i)
+	}
+	sort.Ints(used)
 	num, err := p.Pair(ct.CPrime, sk.K)
 	if err != nil {
 		return nil, err
 	}
-	den := p.OneGT()
-	for i, wi := range w {
+	// The per-row pairings are independent jobs; terms fold in row order so
+	// the result matches the serial loop bit-for-bit.
+	terms := make([]*pairing.GT, len(used))
+	err = engine.Default().Run(len(used), func(j int) error {
+		i := used[j]
 		q := ct.Matrix.Rho[i]
 		kx, ok := sk.KAttr[q]
 		if !ok {
-			return nil, fmt.Errorf("%w: %q", ErrMissingKey, q)
+			return fmt.Errorf("%w: %q", ErrMissingKey, q)
 		}
 		e1, err := p.Pair(ct.Ci[i], sk.L)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		e2, err := p.Pair(ct.Di[i], kx)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		den = den.Mul(e1.Mul(e2).Exp(wi))
+		terms[j] = e1.Mul(e2).Exp(w[i])
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	den := p.OneGT()
+	for _, t := range terms {
+		den = den.Mul(t)
 	}
 	return ct.C.Div(num.Div(den)), nil
 }

@@ -1,0 +1,13 @@
+#!/bin/sh
+# Pre-PR gate: vet, build, and race-test the whole module.
+# Run from anywhere inside the repository.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+echo "== go build ./..."
+go build ./...
+echo "== go test -race -short ./..."
+go test -race -short ./...
+echo "== OK"
