@@ -8,6 +8,7 @@
 //	maacs-bench -what tables        # only Tables I–IV
 //	maacs-bench -what fig3,fig4     # only the timing figures
 //	maacs-bench -what revocation    # only the revocation experiment
+//	maacs-bench -what reencrypt-batch  # per-ciphertext vs batched submission
 //	maacs-bench -points 2,5,8 -trials 3
 //	maacs-bench -fast               # small test curve (CI smoke run)
 //	maacs-bench -csv dir            # also write CSV series into dir
@@ -39,7 +40,7 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("maacs-bench", flag.ContinueOnError)
-	what := fs.String("what", "tables,fig3,fig4,revocation,ablation,scale,engine", "comma-separated experiments to run")
+	what := fs.String("what", "tables,fig3,fig4,revocation,ablation,scale,engine,reencrypt-batch", "comma-separated experiments to run")
 	points := fs.String("points", "2,5,8,11,14,17,20", "sweep values for the figures (paper: 2..20)")
 	fixed := fs.Int("fixed", 5, "value of the non-swept axis (paper: 5)")
 	trials := fs.Int("trials", 2, "trials per sweep point (paper: 20)")
@@ -47,6 +48,7 @@ func run(args []string, out io.Writer) error {
 	fast := fs.Bool("fast", false, "use the small test curve instead of paper-scale parameters")
 	csvDir := fs.String("csv", "", "directory to write CSV series into (optional)")
 	engineJSON := fs.String("engine-json", "BENCH_engine.json", "output path for the engine serial-vs-parallel report")
+	reencryptJSON := fs.String("reencrypt-json", "BENCH_reencrypt.json", "output path for the batched re-encryption report")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -168,6 +170,26 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(out, "  wrote %s\n\n", *engineJSON)
+	}
+
+	if want["reencrypt-batch"] {
+		report, err := bench.MeasureReEncryptBatch(params, rand.Reader, []int{2, 4, 8, 16}, *fixed, *trials)
+		if err != nil {
+			return fmt.Errorf("reencrypt-batch: %w", err)
+		}
+		report.Render(out)
+		f, err := os.Create(*reencryptJSON)
+		if err != nil {
+			return err
+		}
+		if err := report.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "  wrote %s\n\n", *reencryptJSON)
 	}
 	return nil
 }

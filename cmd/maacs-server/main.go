@@ -9,6 +9,12 @@
 //	maacs-server -addr 127.0.0.1:7744                        # net/rpc only
 //	maacs-server -addr 127.0.0.1:7744 -http 127.0.0.1:7745   # + HTTP/JSON gateway
 //	maacs-server -addr 127.0.0.1:7744 -fast                  # small test curve
+//	maacs-server -addr 127.0.0.1:7744 -workers 8             # engine pool width
+//
+// The HTTP gateway additionally serves POST /owners/{id}/reencrypt/batch
+// (many update-info sets fused into one engine run) and GET /metrics
+// (cumulative server + engine counters); the matching RPC methods are
+// CloudServer.ReEncryptBatch and CloudServer.Metrics.
 //
 // Clients must be configured with the same pairing parameters (the built-in
 // defaults on both sides match).
@@ -24,6 +30,7 @@ import (
 
 	"maacs/internal/cloud"
 	"maacs/internal/core"
+	"maacs/internal/engine"
 	"maacs/internal/pairing"
 )
 
@@ -31,7 +38,9 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:7744", "net/rpc address to listen on")
 	httpAddr := flag.String("http", "", "optional HTTP/JSON gateway address (e.g. 127.0.0.1:7745)")
 	fast := flag.Bool("fast", false, "use the small test curve")
+	workers := flag.Int("workers", 0, "engine pool width (0 = GOMAXPROCS)")
 	flag.Parse()
+	engine.SetWorkers(*workers)
 	if err := run(*addr, *httpAddr, *fast); err != nil {
 		fmt.Fprintln(os.Stderr, "maacs-server:", err)
 		os.Exit(1)

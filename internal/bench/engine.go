@@ -7,8 +7,6 @@ import (
 	"runtime"
 	"time"
 
-	"maacs/internal/cloud"
-	"maacs/internal/core"
 	"maacs/internal/engine"
 	"maacs/internal/pairing"
 )
@@ -89,60 +87,21 @@ func (r *EngineReport) measurePair(attrs int, op string, trials int, f func() er
 // that performs the re-encryption once (on fresh clones each call, so it can
 // be timed repeatedly).
 func reencryptWorkload(cfg Config, numCTs int) (func() error, error) {
-	w, err := SetupOurs(cfg)
+	sc, err := setupReencrypt(cfg, numCTs)
 	if err != nil {
 		return nil, err
 	}
-	cts := make([]*core.Ciphertext, numCTs)
-	for i := range cts {
-		ct, _, err := w.Encrypt()
-		if err != nil {
-			return nil, err
-		}
-		cts[i] = ct
-	}
-	aa := w.AAs[0]
-	fromV, _, err := aa.Rekey(cfg.Rnd)
-	if err != nil {
-		return nil, err
-	}
-	uk, err := aa.UpdateKeyFor(w.Owner.SecretKeyForAAs(), fromV)
-	if err != nil {
-		return nil, err
-	}
-	uiList, err := w.Owner.RevocationUpdate(uk, cts)
-	if err != nil {
-		return nil, err
-	}
-	uis := make(map[string]*core.UpdateInfo, len(uiList))
-	for i, ui := range uiList {
-		if ui != nil {
-			uis[cts[i].ID] = ui
-		}
-	}
-
 	return func() error {
-		// Fresh server each call: ReEncrypt mutates stored records, and the
-		// version bump makes a second application fail by design.
-		srv := cloud.NewServer(w.Sys, cloud.NewAccounting())
-		for i, ct := range cts {
-			rec := &cloud.Record{
-				ID:      fmt.Sprintf("rec%02d", i),
-				OwnerID: w.Owner.ID(),
-				Components: []cloud.StoredComponent{
-					{Label: "data", CT: ct.Clone()},
-				},
-			}
-			if err := srv.Store(rec); err != nil {
-				return err
-			}
-		}
-		n, _, err := srv.ReEncrypt(w.Owner.ID(), uis, uk)
+		srv, err := sc.freshServer()
 		if err != nil {
 			return err
 		}
-		if n != numCTs {
-			return fmt.Errorf("bench: re-encrypted %d of %d ciphertexts", n, numCTs)
+		report, err := srv.ReEncrypt(sc.w.Owner.ID(), sc.uis, sc.uk)
+		if err != nil {
+			return err
+		}
+		if report.Ciphertexts != numCTs {
+			return fmt.Errorf("bench: re-encrypted %d of %d ciphertexts", report.Ciphertexts, numCTs)
 		}
 		return nil
 	}, nil

@@ -1,0 +1,58 @@
+package bench
+
+import (
+	"crypto/rand"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"maacs/internal/pairing"
+)
+
+func TestMeasureReEncryptBatchProducesValidJSON(t *testing.T) {
+	report, err := MeasureReEncryptBatch(pairing.Test(), rand.Reader, []int{2, 4}, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Points) != 2 {
+		t.Fatalf("got %d points, want 2", len(report.Points))
+	}
+	for _, pt := range report.Points {
+		if pt.PerRequestNs <= 0 || pt.BatchedNs <= 0 || pt.Speedup <= 0 {
+			t.Fatalf("point %+v has non-positive measurement", pt)
+		}
+		// The fused run's per-request engine stats must be populated: at least
+		// one job per re-encrypted ciphertext (nested per-row runs add more),
+		// and some wall time.
+		if pt.BatchEngine.Jobs < uint64(pt.Ciphertexts) {
+			t.Fatalf("point %d: %d engine jobs, want >= %d", pt.Ciphertexts, pt.BatchEngine.Jobs, pt.Ciphertexts)
+		}
+		if pt.BatchEngine.WallNs <= 0 {
+			t.Fatalf("point %d: no engine wall time", pt.Ciphertexts)
+		}
+	}
+	if report.GOMAXPROCS < 1 || report.Workers < 1 {
+		t.Fatalf("bad parallelism metadata: %+v", report)
+	}
+
+	var buf strings.Builder
+	if err := report.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var round ReEncryptBatchReport
+	if err := json.Unmarshal([]byte(buf.String()), &round); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	if len(round.Points) != len(report.Points) {
+		t.Fatal("round-trip lost points")
+	}
+	if round.Points[0].BatchEngine != report.Points[0].BatchEngine {
+		t.Fatal("round-trip changed engine stats")
+	}
+
+	buf.Reset()
+	report.Render(&buf)
+	if buf.Len() == 0 {
+		t.Fatal("empty render")
+	}
+}

@@ -70,6 +70,27 @@ func (a *Accounting) Messages(ch Channel) int {
 	return a.msgs[ch]
 }
 
+// ChannelStats is one channel's tally in an accounting snapshot.
+type ChannelStats struct {
+	Bytes    int `json:"bytes"`
+	Messages int `json:"messages"`
+}
+
+// Snapshot returns a copy of every channel's tally — the per-channel rows of
+// the /metrics endpoint.
+func (a *Accounting) Snapshot() map[Channel]ChannelStats {
+	if a == nil {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make(map[Channel]ChannelStats, len(a.bytes))
+	for ch, n := range a.bytes {
+		out[ch] = ChannelStats{Bytes: n, Messages: a.msgs[ch]}
+	}
+	return out
+}
+
 // Reset zeroes all counters.
 func (a *Accounting) Reset() {
 	if a == nil {

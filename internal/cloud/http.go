@@ -6,9 +6,9 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
-	"strings"
 
 	"maacs/internal/core"
+	"maacs/internal/engine"
 )
 
 // HTTP gateway: a second transport for the cloud server, exposing the same
@@ -16,12 +16,14 @@ import (
 // plain HTTP/JSON (group elements travel base64-encoded in their wire
 // encodings). Like the RPC layer, the gateway carries only public material.
 //
-//	POST /records                     — upload a record
-//	GET  /records/{id}                — fetch a record
-//	GET  /records/{id}/{label}        — fetch one component
-//	GET  /owners/{id}/ciphertexts     — list an owner's ciphertexts
-//	POST /owners/{id}/reencrypt       — submit a revocation re-encryption
-//	GET  /healthz                     — liveness
+//	POST /records                       — upload a record
+//	GET  /records/{id}                  — fetch a record
+//	GET  /records/{id}/{label}          — fetch one component
+//	GET  /owners/{id}/ciphertexts       — list an owner's ciphertexts
+//	POST /owners/{id}/reencrypt         — submit a revocation re-encryption
+//	POST /owners/{id}/reencrypt/batch   — submit many update-info sets at once
+//	GET  /metrics                       — cumulative server + engine counters
+//	GET  /healthz                       — liveness
 
 // HTTPComponent is the JSON form of a stored component.
 type HTTPComponent struct {
@@ -37,16 +39,41 @@ type HTTPRecord struct {
 	Components []HTTPComponent `json:"components"`
 }
 
-// HTTPReEncryptRequest is the JSON body of a re-encryption submission.
+// HTTPReEncryptRequest is the JSON body of a re-encryption submission, and
+// one item of a batched submission.
 type HTTPReEncryptRequest struct {
 	UpdateKey   string   `json:"updateKey"`   // base64 core.UpdateKey
 	UpdateInfos []string `json:"updateInfos"` // base64 core.UpdateInfo each
 }
 
-// HTTPReEncryptResponse reports the proxy re-encryption work done.
+// HTTPReEncryptResponse reports the proxy re-encryption work done, including
+// the engine activity this request caused.
 type HTTPReEncryptResponse struct {
-	Ciphertexts int `json:"ciphertexts"`
-	Rows        int `json:"rows"`
+	Ciphertexts int          `json:"ciphertexts"`
+	Rows        int          `json:"rows"`
+	Engine      engine.Stats `json:"engine"`
+}
+
+// HTTPBatchReEncryptRequest is the JSON body of a batched submission: many
+// update-info sets streamed through one engine run.
+type HTTPBatchReEncryptRequest struct {
+	Items []HTTPReEncryptRequest `json:"items"`
+}
+
+// HTTPBatchReEncryptResponse reports per-item and total work plus the fused
+// run's engine activity.
+type HTTPBatchReEncryptResponse struct {
+	Items       []ReEncryptResult `json:"items"`
+	Ciphertexts int               `json:"ciphertexts"`
+	Rows        int               `json:"rows"`
+	Engine      engine.Stats      `json:"engine"`
+}
+
+// HTTPMetrics is the GET /metrics body: the server's cumulative counters
+// plus the per-channel communication tallies.
+type HTTPMetrics struct {
+	Metrics
+	Channels map[Channel]ChannelStats `json:"channels,omitempty"`
 }
 
 // httpError is the JSON error envelope.
@@ -61,12 +88,14 @@ func NewHTTPHandler(sys *core.System, server *Server) http.Handler {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	mux.HandleFunc("GET /metrics", h.metrics)
 	mux.HandleFunc("POST /records", h.storeRecord)
 	mux.HandleFunc("GET /records/{id}", h.fetchRecord)
 	mux.HandleFunc("DELETE /records/{id}", h.deleteRecord)
 	mux.HandleFunc("GET /records/{id}/{label}", h.fetchComponent)
 	mux.HandleFunc("GET /owners/{id}/ciphertexts", h.listCiphertexts)
 	mux.HandleFunc("POST /owners/{id}/reencrypt", h.reencrypt)
+	mux.HandleFunc("POST /owners/{id}/reencrypt/batch", h.reencryptBatch)
 	return mux
 }
 
@@ -77,10 +106,33 @@ type httpGateway struct {
 
 const maxHTTPBody = 64 << 20 // generous cap; ciphertexts are small
 
+// decodeBody decodes the size-capped JSON body into v, writing the error
+// response (413 for an overflowing body, 400 otherwise) on failure.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxHTTPBody)).Decode(v)
+	if err == nil {
+		return true
+	}
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		writeJSON(w, http.StatusRequestEntityTooLarge,
+			httpError{Error: fmt.Sprintf("body exceeds %d bytes", tooBig.Limit)})
+		return false
+	}
+	writeJSON(w, http.StatusBadRequest, httpError{Error: "bad json: " + err.Error()})
+	return false
+}
+
+func (h *httpGateway) metrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, HTTPMetrics{
+		Metrics:  h.server.Metrics(),
+		Channels: h.server.acct.Snapshot(),
+	})
+}
+
 func (h *httpGateway) storeRecord(w http.ResponseWriter, r *http.Request) {
 	var in HTTPRecord
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxHTTPBody)).Decode(&in); err != nil {
-		writeJSON(w, http.StatusBadRequest, httpError{Error: "bad json: " + err.Error()})
+	if !decodeBody(w, r, &in) {
 		return
 	}
 	rec := &Record{ID: in.ID, OwnerID: in.OwnerID}
@@ -103,7 +155,7 @@ func (h *httpGateway) storeRecord(w http.ResponseWriter, r *http.Request) {
 		rec.Components = append(rec.Components, StoredComponent{Label: c.Label, CT: ct, Sealed: sealed})
 	}
 	if err := h.server.Store(rec); err != nil {
-		writeJSON(w, http.StatusConflict, httpError{Error: err.Error()})
+		writeJSON(w, statusFor(err), httpError{Error: err.Error()})
 		return
 	}
 	writeJSON(w, http.StatusCreated, map[string]string{"id": rec.ID})
@@ -153,43 +205,87 @@ func (h *httpGateway) listCiphertexts(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string][]string{"ciphertexts": out})
 }
 
-func (h *httpGateway) reencrypt(w http.ResponseWriter, r *http.Request) {
-	var in HTTPReEncryptRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxHTTPBody)).Decode(&in); err != nil {
-		writeJSON(w, http.StatusBadRequest, httpError{Error: "bad json: " + err.Error()})
-		return
-	}
+// decodeReEncryptItem decodes one update-info set, rejecting duplicate
+// ciphertext IDs (silent overwrites in the map would drop update info on the
+// floor and report success).
+func decodeReEncryptItem(sys *core.System, in HTTPReEncryptRequest) (ReEncryptItem, error) {
 	ukRaw, err := base64.StdEncoding.DecodeString(in.UpdateKey)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, httpError{Error: "bad update key encoding"})
-		return
+		return ReEncryptItem{}, errors.New("bad update key encoding")
 	}
-	uk, err := core.UnmarshalUpdateKey(h.sys.Params, ukRaw)
+	uk, err := core.UnmarshalUpdateKey(sys.Params, ukRaw)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, httpError{Error: err.Error()})
-		return
+		return ReEncryptItem{}, err
 	}
 	uis := make(map[string]*core.UpdateInfo, len(in.UpdateInfos))
 	for i, s := range in.UpdateInfos {
 		raw, err := base64.StdEncoding.DecodeString(s)
 		if err != nil {
-			writeJSON(w, http.StatusBadRequest, httpError{Error: fmt.Sprintf("bad update info %d", i)})
-			return
+			return ReEncryptItem{}, fmt.Errorf("bad update info %d", i)
 		}
-		ui, err := core.UnmarshalUpdateInfo(h.sys.Params, raw)
+		ui, err := core.UnmarshalUpdateInfo(sys.Params, raw)
 		if err != nil {
-			writeJSON(w, http.StatusBadRequest, httpError{Error: err.Error()})
-			return
+			return ReEncryptItem{}, err
+		}
+		if _, dup := uis[ui.CiphertextID]; dup {
+			return ReEncryptItem{}, fmt.Errorf("%w: ciphertext %q listed twice", ErrDuplicateUpdateInfo, ui.CiphertextID)
 		}
 		uis[ui.CiphertextID] = ui
 	}
-	ownerID := r.PathValue("id")
-	cts, rows, err := h.server.ReEncrypt(ownerID, uis, uk)
+	return ReEncryptItem{UK: uk, UIs: uis}, nil
+}
+
+func (h *httpGateway) reencrypt(w http.ResponseWriter, r *http.Request) {
+	var in HTTPReEncryptRequest
+	if !decodeBody(w, r, &in) {
+		return
+	}
+	item, err := decodeReEncryptItem(h.sys, in)
 	if err != nil {
 		writeJSON(w, statusFor(err), httpError{Error: err.Error()})
 		return
 	}
-	writeJSON(w, http.StatusOK, HTTPReEncryptResponse{Ciphertexts: cts, Rows: rows})
+	report, err := h.server.ReEncrypt(r.PathValue("id"), item.UIs, item.UK)
+	if err != nil {
+		writeJSON(w, statusFor(err), httpError{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, HTTPReEncryptResponse{
+		Ciphertexts: report.Ciphertexts,
+		Rows:        report.Rows,
+		Engine:      report.Engine,
+	})
+}
+
+func (h *httpGateway) reencryptBatch(w http.ResponseWriter, r *http.Request) {
+	var in HTTPBatchReEncryptRequest
+	if !decodeBody(w, r, &in) {
+		return
+	}
+	if len(in.Items) == 0 {
+		writeJSON(w, http.StatusBadRequest, httpError{Error: "batch has no items"})
+		return
+	}
+	items := make([]ReEncryptItem, len(in.Items))
+	for i, hin := range in.Items {
+		item, err := decodeReEncryptItem(h.sys, hin)
+		if err != nil {
+			writeJSON(w, statusFor(err), httpError{Error: fmt.Sprintf("item %d: %v", i, err)})
+			return
+		}
+		items[i] = item
+	}
+	report, err := h.server.ReEncryptBatch(r.PathValue("id"), items)
+	if err != nil {
+		writeJSON(w, statusFor(err), httpError{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, HTTPBatchReEncryptResponse{
+		Items:       report.Items,
+		Ciphertexts: report.Ciphertexts,
+		Rows:        report.Rows,
+		Engine:      report.Engine,
+	})
 }
 
 func toHTTPRecord(rec *Record) HTTPRecord {
@@ -206,14 +302,14 @@ func toHTTPRecord(rec *Record) HTTPRecord {
 
 func statusFor(err error) int {
 	switch {
-	case errors.Is(err, ErrRecordNotFound), errors.Is(err, ErrComponentNotFound):
+	case errors.Is(err, ErrRecordNotFound),
+		errors.Is(err, ErrComponentNotFound),
+		errors.Is(err, ErrUnknownOwner):
 		return http.StatusNotFound
-	case errors.Is(err, core.ErrVersionMismatch):
+	case errors.Is(err, core.ErrVersionMismatch),
+		errors.Is(err, ErrAlreadyStored):
 		return http.StatusConflict
 	default:
-		if strings.Contains(err.Error(), "already stored") {
-			return http.StatusConflict
-		}
 		return http.StatusBadRequest
 	}
 }

@@ -47,6 +47,24 @@ func decodeJSON[T any](t *testing.T, resp *http.Response) T {
 	return out
 }
 
+// httpHospitalFixture serves the gateway over the full hospital scenario so
+// revocation flows can be driven end-to-end over HTTP.
+func httpHospitalFixture(t *testing.T) (*Env, *OwnerClient, *httptest.Server) {
+	t.Helper()
+	env, owner := hospitalEnv(t)
+	ts := httptest.NewServer(NewHTTPHandler(env.Sys, env.Server))
+	t.Cleanup(ts.Close)
+	return env, owner, ts
+}
+
+func encodeReEncryptRequest(uk *core.UpdateKey, uis []*core.UpdateInfo) HTTPReEncryptRequest {
+	req := HTTPReEncryptRequest{UpdateKey: base64.StdEncoding.EncodeToString(uk.Marshal())}
+	for _, ui := range uis {
+		req.UpdateInfos = append(req.UpdateInfos, base64.StdEncoding.EncodeToString(ui.Marshal()))
+	}
+	return req
+}
+
 func TestHTTPHealthz(t *testing.T) {
 	_, ts := httpFixture(t)
 	resp, err := http.Get(ts.URL + "/healthz")
@@ -245,5 +263,160 @@ func TestHTTPRevocationFlow(t *testing.T) {
 	key := &hybrid.ContentKey{Element: el}
 	if data, err := key.Open(sealed); err != nil || !bytes.Equal(data, []byte("s")) {
 		t.Fatalf("post-revocation read failed: %v", err)
+	}
+}
+
+func TestHTTPBatchReEncryptAndMetrics(t *testing.T) {
+	env, owner, ts := httpHospitalFixture(t)
+	uploadPatientRecord(t, owner)
+	if _, err := owner.Upload("patient-8", []UploadComponent{
+		{Label: "name", Data: []byte("Bill"), Policy: "med:doctor"},
+		{Label: "notes", Data: []byte("obs"), Policy: "med:nurse"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	uk, uis := revocationInputs(t, env, owner)
+	if len(uis) != 5 {
+		t.Fatalf("expected update info for all 5 ciphertexts, got %d", len(uis))
+	}
+
+	// Split the revocation into two disjoint update-info sets and submit them
+	// as one batch.
+	var a, b []*core.UpdateInfo
+	i := 0
+	for _, ui := range uis {
+		if i%2 == 0 {
+			a = append(a, ui)
+		} else {
+			b = append(b, ui)
+		}
+		i++
+	}
+	req := HTTPBatchReEncryptRequest{Items: []HTTPReEncryptRequest{
+		encodeReEncryptRequest(uk, a),
+		encodeReEncryptRequest(uk, b),
+	}}
+	resp := postJSON(t, ts.URL+"/owners/hospital/reencrypt/batch", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d", resp.StatusCode)
+	}
+	out := decodeJSON[HTTPBatchReEncryptResponse](t, resp)
+	if out.Ciphertexts != len(uis) {
+		t.Fatalf("batch re-encrypted %d ciphertexts, want %d", out.Ciphertexts, len(uis))
+	}
+	if len(out.Items) != 2 || out.Items[0].Ciphertexts+out.Items[1].Ciphertexts != out.Ciphertexts {
+		t.Fatalf("per-item breakdown inconsistent: %+v", out)
+	}
+	if out.Engine.Jobs == 0 {
+		t.Fatalf("batch response carries no engine activity: %+v", out.Engine)
+	}
+	if out.Engine.WallNs <= 0 {
+		t.Fatalf("batch response has no wall time: %+v", out.Engine)
+	}
+
+	// The cumulative metrics agree with the one request served so far.
+	mResp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mResp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %d", mResp.StatusCode)
+	}
+	m := decodeJSON[HTTPMetrics](t, mResp)
+	if m.Records != 2 || m.StoreRequests != 2 {
+		t.Fatalf("metrics records/stores = %d/%d, want 2/2", m.Records, m.StoreRequests)
+	}
+	if m.ReEncryptRequests != 1 || m.ReEncryptItems != 2 {
+		t.Fatalf("metrics requests/items = %d/%d, want 1/2", m.ReEncryptRequests, m.ReEncryptItems)
+	}
+	if m.ReEncryptedCiphertexts != uint64(out.Ciphertexts) || m.ReEncryptedRows != uint64(out.Rows) {
+		t.Fatalf("metrics totals %d/%d, response %d/%d",
+			m.ReEncryptedCiphertexts, m.ReEncryptedRows, out.Ciphertexts, out.Rows)
+	}
+	if m.Engine.Jobs != out.Engine.Jobs {
+		t.Fatalf("cumulative engine jobs %d, per-request %d", m.Engine.Jobs, out.Engine.Jobs)
+	}
+	if m.Channels[ChanServerOwner].Bytes == 0 || m.Channels[ChanServerOwner].Messages == 0 {
+		t.Fatalf("metrics missing channel tallies: %+v", m.Channels)
+	}
+}
+
+func TestHTTPBatchReEncryptErrors(t *testing.T) {
+	env, owner, ts := httpHospitalFixture(t)
+	uploadPatientRecord(t, owner)
+	uk, uis := revocationInputs(t, env, owner)
+	var all []*core.UpdateInfo
+	for _, ui := range uis {
+		all = append(all, ui)
+	}
+	good := encodeReEncryptRequest(uk, all)
+	batchURL := ts.URL + "/owners/hospital/reencrypt/batch"
+
+	expect := func(status int, body any, url string) {
+		t.Helper()
+		resp := postJSON(t, url, body)
+		if resp.StatusCode != status {
+			t.Fatalf("status %d, want %d", resp.StatusCode, status)
+		}
+		resp.Body.Close()
+	}
+
+	// An empty batch is malformed.
+	expect(http.StatusBadRequest, HTTPBatchReEncryptRequest{}, batchURL)
+
+	// The same ciphertext listed twice inside one item.
+	dup := good
+	dup.UpdateInfos = append(append([]string(nil), good.UpdateInfos...), good.UpdateInfos[0])
+	expect(http.StatusBadRequest,
+		HTTPBatchReEncryptRequest{Items: []HTTPReEncryptRequest{dup}}, batchURL)
+
+	// The same ciphertext claimed by two items of the batch.
+	expect(http.StatusBadRequest,
+		HTTPBatchReEncryptRequest{Items: []HTTPReEncryptRequest{good, good}}, batchURL)
+
+	// Broken base64 in an item's update info and update key.
+	badUI := good
+	badUI.UpdateInfos = []string{"!!!not-base64"}
+	expect(http.StatusBadRequest,
+		HTTPBatchReEncryptRequest{Items: []HTTPReEncryptRequest{badUI}}, batchURL)
+	badUK := good
+	badUK.UpdateKey = "%%%"
+	expect(http.StatusBadRequest,
+		HTTPBatchReEncryptRequest{Items: []HTTPReEncryptRequest{badUK}}, batchURL)
+
+	// An owner with no stored records.
+	expect(http.StatusNotFound,
+		HTTPBatchReEncryptRequest{Items: []HTTPReEncryptRequest{good}},
+		ts.URL+"/owners/ghost/reencrypt/batch")
+
+	// None of the rejected requests re-encrypted (or metered) anything.
+	mResp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := decodeJSON[HTTPMetrics](t, mResp); m.ReEncryptRequests != 0 {
+		t.Fatalf("rejected requests counted: %+v", m.Metrics)
+	}
+
+	// The well-formed batch goes through; replaying it hits the version check.
+	expect(http.StatusOK,
+		HTTPBatchReEncryptRequest{Items: []HTTPReEncryptRequest{good}}, batchURL)
+	expect(http.StatusConflict,
+		HTTPBatchReEncryptRequest{Items: []HTTPReEncryptRequest{good}}, batchURL)
+}
+
+func TestHTTPBodyTooLarge(t *testing.T) {
+	_, _, ts := httpHospitalFixture(t)
+	// An unterminated JSON string forces the decoder to read past the cap.
+	huge := append([]byte(`{"items": "`), bytes.Repeat([]byte("a"), maxHTTPBody+16)...)
+	resp, err := http.Post(ts.URL+"/owners/hospital/reencrypt/batch",
+		"application/json", bytes.NewReader(huge))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413", resp.StatusCode)
 	}
 }

@@ -169,12 +169,12 @@ func (a *Authority) RevokeAttribute(revokedUID, attrName string) (*RevocationRep
 			if len(uiByCT) == 0 {
 				continue
 			}
-			ctsHit, rows, err := env.Server.ReEncrypt(oc.Owner.ID(), uiByCT, uk)
+			reencReport, err := env.Server.ReEncrypt(oc.Owner.ID(), uiByCT, uk)
 			if err != nil {
 				return nil, err
 			}
-			report.CiphertextsHit += ctsHit
-			report.RowsReencrypted += rows
+			report.CiphertextsHit += reencReport.Ciphertexts
+			report.RowsReencrypted += reencReport.Rows
 		}
 	}
 	return report, nil

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"maacs/internal/core"
+	"maacs/internal/engine"
 )
 
 // This file provides the networked deployment of the cloud server: a
@@ -59,10 +60,34 @@ type RPCReEncryptArgs struct {
 	UpdateInfos [][]byte // core.UpdateInfo wire encodings
 }
 
-// RPCReEncryptReply reports the proxy re-encryption work done.
+// RPCReEncryptReply reports the proxy re-encryption work done, including the
+// engine activity the request caused.
 type RPCReEncryptReply struct {
 	Ciphertexts int
 	Rows        int
+	Engine      engine.Stats
+}
+
+// RPCReEncryptBatchArgs carries many update-info sets to run through one
+// fused engine fan-out.
+type RPCReEncryptBatchArgs struct {
+	OwnerID string
+	Items   []RPCReEncryptItem
+}
+
+// RPCReEncryptItem is one update-info set of a batched submission.
+type RPCReEncryptItem struct {
+	UpdateKey   []byte   // core.UpdateKey wire encoding
+	UpdateInfos [][]byte // core.UpdateInfo wire encodings
+}
+
+// RPCReEncryptBatchReply reports per-item and total work plus the fused
+// run's engine activity.
+type RPCReEncryptBatchReply struct {
+	Items       []ReEncryptResult
+	Ciphertexts int
+	Rows        int
+	Engine      engine.Stats
 }
 
 // ServerRPC exposes a *Server over net/rpc.
@@ -137,26 +162,67 @@ func (s *ServerRPC) Ciphertexts(args *RPCCiphertextsArgs, reply *RPCCiphertextsR
 	return nil
 }
 
-// ReEncrypt runs the proxy re-encryption for one revocation.
-func (s *ServerRPC) ReEncrypt(args *RPCReEncryptArgs, reply *RPCReEncryptReply) error {
-	uk, err := core.UnmarshalUpdateKey(s.sys.Params, args.UpdateKey)
+// decodeRPCItem decodes one update-info set, rejecting duplicate ciphertext
+// IDs (they would silently overwrite each other in the map).
+func (s *ServerRPC) decodeRPCItem(updateKey []byte, updateInfos [][]byte) (ReEncryptItem, error) {
+	uk, err := core.UnmarshalUpdateKey(s.sys.Params, updateKey)
 	if err != nil {
-		return fmt.Errorf("re-encrypt: %w", err)
+		return ReEncryptItem{}, fmt.Errorf("re-encrypt: %w", err)
 	}
-	uis := make(map[string]*core.UpdateInfo, len(args.UpdateInfos))
-	for i, raw := range args.UpdateInfos {
+	uis := make(map[string]*core.UpdateInfo, len(updateInfos))
+	for i, raw := range updateInfos {
 		ui, err := core.UnmarshalUpdateInfo(s.sys.Params, raw)
 		if err != nil {
-			return fmt.Errorf("re-encrypt info %d: %w", i, err)
+			return ReEncryptItem{}, fmt.Errorf("re-encrypt info %d: %w", i, err)
+		}
+		if _, dup := uis[ui.CiphertextID]; dup {
+			return ReEncryptItem{}, fmt.Errorf("%w: ciphertext %q listed twice", ErrDuplicateUpdateInfo, ui.CiphertextID)
 		}
 		uis[ui.CiphertextID] = ui
 	}
-	cts, rows, err := s.server.ReEncrypt(args.OwnerID, uis, uk)
+	return ReEncryptItem{UK: uk, UIs: uis}, nil
+}
+
+// ReEncrypt runs the proxy re-encryption for one revocation.
+func (s *ServerRPC) ReEncrypt(args *RPCReEncryptArgs, reply *RPCReEncryptReply) error {
+	item, err := s.decodeRPCItem(args.UpdateKey, args.UpdateInfos)
 	if err != nil {
 		return err
 	}
-	reply.Ciphertexts = cts
-	reply.Rows = rows
+	report, err := s.server.ReEncrypt(args.OwnerID, item.UIs, item.UK)
+	if err != nil {
+		return err
+	}
+	reply.Ciphertexts = report.Ciphertexts
+	reply.Rows = report.Rows
+	reply.Engine = report.Engine
+	return nil
+}
+
+// ReEncryptBatch streams many update-info sets through one engine run.
+func (s *ServerRPC) ReEncryptBatch(args *RPCReEncryptBatchArgs, reply *RPCReEncryptBatchReply) error {
+	items := make([]ReEncryptItem, len(args.Items))
+	for i, it := range args.Items {
+		item, err := s.decodeRPCItem(it.UpdateKey, it.UpdateInfos)
+		if err != nil {
+			return fmt.Errorf("item %d: %w", i, err)
+		}
+		items[i] = item
+	}
+	report, err := s.server.ReEncryptBatch(args.OwnerID, items)
+	if err != nil {
+		return err
+	}
+	reply.Items = report.Items
+	reply.Ciphertexts = report.Ciphertexts
+	reply.Rows = report.Rows
+	reply.Engine = report.Engine
+	return nil
+}
+
+// Metrics returns the server's cumulative counters.
+func (s *ServerRPC) Metrics(_ *struct{}, reply *Metrics) error {
+	*reply = s.server.Metrics()
 	return nil
 }
 
@@ -282,16 +348,51 @@ func (r *RemoteServer) CiphertextsOf(ownerID string) ([]*core.Ciphertext, error)
 }
 
 // ReEncrypt submits one revocation's proxy re-encryption.
-func (r *RemoteServer) ReEncrypt(ownerID string, uis map[string]*core.UpdateInfo, uk *core.UpdateKey) (int, int, error) {
+func (r *RemoteServer) ReEncrypt(ownerID string, uis map[string]*core.UpdateInfo, uk *core.UpdateKey) (*ReEncryptReport, error) {
 	args := &RPCReEncryptArgs{OwnerID: ownerID, UpdateKey: uk.Marshal()}
 	for _, ui := range uis {
 		args.UpdateInfos = append(args.UpdateInfos, ui.Marshal())
 	}
 	var reply RPCReEncryptReply
 	if err := r.client.Call("CloudServer.ReEncrypt", args, &reply); err != nil {
-		return 0, 0, err
+		return nil, err
 	}
-	return reply.Ciphertexts, reply.Rows, nil
+	return &ReEncryptReport{
+		Items:       []ReEncryptResult{{Ciphertexts: reply.Ciphertexts, Rows: reply.Rows}},
+		Ciphertexts: reply.Ciphertexts,
+		Rows:        reply.Rows,
+		Engine:      reply.Engine,
+	}, nil
+}
+
+// ReEncryptBatch submits many update-info sets for one fused engine run.
+func (r *RemoteServer) ReEncryptBatch(ownerID string, items []ReEncryptItem) (*ReEncryptReport, error) {
+	args := &RPCReEncryptBatchArgs{OwnerID: ownerID, Items: make([]RPCReEncryptItem, len(items))}
+	for i, it := range items {
+		args.Items[i].UpdateKey = it.UK.Marshal()
+		for _, ui := range it.UIs {
+			args.Items[i].UpdateInfos = append(args.Items[i].UpdateInfos, ui.Marshal())
+		}
+	}
+	var reply RPCReEncryptBatchReply
+	if err := r.client.Call("CloudServer.ReEncryptBatch", args, &reply); err != nil {
+		return nil, err
+	}
+	return &ReEncryptReport{
+		Items:       reply.Items,
+		Ciphertexts: reply.Ciphertexts,
+		Rows:        reply.Rows,
+		Engine:      reply.Engine,
+	}, nil
+}
+
+// Metrics fetches the server's cumulative counters.
+func (r *RemoteServer) Metrics() (*Metrics, error) {
+	var reply Metrics
+	if err := r.client.Call("CloudServer.Metrics", &struct{}{}, &reply); err != nil {
+		return nil, err
+	}
+	return &reply, nil
 }
 
 func (r *RemoteServer) decodeRecord(recordID string, reply *RPCFetchReply) (*Record, error) {

@@ -154,12 +154,15 @@ func TestRPCRevocationEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	uiMap := map[string]*core.UpdateInfo{uis[0].CiphertextID: uis[0]}
-	nCT, nRows, err := remote.ReEncrypt("hospital", uiMap, uk)
+	reencReport, err := remote.ReEncrypt("hospital", uiMap, uk)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if nCT != 1 || nRows != 1 {
-		t.Fatalf("re-encrypted %d cts/%d rows, want 1/1", nCT, nRows)
+	if reencReport.Ciphertexts != 1 || reencReport.Rows != 1 {
+		t.Fatalf("re-encrypted %d cts/%d rows, want 1/1", reencReport.Ciphertexts, reencReport.Rows)
+	}
+	if reencReport.Engine.Jobs == 0 {
+		t.Fatalf("remote re-encrypt reports zero engine jobs: %+v", reencReport.Engine)
 	}
 
 	// Bob updates his key; alice (revoked, no new key issued) is locked out.

@@ -12,8 +12,10 @@ import (
 
 // Errors reported by the server.
 var (
-	ErrRecordNotFound    = errors.New("cloud: record not found")
-	ErrComponentNotFound = errors.New("cloud: component not found")
+	ErrRecordNotFound      = errors.New("cloud: record not found")
+	ErrComponentNotFound   = errors.New("cloud: component not found")
+	ErrAlreadyStored       = errors.New("cloud: record already stored")
+	ErrDuplicateUpdateInfo = errors.New("cloud: duplicate update info")
 )
 
 // StoredComponent is one cell of the Fig. 2 record format: the CP-ABE
@@ -32,6 +34,62 @@ type Record struct {
 	Components []StoredComponent
 }
 
+// snapshot copies the record shell and its component slice. Stored
+// *core.Ciphertext values are immutable (ReEncrypt swaps the pointer in the
+// component slot rather than mutating the pointee), so sharing the pointers
+// is safe once they have been read under the server lock. The caller must
+// hold s.mu.
+func (r *Record) snapshot() *Record {
+	return &Record{
+		ID:         r.ID,
+		OwnerID:    r.OwnerID,
+		Components: append([]StoredComponent(nil), r.Components...),
+	}
+}
+
+// ReEncryptItem is one update-info set of a (possibly batched) re-encryption
+// request: the update key of one authority rekey plus the owner-generated
+// update information it applies.
+type ReEncryptItem struct {
+	UK  *core.UpdateKey
+	UIs map[string]*core.UpdateInfo
+}
+
+// ReEncryptResult counts the work one item of a re-encryption request did.
+type ReEncryptResult struct {
+	Ciphertexts int `json:"ciphertexts"`
+	Rows        int `json:"rows"`
+}
+
+// ReEncryptReport is the full outcome of a re-encryption request: per-item
+// counts, their totals, and the engine activity the request caused (jobs,
+// PairProd chunks, cache hits/misses, wall time).
+type ReEncryptReport struct {
+	Items       []ReEncryptResult `json:"items"`
+	Ciphertexts int               `json:"ciphertexts"`
+	Rows        int               `json:"rows"`
+	Engine      engine.Stats      `json:"engine"`
+}
+
+// Metrics is the server's cumulative observability surface, exposed over
+// GET /metrics and CloudServer.Metrics.
+type Metrics struct {
+	// Records is the number of records currently stored.
+	Records int `json:"records"`
+	// StoreRequests counts successful uploads (rejected duplicates excluded).
+	StoreRequests uint64 `json:"store_requests"`
+	// ReEncryptRequests counts re-encryption requests (a batch counts once).
+	ReEncryptRequests uint64 `json:"reencrypt_requests"`
+	// ReEncryptItems counts update-info sets across all requests.
+	ReEncryptItems uint64 `json:"reencrypt_items"`
+	// ReEncryptedCiphertexts / ReEncryptedRows total the proxy work done.
+	ReEncryptedCiphertexts uint64 `json:"reencrypted_ciphertexts"`
+	ReEncryptedRows        uint64 `json:"reencrypted_rows"`
+	// Engine accumulates the engine.Stats deltas of every re-encryption run
+	// on this server (WallNs is the summed fan-out wall time).
+	Engine engine.Stats `json:"engine"`
+}
+
 // Server is the cloud storage server: it stores records, serves downloads,
 // and performs proxy re-encryption during revocation. It holds no secret key
 // material and never sees a plaintext or content key.
@@ -41,6 +99,7 @@ type Server struct {
 
 	mu      sync.Mutex
 	records map[string]*Record
+	metrics Metrics
 }
 
 // NewServer creates a server over the system's public parameters.
@@ -48,55 +107,66 @@ func NewServer(sys *core.System, acct *Accounting) *Server {
 	return &Server{sys: sys, acct: acct, records: make(map[string]*Record)}
 }
 
-// Store uploads a record (Server↔Owner channel).
+// Store uploads a record (Server↔Owner channel). Rejected duplicates are not
+// metered: the upload never happened, so it must not inflate the Table IV
+// communication tally.
 func (s *Server) Store(rec *Record) error {
 	size := 0
 	for _, c := range rec.Components {
 		size += c.CT.Size(s.sys.Params) + len(c.Sealed)
 	}
-	s.acct.Add(ChanServerOwner, size)
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, ok := s.records[rec.ID]; ok {
-		return fmt.Errorf("cloud: record %q already stored", rec.ID)
+		return fmt.Errorf("%w: %q", ErrAlreadyStored, rec.ID)
 	}
 	s.records[rec.ID] = rec
+	s.metrics.StoreRequests++
+	s.acct.Add(ChanServerOwner, size)
 	return nil
 }
 
-// Fetch downloads a whole record (Server↔User channel).
+// Fetch downloads a whole record (Server↔User channel). The returned record
+// is a snapshot: concurrent re-encryptions never alias into it.
 func (s *Server) Fetch(recordID string) (*Record, error) {
 	s.mu.Lock()
 	rec, ok := s.records[recordID]
+	var cp *Record
+	if ok {
+		cp = rec.snapshot()
+	}
 	s.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrRecordNotFound, recordID)
 	}
 	size := 0
-	for _, c := range rec.Components {
+	for _, c := range cp.Components {
 		size += c.CT.Size(s.sys.Params) + len(c.Sealed)
 	}
 	s.acct.Add(ChanServerUser, size)
-	return rec, nil
+	return cp, nil
 }
 
 // FetchComponent downloads a single component by label — the fine-grained
-// access path (different users decrypt different numbers of components).
+// access path (different users decrypt different numbers of components). The
+// component is copied under the lock for the same reason Fetch snapshots.
 func (s *Server) FetchComponent(recordID, label string) (*StoredComponent, error) {
 	s.mu.Lock()
 	rec, ok := s.records[recordID]
-	s.mu.Unlock()
 	if !ok {
+		s.mu.Unlock()
 		return nil, fmt.Errorf("%w: %q", ErrRecordNotFound, recordID)
 	}
 	for i := range rec.Components {
 		if rec.Components[i].Label == label {
 			c := rec.Components[i]
+			s.mu.Unlock()
 			s.acct.Add(ChanServerUser, c.CT.Size(s.sys.Params)+len(c.Sealed))
 			return &c, nil
 		}
 	}
+	s.mu.Unlock()
 	return nil, fmt.Errorf("%w: %q/%q", ErrComponentNotFound, recordID, label)
 }
 
@@ -138,7 +208,10 @@ func (s *Server) sortedIDsLocked() []string {
 
 // CiphertextsOf returns the content-key ciphertexts of an owner's records
 // (the inputs the owner needs to build revocation update information), in
-// stable order: records sorted by ID, components in stored order.
+// stable order: records sorted by ID, components in stored order. The
+// pointers are snapshotted under the lock; the pointees are immutable, so a
+// concurrent re-encryption (which swaps slots to fresh ciphertexts) cannot
+// race with the caller.
 func (s *Server) CiphertextsOf(ownerID string) []*core.Ciphertext {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -155,26 +228,65 @@ func (s *Server) CiphertextsOf(ownerID string) []*core.Ciphertext {
 	return out
 }
 
+// Metrics returns a copy of the server's cumulative counters.
+func (s *Server) Metrics() Metrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := s.metrics
+	m.Records = len(s.records)
+	return m
+}
+
 // ReEncrypt runs the proxy re-encryption for one revocation: it applies the
-// owner-supplied update information to every affected stored ciphertext,
-// fanning the per-ciphertext work out across the engine pool (each job also
-// parallelizes across its rows for wide policies). It returns the number of
-// ciphertexts updated and the total rows re-encrypted. The update is
-// all-or-nothing: on error no stored ciphertext is replaced.
-func (s *Server) ReEncrypt(ownerID string, uis map[string]*core.UpdateInfo, uk *core.UpdateKey) (cts, rows int, err error) {
-	for _, ui := range uis {
-		s.acct.Add(ChanServerOwner, ui.Size(s.sys.Params))
+// owner-supplied update information to every affected stored ciphertext. It
+// is the single-item form of ReEncryptBatch and shares its semantics.
+func (s *Server) ReEncrypt(ownerID string, uis map[string]*core.UpdateInfo, uk *core.UpdateKey) (*ReEncryptReport, error) {
+	return s.ReEncryptBatch(ownerID, []ReEncryptItem{{UK: uk, UIs: uis}})
+}
+
+// ReEncryptBatch streams many update-info sets through one engine run: all
+// affected components across all items are collected under a single lock
+// acquisition and fanned out together (each job also parallelizes across its
+// rows for wide policies), instead of paying one lock-and-run per request.
+// Items must target disjoint ciphertexts — chained version updates of the
+// same ciphertext need sequential requests. The update is all-or-nothing
+// across the whole batch: on error no stored ciphertext is replaced and
+// nothing is metered. The report carries per-item counts and the engine
+// activity of the fused run.
+func (s *Server) ReEncryptBatch(ownerID string, items []ReEncryptItem) (*ReEncryptReport, error) {
+	// An update-info set applies to exactly one stored slot; overlapping
+	// items would make two jobs race for the same slot (and the fused run
+	// cannot order chained version bumps), so reject them up front.
+	claimed := make(map[string]int)
+	for i, it := range items {
+		for id := range it.UIs {
+			if j, dup := claimed[id]; dup {
+				return nil, fmt.Errorf("%w: ciphertext %q in items %d and %d", ErrDuplicateUpdateInfo, id, j, i)
+			}
+			claimed[id] = i
+		}
 	}
-	s.acct.Add(ChanServerOwner, uk.Size(s.sys.Params))
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
 
+	ownerKnown := false
+	for _, rec := range s.records {
+		if rec.OwnerID == ownerID {
+			ownerKnown = true
+			break
+		}
+	}
+	if !ownerKnown {
+		return nil, fmt.Errorf("%w: %q has no stored records", ErrUnknownOwner, ownerID)
+	}
+
 	// Collect the affected components in stable record order, then fan out.
 	type workItem struct {
-		rec *Record
-		idx int
-		ui  *core.UpdateInfo
+		rec  *Record
+		idx  int
+		item int
+		ui   *core.UpdateInfo
 	}
 	var work []workItem
 	for _, id := range s.sortedIDsLocked() {
@@ -183,31 +295,55 @@ func (s *Server) ReEncrypt(ownerID string, uis map[string]*core.UpdateInfo, uk *
 			continue
 		}
 		for i := range rec.Components {
-			if ui, ok := uis[rec.Components[i].CT.ID]; ok {
-				work = append(work, workItem{rec: rec, idx: i, ui: ui})
+			ctID := rec.Components[i].CT.ID
+			item, ok := claimed[ctID]
+			if !ok {
+				continue
 			}
+			work = append(work, workItem{rec: rec, idx: i, item: item, ui: items[item].UIs[ctID]})
 		}
 	}
 
+	report := &ReEncryptReport{Items: make([]ReEncryptResult, len(items))}
 	reencs := make([]*core.Ciphertext, len(work))
 	touched := make([]int, len(work))
-	err = engine.Default().Run(len(work), func(j int) error {
-		w := work[j]
-		reenc, n, err := core.ReEncrypt(s.sys, w.rec.Components[w.idx].CT, w.ui, uk)
-		if err != nil {
-			return fmt.Errorf("re-encrypt record %q: %w", w.rec.ID, err)
-		}
-		reencs[j] = reenc
-		touched[j] = n
-		return nil
+	stats, err := engine.Measure(func() error {
+		return engine.Default().Run(len(work), func(j int) error {
+			w := work[j]
+			reenc, n, err := core.ReEncrypt(s.sys, w.rec.Components[w.idx].CT, w.ui, items[w.item].UK)
+			if err != nil {
+				return fmt.Errorf("re-encrypt record %q: %w", w.rec.ID, err)
+			}
+			reencs[j] = reenc
+			touched[j] = n
+			return nil
+		})
 	})
 	if err != nil {
-		return 0, 0, err
+		return nil, err
 	}
+	report.Engine = stats
+
 	for j, w := range work {
 		w.rec.Components[w.idx].CT = reencs[j]
-		cts++
-		rows += touched[j]
+		report.Items[w.item].Ciphertexts++
+		report.Items[w.item].Rows += touched[j]
+		report.Ciphertexts++
+		report.Rows += touched[j]
 	}
-	return cts, rows, nil
+
+	// Success: meter the owner's submission and fold the request into the
+	// cumulative metrics.
+	for _, it := range items {
+		for _, ui := range it.UIs {
+			s.acct.Add(ChanServerOwner, ui.Size(s.sys.Params))
+		}
+		s.acct.Add(ChanServerOwner, it.UK.Size(s.sys.Params))
+	}
+	s.metrics.ReEncryptRequests++
+	s.metrics.ReEncryptItems += uint64(len(items))
+	s.metrics.ReEncryptedCiphertexts += uint64(report.Ciphertexts)
+	s.metrics.ReEncryptedRows += uint64(report.Rows)
+	s.metrics.Engine = s.metrics.Engine.Add(stats)
+	return report, nil
 }

@@ -7,7 +7,9 @@
 //   - batched multi-pairing built on Params.PairProd and PreparedG, with a
 //     small LRU cache of prepared Miller-loop coefficients keyed by the
 //     serialized first argument,
-//   - fixed-base and simultaneous (Shamir's trick) exponentiation helpers.
+//   - fixed-base and simultaneous (Shamir's trick) exponentiation helpers,
+//   - process-wide activity counters (jobs, chunks, cache hits/misses)
+//     snapshotted via SnapshotStats and attributed to a region with Measure.
 //
 // Determinism guarantee: every helper produces results that are bit-identical
 // to the equivalent serial loop. Jobs write only to their own index of a
@@ -76,6 +78,7 @@ func (p *Pool) Run(n int, job func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
+	jobsScheduled.Add(uint64(n))
 	workers := p.workers
 	if workers > n {
 		workers = n

@@ -28,6 +28,7 @@ func (p *Pool) PairProd(params *pairing.Params, as, bs []*pairing.G) (*pairing.G
 	if chunks <= 1 {
 		return params.PairProd(as, bs)
 	}
+	chunksScheduled.Add(uint64(chunks))
 	parts, err := Collect(p, chunks, func(c int) (*pairing.GT, error) {
 		lo, hi := c*n/chunks, (c+1)*n/chunks
 		return params.PairProd(as[lo:hi], bs[lo:hi])

@@ -1,0 +1,123 @@
+package engine
+
+import (
+	"crypto/rand"
+	"testing"
+
+	"maacs/internal/pairing"
+)
+
+func TestStatsJobsCountedSerialAndParallel(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		pre := SnapshotStats()
+		if err := New(workers).Run(17, func(int) error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+		d := SnapshotStats().Delta(pre)
+		if d.Jobs != 17 {
+			t.Fatalf("workers=%d: %d jobs counted, want 17", workers, d.Jobs)
+		}
+	}
+	// Empty runs schedule nothing.
+	pre := SnapshotStats()
+	if err := New(4).Run(0, func(int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if d := SnapshotStats().Delta(pre); d.Jobs != 0 {
+		t.Fatalf("empty run counted %d jobs", d.Jobs)
+	}
+}
+
+func TestStatsMonotonicAndDeltaAdd(t *testing.T) {
+	a := SnapshotStats()
+	_ = New(2).Run(5, func(int) error { return nil })
+	b := SnapshotStats()
+	if b.Jobs < a.Jobs || b.Chunks < a.Chunks ||
+		b.PreparedHits < a.PreparedHits || b.PreparedMisses < a.PreparedMisses ||
+		b.ExpHits < a.ExpHits || b.ExpMisses < a.ExpMisses {
+		t.Fatalf("counters went backwards: %+v -> %+v", a, b)
+	}
+	d := b.Delta(a)
+	if got := a.Add(d); got != b {
+		t.Fatalf("a + (b-a) = %+v, want %+v", got, b)
+	}
+}
+
+func TestStatsPreparedCacheCountersAcrossPools(t *testing.T) {
+	p := pairing.Test()
+	a, _, err := p.RandomG(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs, _ := randomPairs(t, p, 6)
+
+	// First use of a fresh point: at least one miss, and one job per pairing.
+	pre := SnapshotStats()
+	serial, err := New(1).PairAll(a, bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1 := SnapshotStats().Delta(pre)
+	if d1.PreparedMisses == 0 {
+		t.Fatalf("fresh point served without a miss: %+v", d1)
+	}
+	if d1.Jobs != uint64(len(bs)) {
+		t.Fatalf("serial PairAll scheduled %d jobs, want %d", d1.Jobs, len(bs))
+	}
+
+	// Same point on a parallel pool: served from cache, same job count, and
+	// bit-identical results — the schedule never leaks into the output.
+	pre = SnapshotStats()
+	parallel, err := New(4).PairAll(a, bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2 := SnapshotStats().Delta(pre)
+	if d2.PreparedHits == 0 || d2.PreparedMisses != 0 {
+		t.Fatalf("cached point not served from cache: %+v", d2)
+	}
+	if d2.Jobs != d1.Jobs {
+		t.Fatalf("parallel scheduled %d jobs, serial %d", d2.Jobs, d1.Jobs)
+	}
+	for i := range serial {
+		if !serial[i].Equal(parallel[i]) {
+			t.Fatalf("pairing %d diverged between serial and parallel", i)
+		}
+	}
+}
+
+func TestStatsChunksCountedOnSplitOnly(t *testing.T) {
+	p := pairing.Test()
+	as, bs := randomPairs(t, p, 12)
+
+	pre := SnapshotStats()
+	if _, err := New(1).PairProd(p, as, bs); err != nil {
+		t.Fatal(err)
+	}
+	if d := SnapshotStats().Delta(pre); d.Chunks != 0 {
+		t.Fatalf("serial PairProd counted %d chunks", d.Chunks)
+	}
+
+	pre = SnapshotStats()
+	if _, err := New(4).PairProd(p, as, bs); err != nil {
+		t.Fatal(err)
+	}
+	if d := SnapshotStats().Delta(pre); d.Chunks != 4 {
+		t.Fatalf("split PairProd counted %d chunks, want 4", d.Chunks)
+	}
+}
+
+func TestMeasureAttributesWorkAndWallTime(t *testing.T) {
+	d, err := Measure(func() error {
+		return New(2).Run(9, func(int) error { return nil })
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Jobs != 9 {
+		t.Fatalf("measured %d jobs, want 9", d.Jobs)
+	}
+	if d.WallNs < 0 {
+		t.Fatalf("negative wall time %d", d.WallNs)
+	}
+}

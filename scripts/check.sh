@@ -10,4 +10,6 @@ echo "== go build ./..."
 go build ./...
 echo "== go test -race -short ./..."
 go test -race -short ./...
+echo "== go test -race ./internal/cloud/..."
+go test -race -count=1 ./internal/cloud/...
 echo "== OK"
