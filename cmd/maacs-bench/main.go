@@ -40,7 +40,7 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("maacs-bench", flag.ContinueOnError)
-	what := fs.String("what", "tables,fig3,fig4,revocation,ablation,scale,engine,reencrypt-batch", "comma-separated experiments to run")
+	what := fs.String("what", "tables,fig3,fig4,revocation,ablation,scale,engine,reencrypt-batch,pairing", "comma-separated experiments to run")
 	points := fs.String("points", "2,5,8,11,14,17,20", "sweep values for the figures (paper: 2..20)")
 	fixed := fs.Int("fixed", 5, "value of the non-swept axis (paper: 5)")
 	trials := fs.Int("trials", 2, "trials per sweep point (paper: 20)")
@@ -49,6 +49,7 @@ func run(args []string, out io.Writer) error {
 	csvDir := fs.String("csv", "", "directory to write CSV series into (optional)")
 	engineJSON := fs.String("engine-json", "BENCH_engine.json", "output path for the engine serial-vs-parallel report")
 	reencryptJSON := fs.String("reencrypt-json", "BENCH_reencrypt.json", "output path for the batched re-encryption report")
+	pairingJSON := fs.String("pairing-json", "BENCH_pairing.json", "output path for the pairing-kernel optimized-vs-reference report")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -190,6 +191,26 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(out, "  wrote %s\n\n", *reencryptJSON)
+	}
+
+	if want["pairing"] {
+		report, err := bench.MeasurePairing(params, rand.Reader, *fixed, *trials)
+		if err != nil {
+			return fmt.Errorf("pairing: %w", err)
+		}
+		report.Render(out)
+		f, err := os.Create(*pairingJSON)
+		if err != nil {
+			return err
+		}
+		if err := report.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "  wrote %s\n\n", *pairingJSON)
 	}
 	return nil
 }

@@ -1,0 +1,262 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"maacs/internal/engine"
+	"maacs/internal/pairing"
+)
+
+// PairingPoint is one measured operation of the pairing-kernel comparison:
+// the same work run on the optimized kernel (projective NAF Miller loop,
+// Lucas exponentiation, batch-inverted preparation) and on the retained
+// affine/naive reference kernel.
+type PairingPoint struct {
+	// Op names the operation: "pair", "prepared-pair", "prepare", "g-exp",
+	// "gt-exp", "encrypt", "decrypt".
+	Op string `json:"op"`
+	// Reps is the number of back-to-back executions inside one timed trial;
+	// the recorded times are already divided down to per-operation cost.
+	Reps int `json:"reps"`
+	// OptimizedNs and ReferenceNs are best-of-trials per-op wall times.
+	OptimizedNs int64 `json:"optimized_ns"`
+	ReferenceNs int64 `json:"reference_ns"`
+	// Speedup is ReferenceNs / OptimizedNs.
+	Speedup float64 `json:"speedup"`
+}
+
+// PairingReport is the machine-readable result of MeasurePairing, written
+// to BENCH_pairing.json. Both kernels run single-threaded (the engine pool
+// is pinned to one worker for the scheme-level rows), so the speedups are
+// pure kernel arithmetic, not parallelism.
+type PairingReport struct {
+	RBits  int            `json:"r_bits"`
+	QBits  int            `json:"q_bits"`
+	Trials int            `json:"trials"`
+	Attrs  int            `json:"attrs"`
+	Points []PairingPoint `json:"points"`
+}
+
+// timeBestPerOp runs f (which performs reps operations) trials times and
+// returns the fastest per-operation wall time.
+func timeBestPerOp(trials, reps int, f func() error) (time.Duration, error) {
+	best := time.Duration(0)
+	for t := 0; t < trials; t++ {
+		start := time.Now()
+		if err := f(); err != nil {
+			return 0, err
+		}
+		d := time.Since(start)
+		if best == 0 || d < best {
+			best = d
+		}
+	}
+	return best / time.Duration(reps), nil
+}
+
+// measureKernels times the op on both kernels and appends the point. opt and
+// ref are closures bound to the optimized and reference Params clones.
+func (r *PairingReport) measureKernels(op string, reps int, opt, ref func() error) error {
+	o, err := timeBestPerOp(r.Trials, reps, opt)
+	if err != nil {
+		return fmt.Errorf("%s optimized: %w", op, err)
+	}
+	rf, err := timeBestPerOp(r.Trials, reps, ref)
+	if err != nil {
+		return fmt.Errorf("%s reference: %w", op, err)
+	}
+	r.Points = append(r.Points, PairingPoint{
+		Op:          op,
+		Reps:        reps,
+		OptimizedNs: o.Nanoseconds(),
+		ReferenceNs: rf.Nanoseconds(),
+		Speedup:     float64(rf.Nanoseconds()) / float64(o.Nanoseconds()),
+	})
+	return nil
+}
+
+// kernelClone builds an independent Params with the same constants as p and
+// the requested kernel, so flipping the kernel never mutates shared state.
+func kernelClone(p *pairing.Params, k pairing.Kernel) (*pairing.Params, error) {
+	q, r, h, gx, gy := p.Export()
+	c, err := pairing.NewParams(q, r, h, gx, gy)
+	if err != nil {
+		return nil, err
+	}
+	c.SetKernel(k)
+	return c, nil
+}
+
+// MeasurePairing produces the optimized-vs-reference kernel comparison
+// behind BENCH_pairing.json: the pairing primitives head-to-head, then a
+// whole-scheme encrypt/decrypt at the given attribute count with every
+// group operation routed through each kernel. attrs is split as one
+// authority with attrs attributes.
+func MeasurePairing(params *pairing.Params, rnd io.Reader, attrs, trials int) (*PairingReport, error) {
+	report := &PairingReport{
+		RBits:  params.R.BitLen(),
+		QBits:  params.Q.BitLen(),
+		Trials: trials,
+		Attrs:  attrs,
+	}
+	opt, err := kernelClone(params, pairing.KernelOptimized)
+	if err != nil {
+		return nil, err
+	}
+	ref, err := kernelClone(params, pairing.KernelReference)
+	if err != nil {
+		return nil, err
+	}
+
+	// Primitive rows. Each kernel gets its own elements so results stay
+	// comparable without cross-Params mixing.
+	type prim struct {
+		op   string
+		reps int
+		mk   func(p *pairing.Params) (func() error, error)
+	}
+	prims := []prim{
+		{"pair", 2, func(p *pairing.Params) (func() error, error) {
+			ka, err := p.RandomScalar(rnd)
+			if err != nil {
+				return nil, err
+			}
+			kb, err := p.RandomScalar(rnd)
+			if err != nil {
+				return nil, err
+			}
+			ga, gb := p.Generator().Exp(ka), p.Generator().Exp(kb)
+			return func() error {
+				for i := 0; i < 2; i++ {
+					p.MustPair(ga, gb)
+				}
+				return nil
+			}, nil
+		}},
+		{"prepare", 2, func(p *pairing.Params) (func() error, error) {
+			g := p.Generator()
+			return func() error {
+				for i := 0; i < 2; i++ {
+					p.Prepare(g)
+				}
+				return nil
+			}, nil
+		}},
+		{"prepared-pair", 4, func(p *pairing.Params) (func() error, error) {
+			pre := p.Prepare(p.Generator())
+			k, err := p.RandomScalar(rnd)
+			if err != nil {
+				return nil, err
+			}
+			q := p.Generator().Exp(k)
+			return func() error {
+				for i := 0; i < 4; i++ {
+					if _, err := pre.Pair(q); err != nil {
+						return err
+					}
+				}
+				return nil
+			}, nil
+		}},
+		{"g-exp", 8, func(p *pairing.Params) (func() error, error) {
+			k, err := p.RandomScalar(rnd)
+			if err != nil {
+				return nil, err
+			}
+			g := p.Generator()
+			return func() error {
+				for i := 0; i < 8; i++ {
+					g.Exp(k)
+				}
+				return nil
+			}, nil
+		}},
+		{"gt-exp", 8, func(p *pairing.Params) (func() error, error) {
+			e := p.GTGenerator()
+			k, err := p.RandomScalar(rnd)
+			if err != nil {
+				return nil, err
+			}
+			return func() error {
+				for i := 0; i < 8; i++ {
+					e.Exp(k)
+				}
+				return nil
+			}, nil
+		}},
+	}
+	for _, pr := range prims {
+		fOpt, err := pr.mk(opt)
+		if err != nil {
+			return nil, err
+		}
+		fRef, err := pr.mk(ref)
+		if err != nil {
+			return nil, err
+		}
+		if err := report.measureKernels(pr.op, pr.reps, fOpt, fRef); err != nil {
+			return nil, err
+		}
+	}
+
+	// Whole-scheme rows: the same workload point built once per kernel, with
+	// the engine pool pinned to one worker so the comparison stays
+	// single-threaded.
+	restore := engine.SetWorkers(1)
+	defer restore()
+	mkScheme := func(p *pairing.Params) (*OursWorkload, func() error, func() error, error) {
+		w, err := SetupOurs(Config{Params: p, Authorities: 1, AttrsPerAuthority: attrs, Rnd: rnd})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		ct, _, err := w.Encrypt()
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		enc := func() error {
+			_, _, err := w.Encrypt()
+			return err
+		}
+		dec := func() error {
+			_, err := w.Decrypt(ct)
+			return err
+		}
+		return w, enc, dec, nil
+	}
+	_, encOpt, decOpt, err := mkScheme(opt)
+	if err != nil {
+		return nil, fmt.Errorf("pairing bench setup optimized: %w", err)
+	}
+	_, encRef, decRef, err := mkScheme(ref)
+	if err != nil {
+		return nil, fmt.Errorf("pairing bench setup reference: %w", err)
+	}
+	if err := report.measureKernels("encrypt", 1, encOpt, encRef); err != nil {
+		return nil, err
+	}
+	if err := report.measureKernels("decrypt", 1, decOpt, decRef); err != nil {
+		return nil, err
+	}
+	return report, nil
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *PairingReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Render prints a human-readable table of the report.
+func (r *PairingReport) Render(w io.Writer) {
+	fmt.Fprintf(w, "Pairing kernel optimized vs reference — |r|=%d, |q|=%d bits, attrs=%d (%d trials, best-of, single-threaded)\n",
+		r.RBits, r.QBits, r.Attrs, r.Trials)
+	fmt.Fprintf(w, "%-14s %14s %14s %8s\n", "op", "optimized", "reference", "speedup")
+	for _, pt := range r.Points {
+		fmt.Fprintf(w, "%-14s %14s %14s %7.2fx\n",
+			pt.Op, time.Duration(pt.OptimizedNs), time.Duration(pt.ReferenceNs), pt.Speedup)
+	}
+}

@@ -15,30 +15,115 @@ func benchParams(b *testing.B) *Params {
 	return Default()
 }
 
-func BenchmarkMillerLoop(b *testing.B) {
-	p := benchParams(b)
-	g := p.gen
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		p.miller(g, g)
+// benchKernels runs fn once per kernel as "optimized" and "reference"
+// sub-benchmarks, each on its own Params clone so SetKernel never touches
+// shared state, with allocation reporting on.
+func benchKernels(b *testing.B, fn func(b *testing.B, p *Params)) {
+	b.Helper()
+	base := benchParams(b)
+	for _, k := range []struct {
+		name   string
+		kernel Kernel
+	}{{"optimized", KernelOptimized}, {"reference", KernelReference}} {
+		q, r, h, gx, gy := base.Export()
+		p, err := NewParams(q, r, h, gx, gy)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p.SetKernel(k.kernel)
+		b.Run(k.name, func(b *testing.B) {
+			b.ReportAllocs()
+			fn(b, p)
+		})
 	}
+}
+
+// BenchmarkPair measures the full reduced pairing: projective NAF Miller
+// loop + Lucas final exponentiation vs the affine/naive reference. The
+// optimized/reference ratio here is the tentpole speedup figure.
+func BenchmarkPair(b *testing.B) {
+	benchKernels(b, func(b *testing.B, p *Params) {
+		ka, _ := p.RandomScalar(rand.Reader)
+		kb, _ := p.RandomScalar(rand.Reader)
+		ga, gb := p.Generator().Exp(ka), p.Generator().Exp(kb)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p.MustPair(ga, gb)
+		}
+	})
+}
+
+// BenchmarkMiller isolates the Miller loop (no final exponentiation).
+func BenchmarkMiller(b *testing.B) {
+	benchKernels(b, func(b *testing.B, p *Params) {
+		g := p.gen
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p.millerLoop(g, g)
+		}
+	})
+}
+
+// BenchmarkPreparedPair measures pairing against cached line coefficients.
+func BenchmarkPreparedPair(b *testing.B) {
+	benchKernels(b, func(b *testing.B, p *Params) {
+		pre := p.Prepare(p.Generator())
+		k, _ := p.RandomScalar(rand.Reader)
+		q := p.Generator().Exp(k)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := pre.Pair(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkPrepare measures building the line cache: one Montgomery batch
+// inversion (optimized) vs one ModInverse per Miller step (reference).
+func BenchmarkPrepare(b *testing.B) {
+	benchKernels(b, func(b *testing.B, p *Params) {
+		g := p.Generator()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p.Prepare(g)
+		}
+	})
+}
+
+// BenchmarkGExp measures scalar multiplication in G: Jacobian NAF ladder
+// with per-call scratch vs the affine double-and-add reference.
+func BenchmarkGExp(b *testing.B) {
+	benchKernels(b, func(b *testing.B, p *Params) {
+		k, _ := p.RandomScalar(rand.Reader)
+		g := p.Generator()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			g.Exp(k)
+		}
+	})
+}
+
+// BenchmarkGTExp measures target-group exponentiation: Lucas ladder vs
+// unitary square-and-multiply.
+func BenchmarkGTExp(b *testing.B) {
+	benchKernels(b, func(b *testing.B, p *Params) {
+		e := p.GTGenerator()
+		k, _ := p.RandomScalar(rand.Reader)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.Exp(k)
+		}
+	})
 }
 
 func BenchmarkFinalExp(b *testing.B) {
 	p := benchParams(b)
 	f := p.miller(p.gen, p.gen)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		p.finalExp(f)
-	}
-}
-
-func BenchmarkFullPairing(b *testing.B) {
-	p := benchParams(b)
-	g := p.Generator()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		p.MustPair(g, g)
 	}
 }
 
@@ -53,6 +138,7 @@ func BenchmarkPairProd4(b *testing.B) {
 		as[i] = g.Exp(ka)
 		bs[i] = g.Exp(kb)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := p.PairProd(as, bs); err != nil {
@@ -61,41 +147,14 @@ func BenchmarkPairProd4(b *testing.B) {
 	}
 }
 
-func BenchmarkExpJacobian(b *testing.B) {
-	p := benchParams(b)
-	k, _ := p.RandomScalar(rand.Reader)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		p.mulScalarJac(p.gen, k)
-	}
-}
-
-func BenchmarkExpAffine(b *testing.B) {
-	p := benchParams(b)
-	k, _ := p.RandomScalar(rand.Reader)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		p.mulScalarAffine(p.gen, k)
-	}
-}
-
 func BenchmarkExpFixedBase(b *testing.B) {
 	p := benchParams(b)
 	k, _ := p.RandomScalar(rand.Reader)
 	p.FixedBaseExp(k) // build the table outside the loop
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		p.FixedBaseExp(k)
-	}
-}
-
-func BenchmarkGTExpUnitary(b *testing.B) {
-	p := benchParams(b)
-	e := p.GTGenerator()
-	k, _ := p.RandomScalar(rand.Reader)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		e.Exp(k)
 	}
 }
 

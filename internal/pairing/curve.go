@@ -137,10 +137,14 @@ func (p *Params) hasOrderDividingR(pt point) bool {
 }
 
 // mulScalarRaw computes k·pt for k ≥ 0 without reducing k; needed for
-// cofactor multiplication where k = H > R and for order checks. It routes
-// through the Jacobian ladder (jacobian.go); mulScalarAffine is the
-// reference implementation the tests cross-check against.
+// cofactor multiplication where k = H > R and for order checks. The
+// optimized kernel routes through the Jacobian NAF ladder (jacobian.go);
+// mulScalarAffine is the reference implementation the tests cross-check
+// against and the one KernelReference runs.
 func (p *Params) mulScalarRaw(pt point, k *big.Int) point {
+	if p.kernel == KernelReference {
+		return p.mulScalarAffine(pt, k)
+	}
 	return p.mulScalarJac(pt, k)
 }
 

@@ -104,8 +104,9 @@ func (g *G) Mul(h *G) *G {
 	return &G{p: g.p, pt: g.p.add(g.pt, h.pt)}
 }
 
-// Exp returns g^k (scalar multiplication). k is reduced mod R and may be
-// negative.
+// Exp returns g^k (scalar multiplication). k is normalized mod R (the order
+// of G) before the ladder runs, so zero, negative, and oversized scalars
+// cost the same bounded double-and-add chain as their reduced residue.
 func (g *G) Exp(k *big.Int) *G {
 	return &G{p: g.p, pt: g.p.mulScalar(g.pt, k)}
 }
@@ -150,10 +151,17 @@ func (t *GT) Mul(u *GT) *GT {
 	return &GT{p: t.p, v: t.p.fp2Mul(t.v, u.v)}
 }
 
-// Exp returns t^k. k is reduced mod R and may be negative.
+// Exp returns t^k. k is normalized mod R — the order of G_T inside the
+// unitary (norm-1) subgroup of F_q²* — before the ladder runs, so zero,
+// negative, and oversized scalars cost one bounded chain. The optimized
+// kernel exponentiates by Lucas sequence (lucas.go); the reference kernel
+// keeps square-and-multiply.
 func (t *GT) Exp(k *big.Int) *GT {
 	kk := new(big.Int).Mod(k, t.p.R)
-	return &GT{p: t.p, v: t.p.fp2ExpUnitary(t.v, kk)}
+	if t.p.kernel == KernelReference {
+		return &GT{p: t.p, v: t.p.fp2ExpUnitary(t.v, kk)}
+	}
+	return &GT{p: t.p, v: t.p.fp2ExpUnitaryLucas(t.v, kk)}
 }
 
 // Inv returns t⁻¹. Elements of G_T have norm 1, so inversion is conjugation.

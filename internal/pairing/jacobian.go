@@ -2,13 +2,15 @@ package pairing
 
 import "math/big"
 
-// Jacobian-coordinate point arithmetic for scalar multiplication: a point
-// (X, Y, Z) represents the affine point (X/Z², Y/Z³). Doubling and addition
-// avoid the per-step modular inversion of the affine formulas, which makes
-// exponentiation in G several times faster. The Miller loop stays affine
-// (it needs the chord/tangent slopes explicitly); only scalar multiplication
-// routes through here. mulScalarAffine remains as the reference
-// implementation the tests cross-check against.
+// Jacobian-coordinate point arithmetic: a point (X, Y, Z) represents the
+// affine point (X/Z², Y/Z³). Doubling and addition avoid the per-step
+// modular inversion of the affine formulas, which makes exponentiation in G
+// several times faster. Scalar multiplication routes through the in-place
+// scratch-buffer variants below with a NAF-recoded exponent; the projective
+// Miller loop (pairing.go) fuses the same formulas with line evaluation.
+// mulScalarAffine remains as the reference implementation the tests
+// cross-check against. The allocating jacDouble/jacAddAffine forms are kept
+// for tests that exercise the formulas directly.
 
 // jacPoint is a Jacobian-projective point; inf is encoded as Z = 0.
 type jacPoint struct {
@@ -154,17 +156,120 @@ func (p *Params) jacAddAffine(j jacPoint, a point) jacPoint {
 	return jacPoint{x: x3, y: y3, z: z3}
 }
 
-// mulScalarJac computes k·pt (k ≥ 0, unreduced) with Jacobian doubling and
-// mixed additions.
+// jacDoubleTo doubles j in place using scratch t[0..7] — the same formulas
+// as jacDouble without the per-step allocations.
+func (p *Params) jacDoubleTo(j *jacPoint, s *scratch) {
+	if j.isInf() {
+		return
+	}
+	if j.y.Sign() == 0 {
+		j.z.SetInt64(0)
+		return
+	}
+	mod := p.Q
+	xx := s.t[0].Mul(j.x, j.x)
+	xx.Mod(xx, mod)
+	yy := s.t[1].Mul(j.y, j.y)
+	yy.Mod(yy, mod)
+	yyyy := s.t[2].Mul(yy, yy)
+	yyyy.Mod(yyyy, mod)
+	zz := s.t[3].Mul(j.z, j.z)
+	zz.Mod(zz, mod)
+	sv := s.t[4].Add(j.x, yy)
+	sv.Mul(sv, sv)
+	sv.Sub(sv, xx)
+	sv.Sub(sv, yyyy)
+	sv.Lsh(sv, 1)
+	sv.Mod(sv, mod)
+	m := s.t[5].Mul(zz, zz)
+	m.Add(m, xx)
+	m.Add(m, s.t[6].Lsh(xx, 1))
+	m.Mod(m, mod)
+	z3 := s.t[6].Mul(j.y, j.z)
+	z3.Lsh(z3, 1)
+	z3.Mod(z3, mod)
+	j.x.Mul(m, m)
+	j.x.Sub(j.x, s.t[7].Lsh(sv, 1))
+	j.x.Mod(j.x, mod)
+	j.y.Sub(sv, j.x)
+	j.y.Mul(j.y, m)
+	j.y.Sub(j.y, s.t[7].Lsh(yyyy, 3))
+	j.y.Mod(j.y, mod)
+	j.z.Set(z3)
+}
+
+// jacAddAffineTo adds the affine point a to j in place using scratch
+// t[0..9] — the same formulas as jacAddAffine without the allocations.
+func (p *Params) jacAddAffineTo(j *jacPoint, a point, s *scratch) {
+	if a.inf {
+		return
+	}
+	if j.isInf() {
+		j.x.Set(a.x)
+		j.y.Set(a.y)
+		j.z.SetInt64(1)
+		return
+	}
+	mod := p.Q
+	zz := s.t[0].Mul(j.z, j.z)
+	zz.Mod(zz, mod)
+	u2 := s.t[1].Mul(a.x, zz)
+	u2.Mod(u2, mod)
+	zzz := s.t[2].Mul(zz, j.z)
+	zzz.Mod(zzz, mod)
+	s2 := s.t[3].Mul(a.y, zzz)
+	s2.Mod(s2, mod)
+	h := s.t[4].Sub(u2, j.x)
+	h.Mod(h, mod)
+	r := s.t[5].Sub(s2, j.y)
+	r.Mod(r, mod)
+	if h.Sign() == 0 {
+		if r.Sign() == 0 {
+			p.jacDoubleTo(j, s) // same point
+			return
+		}
+		j.z.SetInt64(0) // opposite points
+		return
+	}
+	hh := s.t[6].Mul(h, h)
+	hh.Mod(hh, mod)
+	hhh := s.t[7].Mul(hh, h)
+	hhh.Mod(hhh, mod)
+	v := s.t[8].Mul(j.x, hh)
+	v.Mod(v, mod)
+	z3 := s.t[9].Mul(j.z, h)
+	z3.Mod(z3, mod)
+	j.x.Mul(r, r)
+	j.x.Sub(j.x, hhh)
+	j.x.Sub(j.x, s.t[0].Lsh(v, 1))
+	j.x.Mod(j.x, mod)
+	yh := s.t[1].Mul(j.y, hhh)
+	yh.Mod(yh, mod)
+	j.y.Sub(v, j.x)
+	j.y.Mul(j.y, r)
+	j.y.Sub(j.y, yh)
+	j.y.Mod(j.y, mod)
+	j.z.Set(z3)
+}
+
+// mulScalarJac computes k·pt (k ≥ 0, unreduced) with Jacobian doublings and
+// NAF-recoded mixed additions of ±pt, all through one per-call scratch. The
+// result is the exact same group element as mulScalarAffine for every k —
+// only the addition chain differs.
 func (p *Params) mulScalarJac(pt point, k *big.Int) point {
 	if pt.inf || k.Sign() == 0 {
 		return infinity()
 	}
+	s := newScratch()
+	neg := p.neg(pt)
 	acc := jacInfinity()
-	for i := k.BitLen() - 1; i >= 0; i-- {
-		acc = p.jacDouble(acc)
-		if k.Bit(i) == 1 {
-			acc = p.jacAddAffine(acc, pt)
+	for _, d := range nafDigits(k) {
+		p.jacDoubleTo(&acc, s)
+		switch d {
+		case 1:
+			p.jacAddAffineTo(&acc, pt, s)
+		case -1:
+			p.jacAddAffineTo(&acc, neg, s)
 		}
 	}
 	return p.toAffine(acc)

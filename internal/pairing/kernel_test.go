@@ -1,0 +1,362 @@
+package pairing
+
+import (
+	"bytes"
+	"crypto/rand"
+	"math/big"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// referenceClone builds an independent Params value with the same constants
+// as p but running the retained reference kernel, the way benchmarks and
+// whole-scheme before/after comparisons do.
+func referenceClone(t *testing.T, p *Params) *Params {
+	t.Helper()
+	q, r, h, gx, gy := p.Export()
+	ref, err := NewParams(q, r, h, gx, gy)
+	if err != nil {
+		t.Fatalf("clone params: %v", err)
+	}
+	ref.SetKernel(KernelReference)
+	return ref
+}
+
+// TestPairMatchesReference pins the optimized kernel (projective NAF Miller
+// loop + Lucas final exponentiation) bit-identical to the retained affine
+// reference on random subgroup points.
+func TestPairMatchesReference(t *testing.T) {
+	p := Test()
+	g := p.Generator()
+	f := func(a64, b64 uint64) bool {
+		a := new(big.Int).SetUint64(a64)
+		b := new(big.Int).SetUint64(b64)
+		ga, gb := g.Exp(a), g.Exp(b)
+		opt := p.MustPair(ga, gb)
+		ref, err := p.PairReference(ga, gb)
+		if err != nil {
+			return false
+		}
+		return opt.Equal(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPairKernelDispatch checks that a reference-kernel Params clone
+// produces the same pairing, exponentiation, and preparation results as the
+// optimized shared parameters, byte for byte.
+func TestPairKernelDispatch(t *testing.T) {
+	p := Test()
+	ref := referenceClone(t, p)
+	if ref.Kernel() != KernelReference || p.Kernel() != KernelOptimized {
+		t.Fatal("kernel selection not reflected by Kernel()")
+	}
+	a, b := big.NewInt(98765), big.NewInt(43210)
+	for name, pr := range map[string]*Params{"optimized": p, "reference": ref} {
+		ga, gb := pr.Generator().Exp(a), pr.Generator().Exp(b)
+		e := pr.MustPair(ga, gb)
+		pp, err := pr.Prepare(ga).Pair(gb)
+		if err != nil {
+			t.Fatalf("%s prepared pair: %v", name, err)
+		}
+		if !e.Equal(pp) {
+			t.Fatalf("%s: prepared pair disagrees with Pair", name)
+		}
+		prod, err := pr.PairProd([]*G{ga, gb}, []*G{gb, ga})
+		if err != nil {
+			t.Fatalf("%s PairProd: %v", name, err)
+		}
+		if !prod.Equal(e.Mul(e)) {
+			t.Fatalf("%s: PairProd ≠ e(a,b)²", name)
+		}
+	}
+	// Cross-kernel: marshalled results must agree.
+	eOpt := p.MustPair(p.Generator().Exp(a), p.Generator().Exp(b))
+	eRef := ref.MustPair(ref.Generator().Exp(a), ref.Generator().Exp(b))
+	if !bytes.Equal(eOpt.Marshal(), eRef.Marshal()) {
+		t.Fatal("optimized and reference kernels disagree across Params clones")
+	}
+	gOpt := p.Generator().Exp(a).Mul(p.Generator().Exp(b).Inv())
+	gRef := ref.Generator().Exp(a).Mul(ref.Generator().Exp(b).Inv())
+	if !bytes.Equal(gOpt.Marshal(), gRef.Marshal()) {
+		t.Fatal("G arithmetic disagrees across kernels")
+	}
+}
+
+// TestPreparedProjMatchesAffinePrepare pins the batch-inverted projective
+// preparation against the affine reference preparation on the same Params.
+func TestPreparedProjMatchesAffinePrepare(t *testing.T) {
+	p := Test()
+	g := p.Generator()
+	for i := 0; i < 10; i++ {
+		a, _ := p.RandomScalar(rand.Reader)
+		b, _ := p.RandomScalar(rand.Reader)
+		ga, gb := g.Exp(a), g.Exp(b)
+		proj := p.prepareProj(ga)
+		aff := p.prepareAffine(ga)
+		e1, err1 := proj.Pair(gb)
+		e2, err2 := aff.Pair(gb)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("prepared pair: %v / %v", err1, err2)
+		}
+		if !e1.Equal(e2) {
+			t.Fatalf("iteration %d: projective and affine preparations disagree", i)
+		}
+		if !e1.Equal(p.MustPair(ga, gb)) {
+			t.Fatalf("iteration %d: prepared pair ≠ Pair", i)
+		}
+	}
+}
+
+// TestLucasMatchesUnitaryExp pins the Lucas ladder bit-identical to the
+// square-and-multiply unitary reference for random unitary elements and a
+// gauntlet of exponents, including the cofactor-sized and negative ones the
+// final exponentiation and GT.Exp feed it.
+func TestLucasMatchesUnitaryExp(t *testing.T) {
+	p := Test()
+	gt := p.GTGenerator()
+	exps := []*big.Int{
+		big.NewInt(0),
+		big.NewInt(1),
+		big.NewInt(2),
+		big.NewInt(3),
+		big.NewInt(-1),
+		big.NewInt(-7),
+		new(big.Int).Sub(p.R, one),
+		new(big.Int).Set(p.R),
+		new(big.Int).Add(p.R, one),
+		new(big.Int).Set(p.H),
+		new(big.Int).Neg(p.H),
+	}
+	for i := 0; i < 6; i++ {
+		k, _ := p.RandomScalar(rand.Reader)
+		exps = append(exps, k)
+	}
+	bases := []fp2{gt.v}
+	for i := 0; i < 4; i++ {
+		k, _ := p.RandomScalar(rand.Reader)
+		bases = append(bases, gt.Exp(k).v)
+	}
+	// A unitary element straight off the Frobenius map f̄·f⁻¹, like finalExp
+	// produces (not necessarily in the order-R subgroup).
+	f := fp2{a: big.NewInt(123456789), b: big.NewInt(987654321)}
+	bases = append(bases, p.fp2Mul(p.fp2Conj(f), p.fp2Inv(f)))
+	for bi, x := range bases {
+		for ei, k := range exps {
+			got := p.fp2ExpUnitaryLucas(x, k)
+			want := p.fp2ExpUnitary(x, k)
+			if !got.equal(want) {
+				t.Fatalf("base %d exp %d (%v): lucas ≠ square-and-multiply", bi, ei, k)
+			}
+		}
+	}
+}
+
+// TestLucasRealBases covers the b = 0 special case: the only unitary
+// elements with zero imaginary part are ±1.
+func TestLucasRealBases(t *testing.T) {
+	p := Test()
+	onePos := fp2{a: big.NewInt(1), b: new(big.Int)}
+	oneNeg := fp2{a: new(big.Int).Sub(p.Q, one), b: new(big.Int)}
+	for _, k := range []*big.Int{big.NewInt(0), big.NewInt(1), big.NewInt(2), big.NewInt(5), new(big.Int).Set(p.H)} {
+		if got := p.fp2ExpUnitaryLucas(onePos, k); !got.isOne() {
+			t.Fatalf("1^%v ≠ 1", k)
+		}
+		got := p.fp2ExpUnitaryLucas(oneNeg, k)
+		want := p.fp2ExpUnitary(oneNeg, k)
+		if !got.equal(want) {
+			t.Fatalf("(−1)^%v: lucas ≠ reference", k)
+		}
+	}
+}
+
+// TestFp2ExpNegativeExponents is the regression for the folded sign
+// handling: one pass, base inverted (or conjugated) up front.
+func TestFp2ExpNegativeExponents(t *testing.T) {
+	p := Test()
+	gt := p.GTGenerator()
+	x := gt.Exp(big.NewInt(31337)).v
+	for _, k := range []*big.Int{big.NewInt(-1), big.NewInt(-2), big.NewInt(-31337), new(big.Int).Neg(p.R)} {
+		pos := new(big.Int).Neg(k)
+		wantGeneric := p.fp2Inv(p.fp2Exp(x, pos))
+		if got := p.fp2Exp(x, k); !got.equal(wantGeneric) {
+			t.Fatalf("fp2Exp(x, %v) ≠ fp2Exp(x, %v)⁻¹", k, pos)
+		}
+		wantUnitary := p.fp2Conj(p.fp2ExpUnitary(x, pos))
+		if got := p.fp2ExpUnitary(x, k); !got.equal(wantUnitary) {
+			t.Fatalf("fp2ExpUnitary(x, %v) ≠ conj(fp2ExpUnitary(x, %v))", k, pos)
+		}
+		if got := p.fp2ExpUnitaryLucas(x, k); !got.equal(wantUnitary) {
+			t.Fatalf("fp2ExpUnitaryLucas(x, %v) ≠ conj(...)", k)
+		}
+	}
+}
+
+// TestScalarNormalization checks that every exponentiation entry point
+// reduces its scalar before walking a ladder: zero, negative, and oversized
+// exponents land exactly on the reduced residue's result.
+func TestScalarNormalization(t *testing.T) {
+	p := Test()
+	g := p.Generator()
+	gt := p.GTGenerator()
+	table := p.PrepareExp(g)
+	small := big.NewInt(12345)
+	cases := []struct {
+		name string
+		k    *big.Int
+		want *big.Int // equivalent scalar in [0, R)
+	}{
+		{"zero", new(big.Int), new(big.Int)},
+		{"negative", new(big.Int).Neg(small), new(big.Int).Sub(p.R, small)},
+		{"exactly R", new(big.Int).Set(p.R), new(big.Int)},
+		{"R plus k", new(big.Int).Add(p.R, small), small},
+		{"huge", new(big.Int).Mul(p.R, p.H), new(big.Int).Mod(new(big.Int).Mul(p.R, p.H), p.R)},
+		{"negative huge", new(big.Int).Neg(new(big.Int).Mul(p.H, big.NewInt(7))), new(big.Int).Mod(new(big.Int).Neg(new(big.Int).Mul(p.H, big.NewInt(7))), p.R)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want := g.Exp(tc.want)
+			if got := g.Exp(tc.k); !got.Equal(want) {
+				t.Errorf("G.Exp(%v) ≠ G.Exp(%v)", tc.k, tc.want)
+			}
+			if got := g.ExpReference(tc.k); !got.Equal(want) {
+				t.Errorf("G.ExpReference(%v) ≠ G.Exp(%v)", tc.k, tc.want)
+			}
+			if got := table.Exp(tc.k); !got.Equal(want) {
+				t.Errorf("ExpTable.Exp(%v) ≠ G.Exp(%v)", tc.k, tc.want)
+			}
+			if got := p.FixedBaseExp(tc.k); !got.Equal(p.Generator().Exp(tc.want)) {
+				t.Errorf("FixedBaseExp(%v) ≠ g^%v", tc.k, tc.want)
+			}
+			wantT := gt.Exp(tc.want)
+			if got := gt.Exp(tc.k); !got.Equal(wantT) {
+				t.Errorf("GT.Exp(%v) ≠ GT.Exp(%v)", tc.k, tc.want)
+			}
+			if got := gt.ExpReference(tc.k); !got.Equal(wantT) {
+				t.Errorf("GT.ExpReference(%v) ≠ GT.Exp(%v)", tc.k, tc.want)
+			}
+		})
+	}
+}
+
+// TestNAFDigits checks the recoding invariants: the digits reconstruct the
+// scalar, no two adjacent digits are nonzero, and the leading digit is 1.
+func TestNAFDigits(t *testing.T) {
+	f := func(k64 uint64) bool {
+		if k64 == 0 {
+			return nafDigits(new(big.Int)) == nil
+		}
+		k := new(big.Int).SetUint64(k64)
+		digits := nafDigits(k)
+		if len(digits) == 0 || digits[0] != 1 {
+			return false
+		}
+		acc := new(big.Int)
+		prevNonzero := false
+		for _, d := range digits {
+			acc.Lsh(acc, 1)
+			acc.Add(acc, big.NewInt(int64(d)))
+			if d != 0 && prevNonzero {
+				return false // adjacency violation
+			}
+			prevNonzero = d != 0
+		}
+		return acc.Cmp(k) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+	if nafDigits(big.NewInt(-5)) != nil {
+		t.Error("nafDigits accepted a negative scalar")
+	}
+}
+
+// TestBatchInvert checks Montgomery batch inversion against ModInverse.
+func TestBatchInvert(t *testing.T) {
+	p := Test()
+	var xs, want []*big.Int
+	for i := 1; i <= 37; i++ {
+		x := new(big.Int).Mod(big.NewInt(int64(i*i*7919+3)), p.Q)
+		xs = append(xs, x)
+		want = append(want, new(big.Int).ModInverse(new(big.Int).Set(x), p.Q))
+	}
+	p.batchInvert(xs)
+	for i := range xs {
+		if xs[i].Cmp(want[i]) != 0 {
+			t.Fatalf("element %d: batch inverse ≠ ModInverse", i)
+		}
+	}
+	p.batchInvert(nil) // must not panic
+}
+
+// TestKernelSharedStateConcurrency hammers one shared *Params and one
+// shared *PreparedG from many goroutines. The per-call scratch buffers must
+// keep all shared state read-only; the -race runs in scripts/check.sh turn
+// any aliasing bug into a hard failure, and the determinism check catches
+// silent corruption even without the race detector.
+func TestKernelSharedStateConcurrency(t *testing.T) {
+	p := Test()
+	g := p.Generator()
+	a, _ := p.RandomScalar(rand.Reader)
+	ga := g.Exp(a)
+	pre := p.Prepare(ga)
+	table := p.PrepareExp(ga)
+
+	const workers = 8
+	const iters = 12
+	scalars := make([]*big.Int, workers)
+	wantPair := make([]*GT, workers)
+	wantExp := make([]*G, workers)
+	for w := range scalars {
+		k, _ := p.RandomScalar(rand.Reader)
+		scalars[w] = k
+		wantPair[w] = p.MustPair(ga, g.Exp(k))
+		wantExp[w] = ga.Exp(k)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			k := scalars[w]
+			for i := 0; i < iters; i++ {
+				gk := g.Exp(k)
+				e1 := p.MustPair(ga, gk)
+				e2, err := pre.Pair(gk)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !e1.Equal(wantPair[w]) || !e2.Equal(wantPair[w]) {
+					errs <- errMismatch
+					return
+				}
+				if !table.Exp(k).Equal(wantExp[w]) || !p.FixedBaseExp(k).Mul(p.OneG()).Equal(p.Generator().Exp(k)) {
+					errs <- errMismatch
+					return
+				}
+				if !wantPair[w].Exp(k).Equal(wantPair[w].ExpReference(k)) {
+					errs <- errMismatch
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+var errMismatch = &mismatchError{}
+
+type mismatchError struct{}
+
+func (*mismatchError) Error() string {
+	return "concurrent kernel use produced a result differing from the serial baseline"
+}

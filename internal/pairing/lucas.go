@@ -1,0 +1,78 @@
+package pairing
+
+import "math/big"
+
+// Lucas-sequence exponentiation for unitary elements of F_q².
+//
+// An element x = a + b·i with norm a² + b² = 1 satisfies the quadratic
+// x² − t·x + 1 = 0 with trace t = 2a, so its powers live on the Lucas
+// sequence V_k(t): x^k + x^{−k} = V_k, i.e. Re(x^k) = V_k/2. The ladder
+//
+//	V_{2m}   = V_m² − 2
+//	V_{2m+1} = V_m·V_{m+1} − t
+//
+// computes the pair (V_k, V_{k+1}) with one F_q squaring and one F_q
+// multiplication per exponent bit — against the generic square-and-multiply
+// chain (two multiplications per squaring plus four per multiply, ≈ four
+// per bit on average), roughly half the base-field multiplications.
+// The imaginary part is recovered at the end from the identity
+// U_k = (2V_{k+1} − t·V_k)/(t² − 4) with t² − 4 = −4b², giving
+// Im(x^k) = b·U_k = (t·V_k − 2V_{k+1})/(4b) — one modular inversion per
+// exponentiation, amortized over the whole ladder.
+//
+// This is the same compression XTR/LUC use, and the same trick PBC applies
+// to Type-A G_T exponentiation (pbc_fp2.c: element_pow uses Lucas when the
+// element is unitary). Everything in G_T and every f^(q−1) value out of the
+// final exponentiation is unitary, so both hot callers qualify.
+
+// fp2ExpUnitaryLucas returns x^k for unitary x (norm 1). Negative k folds
+// into conjugation, exactly like fp2ExpUnitary. The result is bit-identical
+// to fp2ExpUnitary on every unitary input; differential tests pin this.
+func (p *Params) fp2ExpUnitaryLucas(x fp2, k *big.Int) fp2 {
+	if k.Sign() < 0 {
+		x = p.fp2Conj(x)
+		k = new(big.Int).Neg(k)
+	}
+	if k.Sign() == 0 {
+		return fp2One()
+	}
+	if x.b.Sign() == 0 {
+		// Unitary with zero imaginary part means x = ±1; a^k covers both
+		// (and stays correct for any real x, though callers never pass one).
+		return fp2{a: new(big.Int).Exp(x.a, k, p.Q), b: new(big.Int)}
+	}
+	q := p.Q
+	t := new(big.Int).Lsh(x.a, 1) // trace
+	t.Mod(t, q)
+	vLo := big.NewInt(2)       // V_0
+	vHi := new(big.Int).Set(t) // V_1
+	for i := k.BitLen() - 1; i >= 0; i-- {
+		// Invariant entering the step: (vLo, vHi) = (V_m, V_{m+1}) for the
+		// exponent prefix m; the step advances m ← 2m + bit.
+		if k.Bit(i) == 1 {
+			vLo.Mul(vLo, vHi)
+			vLo.Sub(vLo, t)
+			vLo.Mod(vLo, q)
+			vHi.Mul(vHi, vHi)
+			vHi.Sub(vHi, two)
+			vHi.Mod(vHi, q)
+		} else {
+			vHi.Mul(vHi, vLo)
+			vHi.Sub(vHi, t)
+			vHi.Mod(vHi, q)
+			vLo.Mul(vLo, vLo)
+			vLo.Sub(vLo, two)
+			vLo.Mod(vLo, q)
+		}
+	}
+	re := new(big.Int).Mul(vLo, p.inv2)
+	re.Mod(re, q)
+	den := new(big.Int).Lsh(x.b, 2)
+	den.Mod(den, q)
+	den.ModInverse(den, q) // 4b ≠ 0 mod the prime q since b ≠ 0
+	im := new(big.Int).Mul(t, vLo)
+	im.Sub(im, new(big.Int).Lsh(vHi, 1))
+	im.Mul(im, den)
+	im.Mod(im, q)
+	return fp2{a: re, b: im}
+}

@@ -1,0 +1,44 @@
+package pairing
+
+import "math/big"
+
+// Non-adjacent-form scalar recoding. Writing an exponent with signed digits
+// {−1, 0, +1} such that no two adjacent digits are nonzero reduces the
+// expected density of nonzero digits from 1/2 (plain binary) to 1/3.
+// Because negating a curve point is free (y ↦ −y), every nonzero digit
+// still costs exactly one mixed addition — so double-and-add ladders and
+// the Miller loop save about a sixth of their additions overall, and a
+// third of the addition/chord steps specifically.
+
+// nafDigits returns the non-adjacent form of k > 0, most-significant digit
+// first. The leading digit of a positive integer's NAF is always +1, and the
+// digit string is at most one digit longer than the binary representation.
+// For k ≤ 0 it returns nil.
+func nafDigits(k *big.Int) []int8 {
+	if k.Sign() <= 0 {
+		return nil
+	}
+	n := new(big.Int).Set(k)
+	digits := make([]int8, 0, n.BitLen()+1)
+	for n.Sign() > 0 {
+		if n.Bit(0) == 1 {
+			// d = 2 − (n mod 4) ∈ {+1, −1} makes (n−d)/2 even, which
+			// guarantees the next digit is zero (non-adjacency).
+			d := int8(2 - int8(n.Bits()[0]&3))
+			digits = append(digits, d)
+			if d == 1 {
+				n.Sub(n, one)
+			} else {
+				n.Add(n, one)
+			}
+		} else {
+			digits = append(digits, 0)
+		}
+		n.Rsh(n, 1)
+	}
+	// The loop emits least-significant first; reverse in place.
+	for i, j := 0, len(digits)-1; i < j; i, j = i+1, j-1 {
+		digits[i], digits[j] = digits[j], digits[i]
+	}
+	return digits
+}

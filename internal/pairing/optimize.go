@@ -28,7 +28,10 @@ func (p *Params) PairProd(as, bs []*G) (*GT, error) {
 		if as[i].pt.inf || bs[i].pt.inf {
 			continue
 		}
-		acc = p.fp2Mul(acc, p.miller(as[i].pt, bs[i].pt))
+		acc = p.fp2Mul(acc, p.millerLoop(as[i].pt, bs[i].pt))
+	}
+	if p.kernel == KernelReference {
+		return &GT{p: p, v: p.finalExpReference(acc)}, nil
 	}
 	return &GT{p: p, v: p.finalExp(acc)}, nil
 }
@@ -70,20 +73,23 @@ func (p *Params) fixedTable() *fixedBaseTable {
 
 // FixedBaseExp computes g^k for the generator g using the precomputed
 // window table: one point addition per window instead of a double-and-add
-// pass. k is reduced mod R.
+// pass. The additions accumulate in Jacobian coordinates through a per-call
+// scratch, so the whole exponentiation pays a single modular inversion at
+// the final normalization. k is reduced mod R.
 func (p *Params) FixedBaseExp(k *big.Int) *G {
 	kk := new(big.Int).Mod(k, p.R)
 	t := p.fixedTable()
-	acc := infinity()
+	s := newScratch()
+	acc := jacInfinity()
 	words := kk.Bits()
 	bitLen := kk.BitLen()
 	for j := 0; j*fixedBaseWindow < bitLen || j == 0; j++ {
 		w := extractWindow(words, j*fixedBaseWindow)
 		if w != 0 {
-			acc = p.add(acc, t.rows[j][w])
+			p.jacAddAffineTo(&acc, t.rows[j][w], s)
 		}
 	}
-	return &G{p: p, pt: acc}
+	return &G{p: p, pt: p.toAffine(acc)}
 }
 
 // extractWindow reads fixedBaseWindow bits starting at bit offset from the
@@ -133,18 +139,20 @@ func (p *Params) PrepareExp(g *G) *ExpTable {
 	return t
 }
 
-// Exp computes base^k using the table. k is reduced mod R and may be
-// negative; the result is bit-identical to base.Exp(k).
+// Exp computes base^k using the table. k is normalized mod R before any
+// table walk, so zero, negative, and oversized scalars touch at most
+// |R| table rows; the result is bit-identical to base.Exp(k).
 func (t *ExpTable) Exp(k *big.Int) *G {
 	p := t.p
 	if t.inf {
 		return p.OneG()
 	}
 	kk := new(big.Int).Mod(k, p.R)
+	s := newScratch()
 	acc := jacInfinity()
 	for i := 0; i < kk.BitLen(); i++ {
 		if kk.Bit(i) == 1 {
-			acc = p.jacAddAffine(acc, t.pows[i])
+			p.jacAddAffineTo(&acc, t.pows[i], s)
 		}
 	}
 	return &G{p: p, pt: p.toAffine(acc)}

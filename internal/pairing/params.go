@@ -25,7 +25,10 @@ type Params struct {
 	gen       point    // generator of G
 	sqrtExp   *big.Int // (Q+1)/4, for square roots in F_Q
 	qMinus2   *big.Int // Q-2, for Fermat inversion
-	millerWnd []int    // bits of R, most-significant first, for the Miller loop
+	inv2      *big.Int // (Q+1)/2 = 2⁻¹ mod Q, for Lucas sequence recovery
+	millerWnd []int    // bits of R, most-significant first, for the affine reference Miller loop
+	millerNAF []int8   // NAF digits of R, most-significant first, for the projective Miller loop
+	kernel    Kernel   // which pairing-kernel implementation this Params uses
 }
 
 var (
@@ -107,11 +110,13 @@ func newParams(q, r, h *big.Int) (*Params, error) {
 		H:       new(big.Int).Set(h),
 		sqrtExp: new(big.Int).Rsh(new(big.Int).Add(q, one), 2),
 		qMinus2: new(big.Int).Sub(q, two),
+		inv2:    new(big.Int).Rsh(new(big.Int).Add(q, one), 1),
 	}
 	p.millerWnd = make([]int, 0, r.BitLen())
 	for i := r.BitLen() - 2; i >= 0; i-- {
 		p.millerWnd = append(p.millerWnd, int(r.Bit(i)))
 	}
+	p.millerNAF = nafDigits(r)
 	return p, nil
 }
 

@@ -75,29 +75,6 @@ func TestPreparedPairBilinear(t *testing.T) {
 	}
 }
 
-func BenchmarkPreparedPair(b *testing.B) {
-	p := benchParams(b)
-	g := p.Generator()
-	pre := p.Prepare(g)
-	k, _ := p.RandomScalar(rand.Reader)
-	q := g.Exp(k)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := pre.Pair(q); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-func BenchmarkPrepare(b *testing.B) {
-	p := benchParams(b)
-	g := p.Generator()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		p.Prepare(g)
-	}
-}
-
 func TestPreparedPairBothIdentity(t *testing.T) {
 	p := Test()
 	preInf := p.Prepare(p.OneG())

@@ -1,0 +1,56 @@
+package pairing
+
+import "math/big"
+
+// Kernel selects which implementation of the pairing hot path a Params
+// value drives. The two kernels are pinned bit-identical on every valid
+// input by differential and fuzz tests; KernelReference exists so the
+// naive chain stays compiled, testable, and benchmarkable as the baseline
+// the optimized kernel is measured against (BENCH_pairing.json).
+type Kernel int
+
+const (
+	// KernelOptimized is the default: projective (Jacobian) NAF Miller
+	// loop with fused line evaluation, Montgomery batch inversion in
+	// Prepare, Lucas-sequence unitary exponentiation in the final
+	// exponentiation and GT.Exp, and scratch-buffer field arithmetic.
+	KernelOptimized Kernel = iota
+	// KernelReference is the retained affine/naive implementation: one
+	// ModInverse per Miller step, square-and-multiply everywhere.
+	KernelReference
+)
+
+// SetKernel selects the kernel for this Params value. It mutates shared
+// state, so call it only during setup, never while other goroutines use
+// the parameters — benchmarks and differential tests flip it on a private
+// clone (NewParams over Export), not on the shared Default()/Test() values.
+func (p *Params) SetKernel(k Kernel) { p.kernel = k }
+
+// Kernel reports the active kernel.
+func (p *Params) Kernel() Kernel { return p.kernel }
+
+// PairReference computes e(a, b) with the retained reference kernel
+// regardless of the active one: affine Miller loop, square-and-multiply
+// final exponentiation. It is the "before" timing of BENCH_pairing.json and
+// the oracle the differential tests compare Pair against.
+func (p *Params) PairReference(a, b *G) (*GT, error) {
+	if a.p != p || b.p != p {
+		return nil, ErrMixedParams
+	}
+	return &GT{p: p, v: p.pairReference(a.pt, b.pt)}, nil
+}
+
+// ExpReference computes g^k with the textbook affine double-and-add ladder
+// (one ModInverse per point operation), regardless of the active kernel.
+// k is reduced mod R like Exp.
+func (g *G) ExpReference(k *big.Int) *G {
+	kk := new(big.Int).Mod(k, g.p.R)
+	return &G{p: g.p, pt: g.p.mulScalarAffine(g.pt, kk)}
+}
+
+// ExpReference computes t^k with the square-and-multiply unitary ladder,
+// regardless of the active kernel. k is reduced mod R like Exp.
+func (t *GT) ExpReference(k *big.Int) *GT {
+	kk := new(big.Int).Mod(k, t.p.R)
+	return &GT{p: t.p, v: t.p.fp2ExpUnitary(t.v, kk)}
+}

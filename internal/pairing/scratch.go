@@ -1,0 +1,57 @@
+package pairing
+
+import "math/big"
+
+// scratch is a per-call bundle of reusable big.Int temporaries for the hot
+// arithmetic paths (Miller loop, Jacobian ladders, Lucas exponentiation).
+// big.Int reuses its backing word slice across assignments, so routing every
+// intermediate product through one scratch value cuts the allocation count
+// of a pairing from thousands to a handful.
+//
+// Ownership rule: a scratch is owned by exactly one call chain and must
+// never be shared between goroutines or stored on a Params/PreparedG — the
+// engine layer drives one shared *Params from many goroutines, so all
+// shared state must stay read-only after construction. Callers allocate a
+// scratch at the top of an exported operation (newScratch is one allocation)
+// and thread it down.
+//
+// Index conventions, chosen so that no routine clobbers a slot another
+// routine it calls is still using:
+//
+//	t[0..9]   Jacobian point formulas (jacDoubleTo, jacAddAffineTo,
+//	          tangentStepProj, chordStepProj)
+//	t[10..13] line evaluation and Lucas-ladder temporaries
+//	t[14..17] fp2MulTo / fp2SquareTo products
+type scratch struct {
+	t [18]big.Int
+}
+
+func newScratch() *scratch { return new(scratch) }
+
+// batchInvert replaces every element of xs with its modular inverse using
+// Montgomery's trick: one ModInverse plus 3(n−1) multiplications instead of
+// n inversions. All elements must be nonzero mod Q; sharing *big.Int values
+// between slots is not allowed (each would be inverted twice).
+func (p *Params) batchInvert(xs []*big.Int) {
+	if len(xs) == 0 {
+		return
+	}
+	// prefix[i] = x_0·…·x_{i−1}; acc ends as the full product.
+	prefix := make([]*big.Int, len(xs))
+	acc := big.NewInt(1)
+	for i, x := range xs {
+		prefix[i] = new(big.Int).Set(acc)
+		acc.Mul(acc, x)
+		acc.Mod(acc, p.Q)
+	}
+	inv := acc.ModInverse(acc, p.Q) // (x_0·…·x_{n−1})⁻¹
+	t := new(big.Int)
+	for i := len(xs) - 1; i >= 0; i-- {
+		// inv = (x_0·…·x_i)⁻¹ here, so x_i⁻¹ = inv·prefix[i].
+		t.Mul(inv, prefix[i])
+		t.Mod(t, p.Q)
+		inv.Mul(inv, xs[i])
+		inv.Mod(inv, p.Q)
+		xs[i].Set(t)
+	}
+}
