@@ -49,6 +49,7 @@ func run(args []string, out io.Writer) error {
 	csvDir := fs.String("csv", "", "directory to write CSV series into (optional)")
 	engineJSON := fs.String("engine-json", "BENCH_engine.json", "output path for the engine serial-vs-parallel report")
 	reencryptJSON := fs.String("reencrypt-json", "BENCH_reencrypt.json", "output path for the batched re-encryption report")
+	batchWindow := fs.Int("batch-window", 4, "window size for the windowed re-encryption submissions (0 = unwindowed)")
 	pairingJSON := fs.String("pairing-json", "BENCH_pairing.json", "output path for the pairing-kernel optimized-vs-reference report")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -174,7 +175,7 @@ func run(args []string, out io.Writer) error {
 	}
 
 	if want["reencrypt-batch"] {
-		report, err := bench.MeasureReEncryptBatch(params, rand.Reader, []int{2, 4, 8, 16}, *fixed, *trials)
+		report, err := bench.MeasureReEncryptBatch(params, rand.Reader, []int{2, 4, 8, 16}, *fixed, *trials, *batchWindow)
 		if err != nil {
 			return fmt.Errorf("reencrypt-batch: %w", err)
 		}

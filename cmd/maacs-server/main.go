@@ -10,11 +10,16 @@
 //	maacs-server -addr 127.0.0.1:7744 -http 127.0.0.1:7745   # + HTTP/JSON gateway
 //	maacs-server -addr 127.0.0.1:7744 -fast                  # small test curve
 //	maacs-server -addr 127.0.0.1:7744 -workers 8             # engine pool width
+//	maacs-server -addr 127.0.0.1:7744 -batch-window 32       # streaming window
 //
 // The HTTP gateway additionally serves POST /owners/{id}/reencrypt/batch
-// (many update-info sets fused into one engine run) and GET /metrics
-// (cumulative server + engine counters); the matching RPC methods are
-// CloudServer.ReEncryptBatch and CloudServer.Metrics.
+// (many update-info sets streamed through bounded engine runs — the window
+// caps how many fuse into one run, so huge batches never pin the server
+// lock), GET /metrics (Prometheus text exposition of the cumulative and
+// per-owner counters; ?format=json for the JSON body), and sets explicit
+// read/write/idle timeouts so one slow client cannot pin a connection
+// forever. The matching RPC methods are CloudServer.ReEncryptBatch and
+// CloudServer.Metrics.
 //
 // Clients must be configured with the same pairing parameters (the built-in
 // defaults on both sides match).
@@ -27,6 +32,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"time"
 
 	"maacs/internal/cloud"
 	"maacs/internal/core"
@@ -34,27 +40,50 @@ import (
 	"maacs/internal/pairing"
 )
 
+// config carries the flag settings into run.
+type config struct {
+	addr, httpAddr    string
+	fast              bool
+	batchWindow       int
+	readHeaderTimeout time.Duration
+	readTimeout       time.Duration
+	writeTimeout      time.Duration
+	idleTimeout       time.Duration
+}
+
 func main() {
-	addr := flag.String("addr", "127.0.0.1:7744", "net/rpc address to listen on")
-	httpAddr := flag.String("http", "", "optional HTTP/JSON gateway address (e.g. 127.0.0.1:7745)")
-	fast := flag.Bool("fast", false, "use the small test curve")
+	var cfg config
+	flag.StringVar(&cfg.addr, "addr", "127.0.0.1:7744", "net/rpc address to listen on")
+	flag.StringVar(&cfg.httpAddr, "http", "", "optional HTTP/JSON gateway address (e.g. 127.0.0.1:7745)")
+	flag.BoolVar(&cfg.fast, "fast", false, "use the small test curve")
 	workers := flag.Int("workers", 0, "engine pool width (0 = GOMAXPROCS)")
+	flag.IntVar(&cfg.batchWindow, "batch-window", 64,
+		"max update-info sets fused into one engine run per batch window (0 = whole batch)")
+	flag.DurationVar(&cfg.readHeaderTimeout, "read-header-timeout", 5*time.Second,
+		"http: max time to read a request's headers")
+	flag.DurationVar(&cfg.readTimeout, "read-timeout", 2*time.Minute,
+		"http: max time to read a whole request")
+	flag.DurationVar(&cfg.writeTimeout, "write-timeout", 10*time.Minute,
+		"http: max time from end of header read to end of response write (covers long re-encryptions)")
+	flag.DurationVar(&cfg.idleTimeout, "idle-timeout", 2*time.Minute,
+		"http: max keep-alive idle time")
 	flag.Parse()
 	engine.SetWorkers(*workers)
-	if err := run(*addr, *httpAddr, *fast); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "maacs-server:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, httpAddr string, fast bool) error {
+func run(cfg config) error {
 	params := pairing.Default()
-	if fast {
+	if cfg.fast {
 		params = pairing.Test()
 	}
 	sys := core.NewSystem(params)
 	server := cloud.NewServer(sys, cloud.NewAccounting())
-	listener, bound, err := cloud.ServeRPC(sys, server, addr)
+	server.SetBatchWindow(cfg.batchWindow)
+	listener, bound, err := cloud.ServeRPC(sys, server, cfg.addr)
 	if err != nil {
 		return err
 	}
@@ -62,10 +91,17 @@ func run(addr, httpAddr string, fast bool) error {
 		bound, params.R.BitLen(), params.Q.BitLen())
 
 	var httpSrv *http.Server
-	if httpAddr != "" {
-		httpSrv = &http.Server{Addr: httpAddr, Handler: cloud.NewHTTPHandler(sys, server)}
+	if cfg.httpAddr != "" {
+		httpSrv = &http.Server{
+			Addr:              cfg.httpAddr,
+			Handler:           cloud.NewHTTPHandler(sys, server),
+			ReadHeaderTimeout: cfg.readHeaderTimeout,
+			ReadTimeout:       cfg.readTimeout,
+			WriteTimeout:      cfg.writeTimeout,
+			IdleTimeout:       cfg.idleTimeout,
+		}
 		go func() {
-			fmt.Printf("maacs-server: http gateway on %s\n", httpAddr)
+			fmt.Printf("maacs-server: http gateway on %s (batch window %d)\n", cfg.httpAddr, cfg.batchWindow)
 			if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				fmt.Fprintln(os.Stderr, "maacs-server: http:", err)
 			}

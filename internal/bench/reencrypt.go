@@ -82,37 +82,50 @@ func (sc *reencryptScenario) freshServer() (*cloud.Server, error) {
 
 // ReEncryptPoint is one measured corpus size of the submission-pattern
 // comparison: the same revocation applied through N per-ciphertext requests
-// (one lock acquisition and engine run each) versus one batched request
-// whose update-info sets fuse into a single engine run.
+// (one lock acquisition and engine run each), one unwindowed batched request
+// (everything fused into a single engine run), and one windowed batched
+// request (bounded slices, lock held per window).
 type ReEncryptPoint struct {
 	Ciphertexts  int     `json:"ciphertexts"`
 	PerRequestNs int64   `json:"per_request_ns"`
 	BatchedNs    int64   `json:"batched_ns"`
+	WindowedNs   int64   `json:"windowed_ns"`
 	Speedup      float64 `json:"speedup"`
+	// Windows is the number of engine runs the windowed submission split
+	// into at this corpus size.
+	Windows int `json:"windows"`
 	// BatchEngine is the engine activity of one batched run (jobs, chunks,
 	// cache hits/misses, fan-out wall time), as reported per-request by the
 	// server.
 	BatchEngine engine.Stats `json:"batch_engine"`
+	// Owner is the per-owner counter row the server accumulated over the
+	// windowed run, as served by GET /metrics.
+	Owner cloud.OwnerStats `json:"owner"`
 }
 
 // ReEncryptBatchReport is the machine-readable result of
 // MeasureReEncryptBatch, written to BENCH_reencrypt.json.
 type ReEncryptBatchReport struct {
-	GOMAXPROCS int              `json:"gomaxprocs"`
-	Workers    int              `json:"workers"`
-	RBits      int              `json:"r_bits"`
-	QBits      int              `json:"q_bits"`
-	Trials     int              `json:"trials"`
-	Attrs      int              `json:"attrs"`
-	Points     []ReEncryptPoint `json:"points"`
+	GOMAXPROCS int `json:"gomaxprocs"`
+	Workers    int `json:"workers"`
+	RBits      int `json:"r_bits"`
+	QBits      int `json:"q_bits"`
+	Trials     int `json:"trials"`
+	Attrs      int `json:"attrs"`
+	// Window is the per-run item cap the windowed submissions used.
+	Window int              `json:"window"`
+	Points []ReEncryptPoint `json:"points"`
 }
 
-// MeasureReEncryptBatch compares per-ciphertext against batched re-encryption
-// submission at each corpus size: the per-request pattern issues one
-// Server.ReEncrypt call per ciphertext, the batched pattern issues a single
-// Server.ReEncryptBatch whose items cover the same ciphertexts. Both run on
-// the default engine pool; the difference isolates the submission pattern.
-func MeasureReEncryptBatch(params *pairing.Params, rnd io.Reader, ctCounts []int, attrs, trials int) (*ReEncryptBatchReport, error) {
+// MeasureReEncryptBatch compares per-ciphertext, unwindowed-batched, and
+// windowed-batched re-encryption submission at each corpus size: the
+// per-request pattern issues one Server.ReEncrypt call per ciphertext, the
+// batched pattern a single Server.ReEncryptBatch fusing everything into one
+// engine run, and the windowed pattern the same batch streamed through
+// bounded slices of `window` items (0 = unwindowed). All run on the default
+// engine pool; the differences isolate the submission pattern. The windowed
+// run also records the per-owner counter row the server accumulated.
+func MeasureReEncryptBatch(params *pairing.Params, rnd io.Reader, ctCounts []int, attrs, trials, window int) (*ReEncryptBatchReport, error) {
 	report := &ReEncryptBatchReport{
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Workers:    engine.New(0).Workers(),
@@ -120,6 +133,7 @@ func MeasureReEncryptBatch(params *pairing.Params, rnd io.Reader, ctCounts []int
 		QBits:      params.Q.BitLen(),
 		Trials:     trials,
 		Attrs:      attrs,
+		Window:     window,
 	}
 	for _, numCTs := range ctCounts {
 		cfg := Config{Params: params, Authorities: 1, AttrsPerAuthority: attrs, Rnd: rnd}
@@ -172,12 +186,44 @@ func MeasureReEncryptBatch(params *pairing.Params, rnd io.Reader, ctCounts []int
 			return nil, fmt.Errorf("batched n=%d: %w", numCTs, err)
 		}
 
+		var windows int
+		var ownerStats cloud.OwnerStats
+		windowed, err := timeBest(0, trials, func() error {
+			srv, err := sc.freshServer()
+			if err != nil {
+				return err
+			}
+			items := make([]cloud.ReEncryptItem, len(sc.cts))
+			for i, ct := range sc.cts {
+				items[i] = cloud.ReEncryptItem{
+					UK:  sc.uk,
+					UIs: map[string]*core.UpdateInfo{ct.ID: sc.uis[ct.ID]},
+				}
+			}
+			rep, err := srv.ReEncryptBatchWindowed(sc.w.Owner.ID(), items, window)
+			if err != nil {
+				return err
+			}
+			if rep.Ciphertexts != numCTs {
+				return fmt.Errorf("bench: windowed %d of %d ciphertexts", rep.Ciphertexts, numCTs)
+			}
+			windows = rep.Windows
+			ownerStats = srv.Metrics().Owners[sc.w.Owner.ID()]
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("windowed n=%d: %w", numCTs, err)
+		}
+
 		report.Points = append(report.Points, ReEncryptPoint{
 			Ciphertexts:  numCTs,
 			PerRequestNs: perRequest.Nanoseconds(),
 			BatchedNs:    batched.Nanoseconds(),
+			WindowedNs:   windowed.Nanoseconds(),
 			Speedup:      float64(perRequest.Nanoseconds()) / float64(batched.Nanoseconds()),
+			Windows:      windows,
 			BatchEngine:  batchStats,
+			Owner:        ownerStats,
 		})
 	}
 	return report, nil
@@ -192,13 +238,15 @@ func (r *ReEncryptBatchReport) WriteJSON(w io.Writer) error {
 
 // Render prints a human-readable table of the report.
 func (r *ReEncryptBatchReport) Render(w io.Writer) {
-	fmt.Fprintf(w, "Re-encryption submission patterns — GOMAXPROCS=%d, workers=%d, |r|=%d bits, %d attrs (%d trials, best-of)\n",
-		r.GOMAXPROCS, r.Workers, r.RBits, r.Attrs, r.Trials)
-	fmt.Fprintf(w, "%6s %14s %14s %8s %8s %10s\n", "cts", "per-request", "batched", "speedup", "jobs", "cache h/m")
+	fmt.Fprintf(w, "Re-encryption submission patterns — GOMAXPROCS=%d, workers=%d, |r|=%d bits, %d attrs, window=%d (%d trials, best-of)\n",
+		r.GOMAXPROCS, r.Workers, r.RBits, r.Attrs, r.Window, r.Trials)
+	fmt.Fprintf(w, "%6s %14s %14s %14s %8s %8s %8s %10s\n",
+		"cts", "per-request", "batched", "windowed", "windows", "speedup", "jobs", "cache h/m")
 	for _, pt := range r.Points {
-		fmt.Fprintf(w, "%6d %14s %14s %7.2fx %8d %5d/%d\n",
+		fmt.Fprintf(w, "%6d %14s %14s %14s %8d %7.2fx %8d %5d/%d\n",
 			pt.Ciphertexts,
-			time.Duration(pt.PerRequestNs), time.Duration(pt.BatchedNs), pt.Speedup,
+			time.Duration(pt.PerRequestNs), time.Duration(pt.BatchedNs), time.Duration(pt.WindowedNs),
+			pt.Windows, pt.Speedup,
 			pt.BatchEngine.Jobs,
 			pt.BatchEngine.PreparedHits, pt.BatchEngine.PreparedMisses)
 	}

@@ -10,6 +10,8 @@ package cloud
 import (
 	"sort"
 	"sync"
+
+	"maacs/internal/engine"
 )
 
 // Channel names the party pair a message travels between, matching the rows
@@ -68,6 +70,34 @@ func (a *Accounting) Messages(ch Channel) int {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return a.msgs[ch]
+}
+
+// OwnerStats is one data owner's slice of the server's counters: what it
+// stored, how much proxy re-encryption its revocations cost the server
+// (items, ciphertexts, rows, engine activity including wall time), and how
+// many of its requests failed mid-batch. The revocation protocol makes the
+// server do per-owner work — Hur & Noh's scaling bottleneck — so the server
+// exposes exactly that attribution via Metrics.Owners and the
+// `maacs_owner_*` Prometheus families.
+type OwnerStats struct {
+	// Records is the owner's share of currently stored records (computed at
+	// snapshot time).
+	Records int `json:"records"`
+	// StoreRequests counts the owner's successful uploads.
+	StoreRequests uint64 `json:"store_requests"`
+	// ReEncryptRequests counts fully committed re-encryption requests;
+	// ReEncryptFailures counts requests that failed after validation
+	// (committed windows of a failed batch stay in the other counters).
+	ReEncryptRequests uint64 `json:"reencrypt_requests"`
+	ReEncryptFailures uint64 `json:"reencrypt_failures"`
+	// ReEncryptItems counts committed update-info sets.
+	ReEncryptItems uint64 `json:"reencrypt_items"`
+	// ReEncryptedCiphertexts / ReEncryptedRows total the committed proxy work.
+	ReEncryptedCiphertexts uint64 `json:"reencrypted_ciphertexts"`
+	ReEncryptedRows        uint64 `json:"reencrypted_rows"`
+	// Engine sums the engine.Stats deltas of the owner's committed windows;
+	// Engine.WallNs is the owner's total fan-out wall time.
+	Engine engine.Stats `json:"engine"`
 }
 
 // ChannelStats is one channel's tally in an accounting snapshot.

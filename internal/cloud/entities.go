@@ -56,6 +56,10 @@ type Authority struct {
 	mu      sync.Mutex
 	owners  map[string]*core.OwnerSecretKey
 	holders map[string]map[string]bool // uid → set of local attribute names
+
+	// revokeAttrHook replaces RevokeAttribute inside RevokeUser; tests use
+	// it to inject per-attribute failures into the aggregation path.
+	revokeAttrHook func(uid, attrName string) (*RevocationReport, error)
 }
 
 // OwnerClient is a data owner: the core owner state plus upload helpers.

@@ -22,7 +22,8 @@ import (
 //	GET  /owners/{id}/ciphertexts       — list an owner's ciphertexts
 //	POST /owners/{id}/reencrypt         — submit a revocation re-encryption
 //	POST /owners/{id}/reencrypt/batch   — submit many update-info sets at once
-//	GET  /metrics                       — cumulative server + engine counters
+//	GET  /metrics                       — Prometheus text exposition
+//	GET  /metrics?format=json           — cumulative counters as JSON
 //	GET  /healthz                       — liveness
 
 // HTTPComponent is the JSON form of a stored component.
@@ -55,17 +56,22 @@ type HTTPReEncryptResponse struct {
 }
 
 // HTTPBatchReEncryptRequest is the JSON body of a batched submission: many
-// update-info sets streamed through one engine run.
+// update-info sets streamed through bounded engine runs. Window caps how
+// many items fuse into one run; 0 uses the server's configured default.
 type HTTPBatchReEncryptRequest struct {
-	Items []HTTPReEncryptRequest `json:"items"`
+	Items  []HTTPReEncryptRequest `json:"items"`
+	Window int                    `json:"window,omitempty"`
 }
 
-// HTTPBatchReEncryptResponse reports per-item and total work plus the fused
-// run's engine activity.
+// HTTPBatchReEncryptResponse reports per-item and total work, the windowing
+// actually used, the committed record IDs, and the summed engine activity.
 type HTTPBatchReEncryptResponse struct {
 	Items       []ReEncryptResult `json:"items"`
 	Ciphertexts int               `json:"ciphertexts"`
 	Rows        int               `json:"rows"`
+	Window      int               `json:"window"`
+	Windows     int               `json:"windows"`
+	Committed   []string          `json:"committed"`
 	Engine      engine.Stats      `json:"engine"`
 }
 
@@ -76,9 +82,13 @@ type HTTPMetrics struct {
 	Channels map[Channel]ChannelStats `json:"channels,omitempty"`
 }
 
-// httpError is the JSON error envelope.
+// httpError is the JSON error envelope. A mid-batch re-encryption failure
+// additionally names the record IDs that committed before the failing window,
+// so the client can resubmit only the remainder.
 type httpError struct {
-	Error string `json:"error"`
+	Error     string   `json:"error"`
+	Committed []string `json:"committed,omitempty"`
+	Windows   int      `json:"windows,omitempty"`
 }
 
 // NewHTTPHandler exposes the server over HTTP/JSON.
@@ -123,11 +133,18 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 	return false
 }
 
-func (h *httpGateway) metrics(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, HTTPMetrics{
+func (h *httpGateway) metrics(w http.ResponseWriter, r *http.Request) {
+	m := HTTPMetrics{
 		Metrics:  h.server.Metrics(),
 		Channels: h.server.acct.Snapshot(),
-	})
+	}
+	if r.URL.Query().Get("format") == "json" {
+		writeJSON(w, http.StatusOK, m)
+		return
+	}
+	w.Header().Set("Content-Type", PrometheusContentType)
+	w.WriteHeader(http.StatusOK)
+	_ = WritePrometheus(w, m)
 }
 
 func (h *httpGateway) storeRecord(w http.ResponseWriter, r *http.Request) {
@@ -266,6 +283,10 @@ func (h *httpGateway) reencryptBatch(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, httpError{Error: "batch has no items"})
 		return
 	}
+	if in.Window < 0 {
+		writeJSON(w, http.StatusBadRequest, httpError{Error: "window must be non-negative"})
+		return
+	}
 	items := make([]ReEncryptItem, len(in.Items))
 	for i, hin := range in.Items {
 		item, err := decodeReEncryptItem(h.sys, hin)
@@ -275,15 +296,29 @@ func (h *httpGateway) reencryptBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		items[i] = item
 	}
-	report, err := h.server.ReEncryptBatch(r.PathValue("id"), items)
+	var report *BatchReport
+	var err error
+	if in.Window == 0 {
+		report, err = h.server.ReEncryptBatch(r.PathValue("id"), items)
+	} else {
+		report, err = h.server.ReEncryptBatchWindowed(r.PathValue("id"), items, in.Window)
+	}
 	if err != nil {
-		writeJSON(w, statusFor(err), httpError{Error: err.Error()})
+		e := httpError{Error: err.Error()}
+		if report != nil {
+			e.Committed = report.Committed
+			e.Windows = report.Windows
+		}
+		writeJSON(w, statusFor(err), e)
 		return
 	}
 	writeJSON(w, http.StatusOK, HTTPBatchReEncryptResponse{
 		Items:       report.Items,
 		Ciphertexts: report.Ciphertexts,
 		Rows:        report.Rows,
+		Window:      report.Window,
+		Windows:     report.Windows,
+		Committed:   report.Committed,
 		Engine:      report.Engine,
 	})
 }
@@ -307,7 +342,8 @@ func statusFor(err error) int {
 		errors.Is(err, ErrUnknownOwner):
 		return http.StatusNotFound
 	case errors.Is(err, core.ErrVersionMismatch),
-		errors.Is(err, ErrAlreadyStored):
+		errors.Is(err, ErrAlreadyStored),
+		errors.Is(err, ErrReEncryptConflict):
 		return http.StatusConflict
 	default:
 		return http.StatusBadRequest

@@ -5,8 +5,11 @@ import (
 	"crypto/rand"
 	"encoding/base64"
 	"encoding/json"
+	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"slices"
 	"strings"
 	"testing"
 
@@ -316,7 +319,7 @@ func TestHTTPBatchReEncryptAndMetrics(t *testing.T) {
 	}
 
 	// The cumulative metrics agree with the one request served so far.
-	mResp, err := http.Get(ts.URL + "/metrics")
+	mResp, err := http.Get(ts.URL + "/metrics?format=json")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -339,6 +342,50 @@ func TestHTTPBatchReEncryptAndMetrics(t *testing.T) {
 	}
 	if m.Channels[ChanServerOwner].Bytes == 0 || m.Channels[ChanServerOwner].Messages == 0 {
 		t.Fatalf("metrics missing channel tallies: %+v", m.Channels)
+	}
+
+	// The batch committed both records and the per-owner breakdown attributes
+	// all of the work to the one owner.
+	if want := []string{"patient-7", "patient-8"}; !slices.Equal(out.Committed, want) {
+		t.Fatalf("committed %v, want %v", out.Committed, want)
+	}
+	own, ok := m.Owners["hospital"]
+	if !ok {
+		t.Fatalf("metrics missing owner row: %+v", m.Owners)
+	}
+	if own.Records != 2 || own.StoreRequests != 2 || own.ReEncryptRequests != 1 {
+		t.Fatalf("owner stats %+v", own)
+	}
+	if own.ReEncryptedCiphertexts != uint64(out.Ciphertexts) || own.ReEncryptedRows != uint64(out.Rows) {
+		t.Fatalf("owner work %d/%d, response %d/%d",
+			own.ReEncryptedCiphertexts, own.ReEncryptedRows, out.Ciphertexts, out.Rows)
+	}
+
+	// The default exposition is Prometheus text carrying the same counters.
+	pResp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := pResp.Header.Get("Content-Type"); ct != PrometheusContentType {
+		t.Fatalf("content type %q", ct)
+	}
+	body, err := io.ReadAll(pResp.Body)
+	pResp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"maacs_records 2\n",
+		"maacs_reencrypt_requests_total 1\n",
+		fmt.Sprintf("maacs_reencrypted_ciphertexts_total %d\n", out.Ciphertexts),
+		`maacs_owner_records{owner="hospital"} 2` + "\n",
+		fmt.Sprintf(`maacs_owner_reencrypted_rows_total{owner="hospital"} %d`+"\n", out.Rows),
+		`maacs_channel_bytes_total{channel="Server↔Owner"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q in:\n%s", want, text)
+		}
 	}
 }
 
@@ -391,7 +438,7 @@ func TestHTTPBatchReEncryptErrors(t *testing.T) {
 		ts.URL+"/owners/ghost/reencrypt/batch")
 
 	// None of the rejected requests re-encrypted (or metered) anything.
-	mResp, err := http.Get(ts.URL + "/metrics")
+	mResp, err := http.Get(ts.URL + "/metrics?format=json")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package cloud
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -11,6 +12,14 @@ import (
 
 // snapshotMagic guards against restoring a foreign or corrupted stream.
 const snapshotMagic = "maacs-snapshot-v1"
+
+// maxSnapshotBytes caps how much snapshot input Restore will buffer after
+// the header check; larger streams are rejected rather than read to the end.
+// A variable so the cap is testable without a gigabyte of input.
+var maxSnapshotBytes int64 = 1 << 30
+
+// ErrSnapshotTooLarge reports snapshot input over the size cap.
+var ErrSnapshotTooLarge = errors.New("cloud: snapshot exceeds size cap")
 
 // Snapshot serializes every stored record to w in a deterministic order, so
 // the server can be restarted (or replicated) without losing hosted data.
@@ -46,16 +55,31 @@ func (s *Server) Snapshot(w io.Writer) error {
 }
 
 // Restore loads a snapshot into an empty server. It refuses to overwrite
-// existing records.
+// existing records. The magic header is checked from a streamed prefix
+// before anything else is buffered, so foreign input is rejected without
+// reading it, and the body is capped at maxSnapshotBytes.
 func (s *Server) Restore(r io.Reader) error {
-	data, err := io.ReadAll(r)
+	// The header is a fixed-size prefix: a one-byte varint length followed
+	// by the magic string. Read exactly that much and validate it before
+	// committing to buffer the rest.
+	hdr := make([]byte, 1+len(snapshotMagic))
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return fmt.Errorf("cloud: snapshot header: %w", err)
+	}
+	hd := wire.NewDecoder(hdr)
+	if magic := hd.String(); magic != snapshotMagic {
+		return fmt.Errorf("cloud: not a maacs snapshot (magic %q)", magic)
+	}
+
+	lr := &io.LimitedReader{R: r, N: maxSnapshotBytes + 1}
+	data, err := io.ReadAll(lr)
 	if err != nil {
 		return fmt.Errorf("read snapshot: %w", err)
 	}
-	d := wire.NewDecoder(data)
-	if magic := d.String(); magic != snapshotMagic {
-		return fmt.Errorf("cloud: not a maacs snapshot (magic %q)", magic)
+	if lr.N <= 0 {
+		return fmt.Errorf("%w (%d bytes)", ErrSnapshotTooLarge, maxSnapshotBytes)
 	}
+	d := wire.NewDecoder(data)
 	n := d.Count(3)
 	if d.Err() != nil {
 		return fmt.Errorf("snapshot header: %w", d.Err())

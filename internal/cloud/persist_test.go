@@ -3,6 +3,8 @@ package cloud
 import (
 	"bytes"
 	"crypto/rand"
+	"errors"
+	"io"
 	"strings"
 	"sync"
 	"testing"
@@ -69,6 +71,73 @@ func TestRestoreRejectsGarbageAndOverwrite(t *testing.T) {
 	// Restoring onto a server that already has the record must refuse.
 	if err := env.Server.Restore(bytes.NewReader(buf.Bytes())); err == nil {
 		t.Fatal("overwrote existing records")
+	}
+}
+
+// poisonReader fails the test if Restore reads past the header of a stream
+// it should already have rejected.
+type poisonReader struct{ t *testing.T }
+
+func (p poisonReader) Read([]byte) (int, error) {
+	p.t.Error("Restore buffered input past the rejected header")
+	return 0, errors.New("poisoned")
+}
+
+// TestRestoreChecksHeaderBeforeBuffering: the magic check runs on a
+// fixed-size streamed prefix, so foreign input is rejected without reading
+// (let alone buffering) the rest of the stream.
+func TestRestoreChecksHeaderBeforeBuffering(t *testing.T) {
+	env, _ := hospitalEnv(t)
+	fresh := NewServer(env.Sys, nil)
+
+	// Right length prefix, wrong magic: rejected from the header alone. The
+	// poisoned tail must never be read.
+	bad := append([]byte{byte(len(snapshotMagic))}, []byte("maacs-snapshot-v9")...)
+	err := fresh.Restore(io.MultiReader(bytes.NewReader(bad), poisonReader{t}))
+	if err == nil || !strings.Contains(err.Error(), "not a maacs snapshot") {
+		t.Fatalf("foreign magic: got %v", err)
+	}
+
+	// Streams shorter than the header are a header error, not a decode error.
+	if err := fresh.Restore(strings.NewReader("maacs")); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("truncated header: got %v, want ErrUnexpectedEOF", err)
+	}
+	if err := fresh.Restore(bytes.NewReader(nil)); !errors.Is(err, io.EOF) {
+		t.Fatalf("empty stream: got %v, want EOF", err)
+	}
+	if len(fresh.RecordIDs()) != 0 {
+		t.Fatal("rejected restores left records behind")
+	}
+}
+
+// TestRestoreRejectsOversizedSnapshot: the body after the header is size-
+// capped; anything larger is refused instead of buffered to the end.
+func TestRestoreRejectsOversizedSnapshot(t *testing.T) {
+	env, owner := hospitalEnv(t)
+	uploadPatientRecord(t, owner)
+	var buf bytes.Buffer
+	if err := env.Server.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	defer func(old int64) { maxSnapshotBytes = old }(maxSnapshotBytes)
+	maxSnapshotBytes = int64(buf.Len()) - 100 // below the body size
+
+	fresh := NewServer(env.Sys, nil)
+	if err := fresh.Restore(bytes.NewReader(buf.Bytes())); !errors.Is(err, ErrSnapshotTooLarge) {
+		t.Fatalf("got %v, want ErrSnapshotTooLarge", err)
+	}
+	if len(fresh.RecordIDs()) != 0 {
+		t.Fatal("oversized restore left records behind")
+	}
+
+	// The same stream restores fine once it fits the cap.
+	maxSnapshotBytes = int64(buf.Len())
+	if err := fresh.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if len(fresh.RecordIDs()) != 1 {
+		t.Fatal("restore under the cap failed")
 	}
 }
 

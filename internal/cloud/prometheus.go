@@ -1,0 +1,155 @@
+package cloud
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (format version 0.0.4), hand-rolled on the
+// stdlib so the server stays dependency-free. GET /metrics serves this by
+// default; GET /metrics?format=json keeps the JSON body the bench tooling
+// parses. Output is deterministic: families in fixed order, owner and
+// channel label sets sorted.
+
+// PrometheusContentType is the Content-Type GET /metrics serves the text
+// exposition under.
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// promBuf accumulates exposition lines.
+type promBuf struct {
+	bytes.Buffer
+}
+
+// family emits the # HELP / # TYPE header of a metric family.
+func (b *promBuf) family(name, typ, help string) {
+	fmt.Fprintf(b, "# HELP %s %s\n", name, escapeHelp(help))
+	fmt.Fprintf(b, "# TYPE %s %s\n", name, typ)
+}
+
+// sample emits one sample line. labels is either empty or a pre-rendered
+// `{k="v",...}` block.
+func (b *promBuf) sample(name, labels string, value string) {
+	fmt.Fprintf(b, "%s%s %s\n", name, labels, value)
+}
+
+func uintVal(v uint64) string { return strconv.FormatUint(v, 10) }
+func intVal(v int) string     { return strconv.Itoa(v) }
+
+// secondsVal renders a nanosecond total as seconds, the Prometheus base unit
+// for time.
+func secondsVal(ns int64) string {
+	return strconv.FormatFloat(float64(ns)/1e9, 'g', -1, 64)
+}
+
+// label renders a single-label block with the value escaped per the
+// exposition format (backslash, double quote, newline).
+func label(key, value string) string {
+	return "{" + key + `="` + escapeLabel(value) + `"}`
+}
+
+func escapeLabel(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+func escapeHelp(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// WritePrometheus renders the server metrics (plus per-channel accounting
+// tallies) as Prometheus text exposition.
+func WritePrometheus(w io.Writer, m HTTPMetrics) error {
+	var b promBuf
+
+	b.family("maacs_records", "gauge", "Records currently stored.")
+	b.sample("maacs_records", "", intVal(m.Records))
+	b.family("maacs_store_requests_total", "counter", "Successful record uploads.")
+	b.sample("maacs_store_requests_total", "", uintVal(m.StoreRequests))
+	b.family("maacs_reencrypt_requests_total", "counter", "Fully committed re-encryption requests.")
+	b.sample("maacs_reencrypt_requests_total", "", uintVal(m.ReEncryptRequests))
+	b.family("maacs_reencrypt_failures_total", "counter", "Re-encryption requests failed after validation.")
+	b.sample("maacs_reencrypt_failures_total", "", uintVal(m.ReEncryptFailures))
+	b.family("maacs_reencrypt_items_total", "counter", "Committed update-info sets across all requests.")
+	b.sample("maacs_reencrypt_items_total", "", uintVal(m.ReEncryptItems))
+	b.family("maacs_reencrypted_ciphertexts_total", "counter", "Stored ciphertexts proxy re-encrypted.")
+	b.sample("maacs_reencrypted_ciphertexts_total", "", uintVal(m.ReEncryptedCiphertexts))
+	b.family("maacs_reencrypted_rows_total", "counter", "Access-structure rows touched by re-encryption.")
+	b.sample("maacs_reencrypted_rows_total", "", uintVal(m.ReEncryptedRows))
+
+	b.family("maacs_engine_jobs_total", "counter", "Engine jobs scheduled by re-encryption runs.")
+	b.sample("maacs_engine_jobs_total", "", uintVal(m.Engine.Jobs))
+	b.family("maacs_engine_chunks_total", "counter", "Multi-pairing chunks split off by re-encryption runs.")
+	b.sample("maacs_engine_chunks_total", "", uintVal(m.Engine.Chunks))
+	b.family("maacs_engine_cache_hits_total", "counter", "Engine cache hits by cache.")
+	b.sample("maacs_engine_cache_hits_total", label("cache", "exp"), uintVal(m.Engine.ExpHits))
+	b.sample("maacs_engine_cache_hits_total", label("cache", "prepared"), uintVal(m.Engine.PreparedHits))
+	b.family("maacs_engine_cache_misses_total", "counter", "Engine cache misses by cache.")
+	b.sample("maacs_engine_cache_misses_total", label("cache", "exp"), uintVal(m.Engine.ExpMisses))
+	b.sample("maacs_engine_cache_misses_total", label("cache", "prepared"), uintVal(m.Engine.PreparedMisses))
+	b.family("maacs_engine_wall_seconds_total", "counter", "Summed wall time of re-encryption fan-outs.")
+	b.sample("maacs_engine_wall_seconds_total", "", secondsVal(m.Engine.WallNs))
+
+	owners := make([]string, 0, len(m.Owners))
+	for id := range m.Owners {
+		owners = append(owners, id)
+	}
+	sort.Strings(owners)
+	ownerFamilies := []struct {
+		name string
+		typ  string
+		help string
+		val  func(OwnerStats) string
+	}{
+		{"maacs_owner_records", "gauge", "Records currently stored per owner.",
+			func(o OwnerStats) string { return intVal(o.Records) }},
+		{"maacs_owner_store_requests_total", "counter", "Successful uploads per owner.",
+			func(o OwnerStats) string { return uintVal(o.StoreRequests) }},
+		{"maacs_owner_reencrypt_requests_total", "counter", "Fully committed re-encryption requests per owner.",
+			func(o OwnerStats) string { return uintVal(o.ReEncryptRequests) }},
+		{"maacs_owner_reencrypt_failures_total", "counter", "Failed re-encryption requests per owner.",
+			func(o OwnerStats) string { return uintVal(o.ReEncryptFailures) }},
+		{"maacs_owner_reencrypt_items_total", "counter", "Committed update-info sets per owner.",
+			func(o OwnerStats) string { return uintVal(o.ReEncryptItems) }},
+		{"maacs_owner_reencrypted_ciphertexts_total", "counter", "Ciphertexts re-encrypted per owner.",
+			func(o OwnerStats) string { return uintVal(o.ReEncryptedCiphertexts) }},
+		{"maacs_owner_reencrypted_rows_total", "counter", "Rows re-encrypted per owner.",
+			func(o OwnerStats) string { return uintVal(o.ReEncryptedRows) }},
+		{"maacs_owner_engine_jobs_total", "counter", "Engine jobs caused per owner.",
+			func(o OwnerStats) string { return uintVal(o.Engine.Jobs) }},
+		{"maacs_owner_engine_wall_seconds_total", "counter", "Re-encryption fan-out wall time per owner.",
+			func(o OwnerStats) string { return secondsVal(o.Engine.WallNs) }},
+	}
+	for _, fam := range ownerFamilies {
+		if len(owners) == 0 {
+			break
+		}
+		b.family(fam.name, fam.typ, fam.help)
+		for _, id := range owners {
+			b.sample(fam.name, label("owner", id), fam.val(m.Owners[id]))
+		}
+	}
+
+	channels := make([]string, 0, len(m.Channels))
+	for ch := range m.Channels {
+		channels = append(channels, string(ch))
+	}
+	sort.Strings(channels)
+	if len(channels) > 0 {
+		b.family("maacs_channel_bytes_total", "counter", "Bytes exchanged per protocol channel (Table IV tallies).")
+		for _, ch := range channels {
+			b.sample("maacs_channel_bytes_total", label("channel", ch), intVal(m.Channels[Channel(ch)].Bytes))
+		}
+		b.family("maacs_channel_messages_total", "counter", "Messages exchanged per protocol channel.")
+		for _, ch := range channels {
+			b.sample("maacs_channel_messages_total", label("channel", ch), intVal(m.Channels[Channel(ch)].Messages))
+		}
+	}
+
+	_, err := w.Write(b.Bytes())
+	return err
+}

@@ -1,0 +1,183 @@
+package cloud
+
+import (
+	"strings"
+	"testing"
+
+	"maacs/internal/engine"
+)
+
+// TestWritePrometheusGolden pins the full text exposition for a handcrafted
+// metrics snapshot: family order, HELP/TYPE headers, per-owner and
+// per-channel label sets (sorted), label escaping, and nanosecond→second
+// conversion. Any drift in the scrape format fails byte-for-byte.
+func TestWritePrometheusGolden(t *testing.T) {
+	m := HTTPMetrics{
+		Metrics: Metrics{
+			Records:                3,
+			StoreRequests:          4,
+			ReEncryptRequests:      2,
+			ReEncryptItems:         5,
+			ReEncryptedCiphertexts: 7,
+			ReEncryptedRows:        21,
+			ReEncryptFailures:      1,
+			Engine: engine.Stats{
+				Jobs: 9, Chunks: 4,
+				PreparedHits: 3, PreparedMisses: 2,
+				ExpHits: 10, ExpMisses: 5,
+				WallNs: 1_500_000_000,
+			},
+			Owners: map[string]OwnerStats{
+				"hospital": {
+					Records: 2, StoreRequests: 3,
+					ReEncryptRequests: 2, ReEncryptFailures: 1,
+					ReEncryptItems: 5, ReEncryptedCiphertexts: 7, ReEncryptedRows: 21,
+					Engine: engine.Stats{Jobs: 9, WallNs: 1_500_000_000},
+				},
+				// A hostile owner ID exercises label escaping.
+				`ward"7`: {Records: 1, StoreRequests: 1},
+			},
+		},
+		Channels: map[Channel]ChannelStats{
+			ChanServerOwner: {Bytes: 4096, Messages: 6},
+			ChanServerUser:  {Bytes: 1024, Messages: 2},
+		},
+	}
+
+	want := `# HELP maacs_records Records currently stored.
+# TYPE maacs_records gauge
+maacs_records 3
+# HELP maacs_store_requests_total Successful record uploads.
+# TYPE maacs_store_requests_total counter
+maacs_store_requests_total 4
+# HELP maacs_reencrypt_requests_total Fully committed re-encryption requests.
+# TYPE maacs_reencrypt_requests_total counter
+maacs_reencrypt_requests_total 2
+# HELP maacs_reencrypt_failures_total Re-encryption requests failed after validation.
+# TYPE maacs_reencrypt_failures_total counter
+maacs_reencrypt_failures_total 1
+# HELP maacs_reencrypt_items_total Committed update-info sets across all requests.
+# TYPE maacs_reencrypt_items_total counter
+maacs_reencrypt_items_total 5
+# HELP maacs_reencrypted_ciphertexts_total Stored ciphertexts proxy re-encrypted.
+# TYPE maacs_reencrypted_ciphertexts_total counter
+maacs_reencrypted_ciphertexts_total 7
+# HELP maacs_reencrypted_rows_total Access-structure rows touched by re-encryption.
+# TYPE maacs_reencrypted_rows_total counter
+maacs_reencrypted_rows_total 21
+# HELP maacs_engine_jobs_total Engine jobs scheduled by re-encryption runs.
+# TYPE maacs_engine_jobs_total counter
+maacs_engine_jobs_total 9
+# HELP maacs_engine_chunks_total Multi-pairing chunks split off by re-encryption runs.
+# TYPE maacs_engine_chunks_total counter
+maacs_engine_chunks_total 4
+# HELP maacs_engine_cache_hits_total Engine cache hits by cache.
+# TYPE maacs_engine_cache_hits_total counter
+maacs_engine_cache_hits_total{cache="exp"} 10
+maacs_engine_cache_hits_total{cache="prepared"} 3
+# HELP maacs_engine_cache_misses_total Engine cache misses by cache.
+# TYPE maacs_engine_cache_misses_total counter
+maacs_engine_cache_misses_total{cache="exp"} 5
+maacs_engine_cache_misses_total{cache="prepared"} 2
+# HELP maacs_engine_wall_seconds_total Summed wall time of re-encryption fan-outs.
+# TYPE maacs_engine_wall_seconds_total counter
+maacs_engine_wall_seconds_total 1.5
+# HELP maacs_owner_records Records currently stored per owner.
+# TYPE maacs_owner_records gauge
+maacs_owner_records{owner="hospital"} 2
+maacs_owner_records{owner="ward\"7"} 1
+# HELP maacs_owner_store_requests_total Successful uploads per owner.
+# TYPE maacs_owner_store_requests_total counter
+maacs_owner_store_requests_total{owner="hospital"} 3
+maacs_owner_store_requests_total{owner="ward\"7"} 1
+# HELP maacs_owner_reencrypt_requests_total Fully committed re-encryption requests per owner.
+# TYPE maacs_owner_reencrypt_requests_total counter
+maacs_owner_reencrypt_requests_total{owner="hospital"} 2
+maacs_owner_reencrypt_requests_total{owner="ward\"7"} 0
+# HELP maacs_owner_reencrypt_failures_total Failed re-encryption requests per owner.
+# TYPE maacs_owner_reencrypt_failures_total counter
+maacs_owner_reencrypt_failures_total{owner="hospital"} 1
+maacs_owner_reencrypt_failures_total{owner="ward\"7"} 0
+# HELP maacs_owner_reencrypt_items_total Committed update-info sets per owner.
+# TYPE maacs_owner_reencrypt_items_total counter
+maacs_owner_reencrypt_items_total{owner="hospital"} 5
+maacs_owner_reencrypt_items_total{owner="ward\"7"} 0
+# HELP maacs_owner_reencrypted_ciphertexts_total Ciphertexts re-encrypted per owner.
+# TYPE maacs_owner_reencrypted_ciphertexts_total counter
+maacs_owner_reencrypted_ciphertexts_total{owner="hospital"} 7
+maacs_owner_reencrypted_ciphertexts_total{owner="ward\"7"} 0
+# HELP maacs_owner_reencrypted_rows_total Rows re-encrypted per owner.
+# TYPE maacs_owner_reencrypted_rows_total counter
+maacs_owner_reencrypted_rows_total{owner="hospital"} 21
+maacs_owner_reencrypted_rows_total{owner="ward\"7"} 0
+# HELP maacs_owner_engine_jobs_total Engine jobs caused per owner.
+# TYPE maacs_owner_engine_jobs_total counter
+maacs_owner_engine_jobs_total{owner="hospital"} 9
+maacs_owner_engine_jobs_total{owner="ward\"7"} 0
+# HELP maacs_owner_engine_wall_seconds_total Re-encryption fan-out wall time per owner.
+# TYPE maacs_owner_engine_wall_seconds_total counter
+maacs_owner_engine_wall_seconds_total{owner="hospital"} 1.5
+maacs_owner_engine_wall_seconds_total{owner="ward\"7"} 0
+# HELP maacs_channel_bytes_total Bytes exchanged per protocol channel (Table IV tallies).
+# TYPE maacs_channel_bytes_total counter
+maacs_channel_bytes_total{channel="Server↔Owner"} 4096
+maacs_channel_bytes_total{channel="Server↔User"} 1024
+# HELP maacs_channel_messages_total Messages exchanged per protocol channel.
+# TYPE maacs_channel_messages_total counter
+maacs_channel_messages_total{channel="Server↔Owner"} 6
+maacs_channel_messages_total{channel="Server↔User"} 2
+`
+
+	var buf strings.Builder
+	if err := WritePrometheus(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	if got != want {
+		t.Fatalf("exposition drifted.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestWritePrometheusEmpty: a fresh server has no owner or channel rows, and
+// the exposition must simply omit those families rather than emit empties.
+func TestWritePrometheusEmpty(t *testing.T) {
+	var buf strings.Builder
+	if err := WritePrometheus(&buf, HTTPMetrics{}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "maacs_owner_") || strings.Contains(out, "maacs_channel_") {
+		t.Fatalf("empty metrics emitted labelled families:\n%s", out)
+	}
+	if !strings.Contains(out, "maacs_records 0\n") {
+		t.Fatalf("missing zero-valued gauge:\n%s", out)
+	}
+	// Every non-comment line is NAME[{labels}] VALUE; every sample's family
+	// was announced by a TYPE header first.
+	typed := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			typed[strings.Fields(rest)[0]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		name, _, _ := strings.Cut(fields[0], "{")
+		if !typed[name] {
+			t.Fatalf("sample %q precedes its TYPE header", line)
+		}
+	}
+}
+
+// TestEscapeLabel covers the three escapes the exposition format defines for
+// label values.
+func TestEscapeLabel(t *testing.T) {
+	if got := escapeLabel("a\\b\"c\nd"); got != `a\\b\"c\nd` {
+		t.Fatalf("escapeLabel = %q", got)
+	}
+}

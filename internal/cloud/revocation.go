@@ -1,7 +1,9 @@
 package cloud
 
 import (
+	"errors"
 	"fmt"
+	"sort"
 
 	"maacs/internal/core"
 )
@@ -19,24 +21,46 @@ type RevocationReport struct {
 	RowsReencrypted int
 }
 
+// AttributeRevocation is the per-attribute outcome of a user-level
+// revocation: exactly one of Report (success) or Err (failure) is set.
+type AttributeRevocation struct {
+	Attr   string
+	Report *RevocationReport
+	Err    error
+}
+
 // RevokeUser revokes every attribute the user holds at this authority —
 // the coarse "user-level revocation" that schemes [5]/[27] in the paper's
 // Related Work are limited to, expressed here as repeated attribute-level
 // revocations. Each attribute costs one version bump.
-func (a *Authority) RevokeUser(uid string) ([]*RevocationReport, error) {
+//
+// Attributes are processed in sorted order and a failure does not stop the
+// loop: every attribute is attempted, the outcome slice records which
+// succeeded and which failed, and the returned error joins the per-attribute
+// failures (nil when all succeeded). Stopping early used to leave the user
+// half-revoked with no indication of how far the loop got.
+func (a *Authority) RevokeUser(uid string) ([]AttributeRevocation, error) {
 	attrs := a.HolderAttrs(uid)
 	if len(attrs) == 0 {
 		return nil, fmt.Errorf("cloud: %q holds no attributes at %q", uid, a.AA.AID())
 	}
-	reports := make([]*RevocationReport, 0, len(attrs))
-	for _, name := range attrs {
-		report, err := a.RevokeAttribute(uid, name)
-		if err != nil {
-			return reports, err
-		}
-		reports = append(reports, report)
+	sort.Strings(attrs)
+	revoke := a.RevokeAttribute
+	if a.revokeAttrHook != nil {
+		revoke = a.revokeAttrHook
 	}
-	return reports, nil
+	outcomes := make([]AttributeRevocation, 0, len(attrs))
+	var errs []error
+	for _, name := range attrs {
+		report, err := revoke(uid, name)
+		if err != nil {
+			err = fmt.Errorf("revoke %q@%s from %q: %w", name, a.AA.AID(), uid, err)
+			errs = append(errs, err)
+			report = nil
+		}
+		outcomes = append(outcomes, AttributeRevocation{Attr: name, Report: report, Err: err})
+	}
+	return outcomes, errors.Join(errs...)
 }
 
 // RevokeAttribute runs the paper's complete two-phase attribute revocation

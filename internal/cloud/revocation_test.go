@@ -1,0 +1,119 @@
+package cloud
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestRevokeUserContinuesPastFailures is the regression test for the
+// half-applied revocation bug: a failing attribute used to abort the loop,
+// leaving later attributes silently unrevoked with no record of progress.
+// Now every attribute is attempted, the outcome slice says which legs ran,
+// and the joined error names each failure.
+func TestRevokeUserContinuesPastFailures(t *testing.T) {
+	env, owner := hospitalEnv(t)
+	uploadPatientRecord(t, owner)
+	eve := addUser(t, env, "eve", map[string][]string{
+		"med":   {"doctor", "nurse"},
+		"trial": nil,
+	})
+	med, _ := env.Authority("med")
+
+	boom := errors.New("authority key store unavailable")
+	med.revokeAttrHook = func(uid, attr string) (*RevocationReport, error) {
+		if attr == "doctor" {
+			return nil, boom
+		}
+		return med.RevokeAttribute(uid, attr)
+	}
+
+	outcomes, err := med.RevokeUser("eve")
+	if err == nil {
+		t.Fatal("half-applied revocation reported success")
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("joined error lost the cause: %v", err)
+	}
+	if !strings.Contains(err.Error(), `"doctor"`) || !strings.Contains(err.Error(), "eve") {
+		t.Fatalf("error does not name the failing leg: %v", err)
+	}
+	if len(outcomes) != 2 {
+		t.Fatalf("got %d outcomes, want 2", len(outcomes))
+	}
+	d, n := outcomes[0], outcomes[1]
+	if d.Attr != "doctor" || d.Err == nil || d.Report != nil {
+		t.Fatalf("doctor outcome %+v, want recorded failure", d)
+	}
+	if !errors.Is(d.Err, boom) {
+		t.Fatalf("doctor outcome error %v", d.Err)
+	}
+	if n.Attr != "nurse" || n.Err != nil || n.Report == nil {
+		t.Fatalf("nurse outcome %+v, want success despite earlier failure", n)
+	}
+
+	// The successful leg really ran: one version bump, the nurse attribute
+	// gone from eve's holdings, the doctor attribute (whose revocation
+	// failed) still held and still usable.
+	if v := med.AA.Version(); v != 1 {
+		t.Fatalf("version %d, want 1 (one successful revocation)", v)
+	}
+	if held := med.HolderAttrs("eve"); len(held) != 1 || held[0] != "doctor" {
+		t.Fatalf("eve still holds %v, want [doctor]", held)
+	}
+	if got, err := eve.Download("patient-7", "diagnosis"); err != nil || !bytes.Equal(got, []byte("hypertension")) {
+		t.Fatalf("unrevoked attribute broken: %v", err)
+	}
+
+	// Retrying after the fault clears finishes the job.
+	med.revokeAttrHook = nil
+	outcomes, err = med.RevokeUser("eve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outcomes) != 1 || outcomes[0].Attr != "doctor" || outcomes[0].Report == nil {
+		t.Fatalf("retry outcomes %+v", outcomes)
+	}
+	if _, err := eve.Download("patient-7", "diagnosis"); !errors.Is(err, ErrNoAccess) {
+		t.Fatalf("fully revoked user still reads: %v", err)
+	}
+}
+
+// TestRevokeUserAllFailuresJoined: when every leg fails, the error joins all
+// of them and no outcome carries a report.
+func TestRevokeUserAllFailuresJoined(t *testing.T) {
+	env, _ := hospitalEnv(t)
+	addUser(t, env, "mallory", map[string][]string{
+		"med":   {"doctor", "nurse"},
+		"trial": nil,
+	})
+	med, _ := env.Authority("med")
+	med.revokeAttrHook = func(uid, attr string) (*RevocationReport, error) {
+		return nil, errors.New("offline: " + attr)
+	}
+	outcomes, err := med.RevokeUser("mallory")
+	if err == nil {
+		t.Fatal("all-failed revocation reported success")
+	}
+	for _, want := range []string{`"doctor"`, `"nurse"`} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("joined error missing %s: %v", want, err)
+		}
+	}
+	if len(outcomes) != 2 {
+		t.Fatalf("got %d outcomes, want 2", len(outcomes))
+	}
+	for _, o := range outcomes {
+		if o.Err == nil || o.Report != nil {
+			t.Fatalf("outcome %+v, want recorded failure", o)
+		}
+	}
+	// Nothing succeeded, so nothing was rekeyed and nothing was lost.
+	if v := med.AA.Version(); v != 0 {
+		t.Fatalf("version %d after all-failed revocation, want 0", v)
+	}
+	if held := med.HolderAttrs("mallory"); len(held) != 2 {
+		t.Fatalf("holdings changed despite failures: %v", held)
+	}
+}

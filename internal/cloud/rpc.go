@@ -68,11 +68,13 @@ type RPCReEncryptReply struct {
 	Engine      engine.Stats
 }
 
-// RPCReEncryptBatchArgs carries many update-info sets to run through one
-// fused engine fan-out.
+// RPCReEncryptBatchArgs carries many update-info sets to stream through
+// bounded engine fan-outs. Window caps items per run (0 = the server's
+// configured default).
 type RPCReEncryptBatchArgs struct {
 	OwnerID string
 	Items   []RPCReEncryptItem
+	Window  int
 }
 
 // RPCReEncryptItem is one update-info set of a batched submission.
@@ -81,12 +83,18 @@ type RPCReEncryptItem struct {
 	UpdateInfos [][]byte // core.UpdateInfo wire encodings
 }
 
-// RPCReEncryptBatchReply reports per-item and total work plus the fused
-// run's engine activity.
+// RPCReEncryptBatchReply reports per-item and total work, the windowing
+// used, the committed record IDs and the summed engine activity. net/rpc
+// drops the reply on error, so a mid-batch partial commit reaches RPC
+// clients only as the error string; callers needing the committed set after
+// a failure should use the HTTP gateway or query the server state.
 type RPCReEncryptBatchReply struct {
 	Items       []ReEncryptResult
 	Ciphertexts int
 	Rows        int
+	Window      int
+	Windows     int
+	Committed   []string
 	Engine      engine.Stats
 }
 
@@ -199,8 +207,11 @@ func (s *ServerRPC) ReEncrypt(args *RPCReEncryptArgs, reply *RPCReEncryptReply) 
 	return nil
 }
 
-// ReEncryptBatch streams many update-info sets through one engine run.
+// ReEncryptBatch streams many update-info sets through bounded engine runs.
 func (s *ServerRPC) ReEncryptBatch(args *RPCReEncryptBatchArgs, reply *RPCReEncryptBatchReply) error {
+	if args.Window < 0 {
+		return fmt.Errorf("cloud: window must be non-negative, got %d", args.Window)
+	}
 	items := make([]ReEncryptItem, len(args.Items))
 	for i, it := range args.Items {
 		item, err := s.decodeRPCItem(it.UpdateKey, it.UpdateInfos)
@@ -209,13 +220,25 @@ func (s *ServerRPC) ReEncryptBatch(args *RPCReEncryptBatchArgs, reply *RPCReEncr
 		}
 		items[i] = item
 	}
-	report, err := s.server.ReEncryptBatch(args.OwnerID, items)
+	var report *BatchReport
+	var err error
+	if args.Window == 0 {
+		report, err = s.server.ReEncryptBatch(args.OwnerID, items)
+	} else {
+		report, err = s.server.ReEncryptBatchWindowed(args.OwnerID, items, args.Window)
+	}
 	if err != nil {
+		if report != nil && len(report.Committed) > 0 {
+			return fmt.Errorf("%w (committed records: %v)", err, report.Committed)
+		}
 		return err
 	}
 	reply.Items = report.Items
 	reply.Ciphertexts = report.Ciphertexts
 	reply.Rows = report.Rows
+	reply.Window = report.Window
+	reply.Windows = report.Windows
+	reply.Committed = report.Committed
 	reply.Engine = report.Engine
 	return nil
 }
@@ -365,9 +388,20 @@ func (r *RemoteServer) ReEncrypt(ownerID string, uis map[string]*core.UpdateInfo
 	}, nil
 }
 
-// ReEncryptBatch submits many update-info sets for one fused engine run.
-func (r *RemoteServer) ReEncryptBatch(ownerID string, items []ReEncryptItem) (*ReEncryptReport, error) {
-	args := &RPCReEncryptBatchArgs{OwnerID: ownerID, Items: make([]RPCReEncryptItem, len(items))}
+// ReEncryptBatch submits many update-info sets for streaming re-encryption
+// under the server's configured window.
+func (r *RemoteServer) ReEncryptBatch(ownerID string, items []ReEncryptItem) (*BatchReport, error) {
+	return r.ReEncryptBatchWindowed(ownerID, items, 0)
+}
+
+// ReEncryptBatchWindowed submits a batch with an explicit window cap
+// (0 = the server's configured default).
+func (r *RemoteServer) ReEncryptBatchWindowed(ownerID string, items []ReEncryptItem, window int) (*BatchReport, error) {
+	args := &RPCReEncryptBatchArgs{
+		OwnerID: ownerID,
+		Items:   make([]RPCReEncryptItem, len(items)),
+		Window:  window,
+	}
 	for i, it := range items {
 		args.Items[i].UpdateKey = it.UK.Marshal()
 		for _, ui := range it.UIs {
@@ -378,10 +412,13 @@ func (r *RemoteServer) ReEncryptBatch(ownerID string, items []ReEncryptItem) (*R
 	if err := r.client.Call("CloudServer.ReEncryptBatch", args, &reply); err != nil {
 		return nil, err
 	}
-	return &ReEncryptReport{
+	return &BatchReport{
 		Items:       reply.Items,
 		Ciphertexts: reply.Ciphertexts,
 		Rows:        reply.Rows,
+		Window:      reply.Window,
+		Windows:     reply.Windows,
+		Committed:   reply.Committed,
 		Engine:      reply.Engine,
 	}, nil
 }

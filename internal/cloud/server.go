@@ -16,6 +16,10 @@ var (
 	ErrComponentNotFound   = errors.New("cloud: component not found")
 	ErrAlreadyStored       = errors.New("cloud: record already stored")
 	ErrDuplicateUpdateInfo = errors.New("cloud: duplicate update info")
+	// ErrReEncryptConflict reports that a stored slot changed (another
+	// re-encryption committed, or the record was deleted) between a window's
+	// snapshot and its commit; the window was not applied.
+	ErrReEncryptConflict = errors.New("cloud: concurrent modification during re-encryption")
 )
 
 // StoredComponent is one cell of the Fig. 2 record format: the CP-ABE
@@ -71,6 +75,30 @@ type ReEncryptReport struct {
 	Engine      engine.Stats      `json:"engine"`
 }
 
+// BatchReport is the outcome of a (possibly windowed) batched re-encryption.
+// Unlike the all-or-nothing single-item path, a windowed batch commits window
+// by window: on a mid-batch failure the error names the offending record and
+// Committed lists exactly the record IDs whose slots were already replaced —
+// the caller resubmits only the remainder.
+type BatchReport struct {
+	// Items holds per-item counts (zero for items whose window never
+	// committed).
+	Items []ReEncryptResult `json:"items"`
+	// Ciphertexts and Rows total the committed work.
+	Ciphertexts int `json:"ciphertexts"`
+	Rows        int `json:"rows"`
+	// Window is the item cap per engine run this batch ran with (0 = the
+	// whole batch fused into one run).
+	Window int `json:"window"`
+	// Windows counts the engine runs performed (committed windows plus, on
+	// failure, none for the failing window).
+	Windows int `json:"windows"`
+	// Committed lists the record IDs whose components were replaced, sorted.
+	Committed []string `json:"committed"`
+	// Engine sums the engine activity of every committed window's run.
+	Engine engine.Stats `json:"engine"`
+}
+
 // Metrics is the server's cumulative observability surface, exposed over
 // GET /metrics and CloudServer.Metrics.
 type Metrics struct {
@@ -85,9 +113,16 @@ type Metrics struct {
 	// ReEncryptedCiphertexts / ReEncryptedRows total the proxy work done.
 	ReEncryptedCiphertexts uint64 `json:"reencrypted_ciphertexts"`
 	ReEncryptedRows        uint64 `json:"reencrypted_rows"`
+	// ReEncryptFailures counts re-encryption requests that failed after
+	// validation (mid-batch engine errors, commit conflicts). Requests
+	// rejected up front — unknown owner, overlapping items — count nowhere,
+	// matching the meter-on-success contract.
+	ReEncryptFailures uint64 `json:"reencrypt_failures"`
 	// Engine accumulates the engine.Stats deltas of every re-encryption run
 	// on this server (WallNs is the summed fan-out wall time).
 	Engine engine.Stats `json:"engine"`
+	// Owners breaks the counters down per data owner.
+	Owners map[string]OwnerStats `json:"owners,omitempty"`
 }
 
 // Server is the cloud storage server: it stores records, serves downloads,
@@ -100,11 +135,49 @@ type Server struct {
 	mu      sync.Mutex
 	records map[string]*Record
 	metrics Metrics
+	owners  map[string]*OwnerStats
+	window  int
 }
 
 // NewServer creates a server over the system's public parameters.
 func NewServer(sys *core.System, acct *Accounting) *Server {
-	return &Server{sys: sys, acct: acct, records: make(map[string]*Record)}
+	return &Server{
+		sys:     sys,
+		acct:    acct,
+		records: make(map[string]*Record),
+		owners:  make(map[string]*OwnerStats),
+	}
+}
+
+// SetBatchWindow configures the default window for ReEncryptBatch: at most n
+// update-info sets are fused into one engine run, with the server lock
+// released between windows. n <= 0 restores the unwindowed default (the whole
+// batch in one run).
+func (s *Server) SetBatchWindow(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	s.window = n
+}
+
+// BatchWindow reports the configured default window (0 = unwindowed).
+func (s *Server) BatchWindow() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.window
+}
+
+// ownerStatsLocked returns the mutable per-owner counter row, creating it on
+// first touch. Caller holds s.mu.
+func (s *Server) ownerStatsLocked(ownerID string) *OwnerStats {
+	os := s.owners[ownerID]
+	if os == nil {
+		os = &OwnerStats{}
+		s.owners[ownerID] = os
+	}
+	return os
 }
 
 // Store uploads a record (Server↔Owner channel). Rejected duplicates are not
@@ -123,6 +196,7 @@ func (s *Server) Store(rec *Record) error {
 	}
 	s.records[rec.ID] = rec
 	s.metrics.StoreRequests++
+	s.ownerStatsLocked(rec.OwnerID).StoreRequests++
 	s.acct.Add(ChanServerOwner, size)
 	return nil
 }
@@ -228,32 +302,73 @@ func (s *Server) CiphertextsOf(ownerID string) []*core.Ciphertext {
 	return out
 }
 
-// Metrics returns a copy of the server's cumulative counters.
+// Metrics returns a copy of the server's cumulative counters, including the
+// per-owner breakdown (owners that stored records or issued re-encryptions).
 func (s *Server) Metrics() Metrics {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	m := s.metrics
 	m.Records = len(s.records)
+	perOwner := make(map[string]int)
+	for _, rec := range s.records {
+		perOwner[rec.OwnerID]++
+	}
+	m.Owners = make(map[string]OwnerStats, len(s.owners))
+	for id, os := range s.owners {
+		row := *os
+		row.Records = perOwner[id]
+		m.Owners[id] = row
+	}
+	// Owners whose records arrived via Restore have no counter row yet; they
+	// still show up with their record count.
+	for id, n := range perOwner {
+		if _, ok := m.Owners[id]; !ok {
+			m.Owners[id] = OwnerStats{Records: n}
+		}
+	}
 	return m
 }
 
 // ReEncrypt runs the proxy re-encryption for one revocation: it applies the
 // owner-supplied update information to every affected stored ciphertext. It
-// is the single-item form of ReEncryptBatch and shares its semantics.
+// is the single-item, single-window form of ReEncryptBatch: on error no
+// stored ciphertext is replaced and nothing is metered.
 func (s *Server) ReEncrypt(ownerID string, uis map[string]*core.UpdateInfo, uk *core.UpdateKey) (*ReEncryptReport, error) {
-	return s.ReEncryptBatch(ownerID, []ReEncryptItem{{UK: uk, UIs: uis}})
+	rep, err := s.ReEncryptBatchWindowed(ownerID, []ReEncryptItem{{UK: uk, UIs: uis}}, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &ReEncryptReport{
+		Items:       rep.Items,
+		Ciphertexts: rep.Ciphertexts,
+		Rows:        rep.Rows,
+		Engine:      rep.Engine,
+	}, nil
 }
 
-// ReEncryptBatch streams many update-info sets through one engine run: all
-// affected components across all items are collected under a single lock
-// acquisition and fanned out together (each job also parallelizes across its
-// rows for wide policies), instead of paying one lock-and-run per request.
+// ReEncryptBatch streams many update-info sets through the server's
+// configured window (SetBatchWindow; unwindowed by default). See
+// ReEncryptBatchWindowed for the streaming semantics.
+func (s *Server) ReEncryptBatch(ownerID string, items []ReEncryptItem) (*BatchReport, error) {
+	return s.ReEncryptBatchWindowed(ownerID, items, s.BatchWindow())
+}
+
+// ReEncryptBatchWindowed streams a batch of update-info sets through bounded
+// engine runs of at most window items each (window <= 0 fuses the whole batch
+// into one run). Windows are pipelined: each window snapshots its slots under
+// the lock, fans out with the lock *released* — so downloads and uploads
+// proceed while the expensive group arithmetic runs — and commits its swaps
+// atomically under the lock again, where the commit re-validates that every
+// slot still holds the snapshot it was computed from (ErrReEncryptConflict
+// otherwise). The lock is therefore held per-window, never across a whole
+// large batch.
+//
 // Items must target disjoint ciphertexts — chained version updates of the
-// same ciphertext need sequential requests. The update is all-or-nothing
-// across the whole batch: on error no stored ciphertext is replaced and
-// nothing is metered. The report carries per-item counts and the engine
-// activity of the fused run.
-func (s *Server) ReEncryptBatch(ownerID string, items []ReEncryptItem) (*ReEncryptReport, error) {
+// same ciphertext need sequential requests. Each window is all-or-nothing
+// and metered only on commit; on a mid-batch failure earlier windows stay
+// committed and the returned BatchReport names exactly the committed record
+// IDs alongside the error.
+func (s *Server) ReEncryptBatchWindowed(ownerID string, items []ReEncryptItem, window int) (*BatchReport, error) {
 	// An update-info set applies to exactly one stored slot; overlapping
 	// items would make two jobs race for the same slot (and the fused run
 	// cannot order chained version bumps), so reject them up front.
@@ -268,8 +383,6 @@ func (s *Server) ReEncryptBatch(ownerID string, items []ReEncryptItem) (*ReEncry
 	}
 
 	s.mu.Lock()
-	defer s.mu.Unlock()
-
 	ownerKnown := false
 	for _, rec := range s.records {
 		if rec.OwnerID == ownerID {
@@ -277,18 +390,64 @@ func (s *Server) ReEncryptBatch(ownerID string, items []ReEncryptItem) (*ReEncry
 			break
 		}
 	}
+	s.mu.Unlock()
 	if !ownerKnown {
 		return nil, fmt.Errorf("%w: %q has no stored records", ErrUnknownOwner, ownerID)
 	}
 
-	// Collect the affected components in stable record order, then fan out.
-	type workItem struct {
-		rec  *Record
-		idx  int
-		item int
-		ui   *core.UpdateInfo
+	if window <= 0 || window > len(items) {
+		window = len(items)
 	}
-	var work []workItem
+	report := &BatchReport{
+		Items:     make([]ReEncryptResult, len(items)),
+		Window:    window,
+		Committed: []string{},
+	}
+	committed := make(map[string]bool)
+	for start := 0; start < len(items); start += window {
+		end := start + window
+		if end > len(items) {
+			end = len(items)
+		}
+		if err := s.reencryptWindow(ownerID, items, start, end, claimed, report, committed); err != nil {
+			s.mu.Lock()
+			s.metrics.ReEncryptFailures++
+			s.ownerStatsLocked(ownerID).ReEncryptFailures++
+			s.mu.Unlock()
+			report.Committed = sortedKeys(committed)
+			return report, err
+		}
+	}
+	report.Committed = sortedKeys(committed)
+	s.mu.Lock()
+	s.metrics.ReEncryptRequests++
+	s.ownerStatsLocked(ownerID).ReEncryptRequests++
+	s.mu.Unlock()
+	return report, nil
+}
+
+// windowWork is one slot of a window's snapshot: where the result commits
+// (record ID and component index) and the immutable inputs it is computed
+// from.
+type windowWork struct {
+	recID string
+	idx   int
+	item  int
+	ct    *core.Ciphertext
+	ui    *core.UpdateInfo
+}
+
+// reencryptWindow runs items[start:end] through one engine fan-out:
+// snapshot under the lock, compute with the lock released, commit-or-reject
+// under the lock. On success the window's work is folded into report, the
+// committed set, the accounting meter and the cumulative + per-owner
+// metrics; on error nothing from this window is applied.
+func (s *Server) reencryptWindow(ownerID string, items []ReEncryptItem, start, end int, claimed map[string]int, report *BatchReport, committed map[string]bool) error {
+	// Snapshot the window's affected slots in stable record order. The
+	// ciphertext pointers are immutable, so they can be read outside the
+	// lock once captured here.
+	s.mu.Lock()
+	var work []windowWork
 	for _, id := range s.sortedIDsLocked() {
 		rec := s.records[id]
 		if rec.OwnerID != ownerID {
@@ -297,22 +456,28 @@ func (s *Server) ReEncryptBatch(ownerID string, items []ReEncryptItem) (*ReEncry
 		for i := range rec.Components {
 			ctID := rec.Components[i].CT.ID
 			item, ok := claimed[ctID]
-			if !ok {
+			if !ok || item < start || item >= end {
 				continue
 			}
-			work = append(work, workItem{rec: rec, idx: i, item: item, ui: items[item].UIs[ctID]})
+			work = append(work, windowWork{
+				recID: id,
+				idx:   i,
+				item:  item,
+				ct:    rec.Components[i].CT,
+				ui:    items[item].UIs[ctID],
+			})
 		}
 	}
+	s.mu.Unlock()
 
-	report := &ReEncryptReport{Items: make([]ReEncryptResult, len(items))}
 	reencs := make([]*core.Ciphertext, len(work))
 	touched := make([]int, len(work))
 	stats, err := engine.Measure(func() error {
 		return engine.Default().Run(len(work), func(j int) error {
 			w := work[j]
-			reenc, n, err := core.ReEncrypt(s.sys, w.rec.Components[w.idx].CT, w.ui, items[w.item].UK)
+			reenc, n, err := core.ReEncrypt(s.sys, w.ct, w.ui, items[w.item].UK)
 			if err != nil {
-				return fmt.Errorf("re-encrypt record %q: %w", w.rec.ID, err)
+				return fmt.Errorf("re-encrypt record %q: %w", w.recID, err)
 			}
 			reencs[j] = reenc
 			touched[j] = n
@@ -320,30 +485,61 @@ func (s *Server) ReEncryptBatch(ownerID string, items []ReEncryptItem) (*ReEncry
 		})
 	})
 	if err != nil {
-		return nil, err
+		return err
 	}
-	report.Engine = stats
 
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Commit only if every slot still holds the ciphertext this window was
+	// computed from; a concurrent writer (another batch, a delete) means the
+	// results would overwrite state they were not derived from.
+	for _, w := range work {
+		rec, ok := s.records[w.recID]
+		if !ok || w.idx >= len(rec.Components) || rec.Components[w.idx].CT != w.ct {
+			return fmt.Errorf("%w: record %q", ErrReEncryptConflict, w.recID)
+		}
+	}
+	winCts, winRows := 0, 0
 	for j, w := range work {
-		w.rec.Components[w.idx].CT = reencs[j]
+		s.records[w.recID].Components[w.idx].CT = reencs[j]
 		report.Items[w.item].Ciphertexts++
 		report.Items[w.item].Rows += touched[j]
-		report.Ciphertexts++
-		report.Rows += touched[j]
+		winCts++
+		winRows += touched[j]
+		committed[w.recID] = true
 	}
+	report.Ciphertexts += winCts
+	report.Rows += winRows
+	report.Windows++
+	report.Engine = report.Engine.Add(stats)
 
-	// Success: meter the owner's submission and fold the request into the
-	// cumulative metrics.
-	for _, it := range items {
-		for _, ui := range it.UIs {
+	// Meter the window's items and fold them into the cumulative and
+	// per-owner counters — committed windows stay observable even if a later
+	// window of the same batch fails.
+	for i := start; i < end; i++ {
+		for _, ui := range items[i].UIs {
 			s.acct.Add(ChanServerOwner, ui.Size(s.sys.Params))
 		}
-		s.acct.Add(ChanServerOwner, it.UK.Size(s.sys.Params))
+		s.acct.Add(ChanServerOwner, items[i].UK.Size(s.sys.Params))
 	}
-	s.metrics.ReEncryptRequests++
-	s.metrics.ReEncryptItems += uint64(len(items))
-	s.metrics.ReEncryptedCiphertexts += uint64(report.Ciphertexts)
-	s.metrics.ReEncryptedRows += uint64(report.Rows)
+	s.metrics.ReEncryptItems += uint64(end - start)
+	s.metrics.ReEncryptedCiphertexts += uint64(winCts)
+	s.metrics.ReEncryptedRows += uint64(winRows)
 	s.metrics.Engine = s.metrics.Engine.Add(stats)
-	return report, nil
+	os := s.ownerStatsLocked(ownerID)
+	os.ReEncryptItems += uint64(end - start)
+	os.ReEncryptedCiphertexts += uint64(winCts)
+	os.ReEncryptedRows += uint64(winRows)
+	os.Engine = os.Engine.Add(stats)
+	return nil
+}
+
+// sortedKeys returns the map's keys in sorted order.
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }

@@ -158,12 +158,21 @@ func TestRevokeUserRemovesAllAccess(t *testing.T) {
 		"trial": nil,
 	})
 	med, _ := env.Authority("med")
-	reports, err := med.RevokeUser("eve")
+	outcomes, err := med.RevokeUser("eve")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(reports) != 2 {
-		t.Fatalf("got %d reports, want 2 (doctor, nurse)", len(reports))
+	if len(outcomes) != 2 {
+		t.Fatalf("got %d outcomes, want 2 (doctor, nurse)", len(outcomes))
+	}
+	// Sorted per-attribute outcomes, all successful.
+	if outcomes[0].Attr != "doctor" || outcomes[1].Attr != "nurse" {
+		t.Fatalf("outcomes out of order: %q, %q", outcomes[0].Attr, outcomes[1].Attr)
+	}
+	for _, o := range outcomes {
+		if o.Err != nil || o.Report == nil {
+			t.Fatalf("outcome %q: err=%v report=%v", o.Attr, o.Err, o.Report)
+		}
 	}
 	visible, err := eve.DownloadRecord("patient-7")
 	if err != nil {

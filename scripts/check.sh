@@ -12,6 +12,8 @@ echo "== go test -race -short ./..."
 go test -race -short ./...
 echo "== go test -race ./internal/cloud/..."
 go test -race -count=1 ./internal/cloud/...
+echo "== streaming-batch race gate"
+go test -race -count=2 -run 'TestStreamingBatchRace|TestFetchDuringReEncryptNoRace' ./internal/cloud/
 echo "== go test -race ./internal/pairing"
 go test -race -count=1 ./internal/pairing
 echo "== bench smoke: pairing kernels"
