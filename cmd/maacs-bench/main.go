@@ -50,7 +50,7 @@ func run(args []string, out io.Writer) error {
 	engineJSON := fs.String("engine-json", "BENCH_engine.json", "output path for the engine serial-vs-parallel report")
 	reencryptJSON := fs.String("reencrypt-json", "BENCH_reencrypt.json", "output path for the batched re-encryption report")
 	batchWindow := fs.Int("batch-window", 4, "window size for the windowed re-encryption submissions (0 = unwindowed)")
-	pairingJSON := fs.String("pairing-json", "BENCH_pairing.json", "output path for the pairing-kernel optimized-vs-reference report")
+	pairingJSON := fs.String("pairing-json", "BENCH_pairing.json", "output path for the three-kernel pairing report (montgomery/projective/reference)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"testing"
 	"time"
 
 	"maacs/internal/engine"
@@ -11,9 +12,9 @@ import (
 )
 
 // PairingPoint is one measured operation of the pairing-kernel comparison:
-// the same work run on the optimized kernel (projective NAF Miller loop,
-// Lucas exponentiation, batch-inverted preparation) and on the retained
-// affine/naive reference kernel.
+// the same work run on the fixed-width Montgomery kernel, the projective
+// big.Int kernel it replaced on the hot path, and the retained affine/naive
+// reference.
 type PairingPoint struct {
 	// Op names the operation: "pair", "prepared-pair", "prepare", "g-exp",
 	// "gt-exp", "encrypt", "decrypt".
@@ -21,22 +22,49 @@ type PairingPoint struct {
 	// Reps is the number of back-to-back executions inside one timed trial;
 	// the recorded times are already divided down to per-operation cost.
 	Reps int `json:"reps"`
-	// OptimizedNs and ReferenceNs are best-of-trials per-op wall times.
-	OptimizedNs int64 `json:"optimized_ns"`
-	ReferenceNs int64 `json:"reference_ns"`
-	// Speedup is ReferenceNs / OptimizedNs.
+	// MontgomeryNs, ProjectiveNs, and ReferenceNs are best-of-trials per-op
+	// wall times for the three kernels.
+	MontgomeryNs int64 `json:"montgomery_ns"`
+	ProjectiveNs int64 `json:"projective_ns"`
+	ReferenceNs  int64 `json:"reference_ns"`
+	// Speedup is ReferenceNs / MontgomeryNs (cumulative over all kernel
+	// work); SpeedupVsProjective is ProjectiveNs / MontgomeryNs, the gain of
+	// the Montgomery limb representation alone over the previous big.Int
+	// projective kernel.
+	Speedup             float64 `json:"speedup"`
+	SpeedupVsProjective float64 `json:"speedup_vs_projective"`
+}
+
+// FieldPoint is one field-primitive row: the innermost arithmetic the
+// Miller loop is built from, timed on the fixed-width Montgomery limbs and
+// on math/big, with heap allocations per operation for each.
+type FieldPoint struct {
+	// Op names the primitive: "fp-mul", "fp-square", "fp-inv", "fp2-mul".
+	Op string `json:"op"`
+	// Reps is the number of executions inside one timed trial.
+	Reps         int   `json:"reps"`
+	MontgomeryNs int64 `json:"montgomery_ns"`
+	BigIntNs     int64 `json:"bigint_ns"`
+	// Speedup is BigIntNs / MontgomeryNs.
 	Speedup float64 `json:"speedup"`
+	// MontgomeryAllocs and BigIntAllocs are heap allocations per operation
+	// (testing.AllocsPerRun). The Montgomery column must be zero.
+	MontgomeryAllocs float64 `json:"montgomery_allocs"`
+	BigIntAllocs     float64 `json:"bigint_allocs"`
 }
 
 // PairingReport is the machine-readable result of MeasurePairing, written
-// to BENCH_pairing.json. Both kernels run single-threaded (the engine pool
+// to BENCH_pairing.json. All kernels run single-threaded (the engine pool
 // is pinned to one worker for the scheme-level rows), so the speedups are
 // pure kernel arithmetic, not parallelism.
 type PairingReport struct {
-	RBits  int            `json:"r_bits"`
-	QBits  int            `json:"q_bits"`
-	Trials int            `json:"trials"`
-	Attrs  int            `json:"attrs"`
+	RBits  int `json:"r_bits"`
+	QBits  int `json:"q_bits"`
+	Trials int `json:"trials"`
+	Attrs  int `json:"attrs"`
+	// Fields are the base/extension-field primitive rows; Points are the
+	// group-operation and whole-scheme rows.
+	Fields []FieldPoint   `json:"fields"`
 	Points []PairingPoint `json:"points"`
 }
 
@@ -57,24 +85,71 @@ func timeBestPerOp(trials, reps int, f func() error) (time.Duration, error) {
 	return best / time.Duration(reps), nil
 }
 
-// measureKernels times the op on both kernels and appends the point. opt and
-// ref are closures bound to the optimized and reference Params clones.
-func (r *PairingReport) measureKernels(op string, reps int, opt, ref func() error) error {
-	o, err := timeBestPerOp(r.Trials, reps, opt)
+// measureKernels times the op on all three kernels and appends the point.
+// mont, proj, and ref are closures bound to per-kernel Params clones.
+func (r *PairingReport) measureKernels(op string, reps int, mont, proj, ref func() error) error {
+	m, err := timeBestPerOp(r.Trials, reps, mont)
 	if err != nil {
-		return fmt.Errorf("%s optimized: %w", op, err)
+		return fmt.Errorf("%s montgomery: %w", op, err)
+	}
+	pj, err := timeBestPerOp(r.Trials, reps, proj)
+	if err != nil {
+		return fmt.Errorf("%s projective: %w", op, err)
 	}
 	rf, err := timeBestPerOp(r.Trials, reps, ref)
 	if err != nil {
 		return fmt.Errorf("%s reference: %w", op, err)
 	}
 	r.Points = append(r.Points, PairingPoint{
-		Op:          op,
-		Reps:        reps,
-		OptimizedNs: o.Nanoseconds(),
-		ReferenceNs: rf.Nanoseconds(),
-		Speedup:     float64(rf.Nanoseconds()) / float64(o.Nanoseconds()),
+		Op:                  op,
+		Reps:                reps,
+		MontgomeryNs:        m.Nanoseconds(),
+		ProjectiveNs:        pj.Nanoseconds(),
+		ReferenceNs:         rf.Nanoseconds(),
+		Speedup:             float64(rf.Nanoseconds()) / float64(m.Nanoseconds()),
+		SpeedupVsProjective: float64(pj.Nanoseconds()) / float64(m.Nanoseconds()),
 	})
+	return nil
+}
+
+// measureFields builds the field-primitive rows from the pairing package's
+// exported closures. The Montgomery closures are nil when the prime exceeds
+// the fixed limb width; the rows are skipped in that case.
+func (r *PairingReport) measureFields(p *pairing.Params) error {
+	for _, op := range p.FieldBench() {
+		if op.Montgomery == nil {
+			continue
+		}
+		reps := 2000
+		if op.Name == "fp-inv" {
+			reps = 8 // Fermat inversion is ~three orders slower than one mul
+		}
+		repeat := func(f func()) func() error {
+			return func() error {
+				for i := 0; i < reps; i++ {
+					f()
+				}
+				return nil
+			}
+		}
+		m, err := timeBestPerOp(r.Trials, reps, repeat(op.Montgomery))
+		if err != nil {
+			return err
+		}
+		bi, err := timeBestPerOp(r.Trials, reps, repeat(op.BigInt))
+		if err != nil {
+			return err
+		}
+		r.Fields = append(r.Fields, FieldPoint{
+			Op:               op.Name,
+			Reps:             reps,
+			MontgomeryNs:     m.Nanoseconds(),
+			BigIntNs:         bi.Nanoseconds(),
+			Speedup:          float64(bi.Nanoseconds()) / float64(m.Nanoseconds()),
+			MontgomeryAllocs: testing.AllocsPerRun(100, op.Montgomery),
+			BigIntAllocs:     testing.AllocsPerRun(100, op.BigInt),
+		})
+	}
 	return nil
 }
 
@@ -90,11 +165,12 @@ func kernelClone(p *pairing.Params, k pairing.Kernel) (*pairing.Params, error) {
 	return c, nil
 }
 
-// MeasurePairing produces the optimized-vs-reference kernel comparison
-// behind BENCH_pairing.json: the pairing primitives head-to-head, then a
-// whole-scheme encrypt/decrypt at the given attribute count with every
-// group operation routed through each kernel. attrs is split as one
-// authority with attrs attributes.
+// MeasurePairing produces the three-kernel comparison behind
+// BENCH_pairing.json: the field primitives (Montgomery limbs vs math/big),
+// the pairing primitives head-to-head across the Montgomery, projective,
+// and reference kernels, then a whole-scheme encrypt/decrypt at the given
+// attribute count with every group operation routed through each kernel.
+// attrs is split as one authority with attrs attributes.
 func MeasurePairing(params *pairing.Params, rnd io.Reader, attrs, trials int) (*PairingReport, error) {
 	report := &PairingReport{
 		RBits:  params.R.BitLen(),
@@ -102,12 +178,20 @@ func MeasurePairing(params *pairing.Params, rnd io.Reader, attrs, trials int) (*
 		Trials: trials,
 		Attrs:  attrs,
 	}
-	opt, err := kernelClone(params, pairing.KernelOptimized)
+	mont, err := kernelClone(params, pairing.KernelMontgomery)
+	if err != nil {
+		return nil, err
+	}
+	proj, err := kernelClone(params, pairing.KernelProjective)
 	if err != nil {
 		return nil, err
 	}
 	ref, err := kernelClone(params, pairing.KernelReference)
 	if err != nil {
+		return nil, err
+	}
+
+	if err := report.measureFields(mont); err != nil {
 		return nil, err
 	}
 
@@ -189,7 +273,11 @@ func MeasurePairing(params *pairing.Params, rnd io.Reader, attrs, trials int) (*
 		}},
 	}
 	for _, pr := range prims {
-		fOpt, err := pr.mk(opt)
+		fMont, err := pr.mk(mont)
+		if err != nil {
+			return nil, err
+		}
+		fProj, err := pr.mk(proj)
 		if err != nil {
 			return nil, err
 		}
@@ -197,7 +285,7 @@ func MeasurePairing(params *pairing.Params, rnd io.Reader, attrs, trials int) (*
 		if err != nil {
 			return nil, err
 		}
-		if err := report.measureKernels(pr.op, pr.reps, fOpt, fRef); err != nil {
+		if err := report.measureKernels(pr.op, pr.reps, fMont, fProj, fRef); err != nil {
 			return nil, err
 		}
 	}
@@ -207,14 +295,14 @@ func MeasurePairing(params *pairing.Params, rnd io.Reader, attrs, trials int) (*
 	// single-threaded.
 	restore := engine.SetWorkers(1)
 	defer restore()
-	mkScheme := func(p *pairing.Params) (*OursWorkload, func() error, func() error, error) {
+	mkScheme := func(p *pairing.Params) (func() error, func() error, error) {
 		w, err := SetupOurs(Config{Params: p, Authorities: 1, AttrsPerAuthority: attrs, Rnd: rnd})
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, nil, err
 		}
 		ct, _, err := w.Encrypt()
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, nil, err
 		}
 		enc := func() error {
 			_, _, err := w.Encrypt()
@@ -224,20 +312,24 @@ func MeasurePairing(params *pairing.Params, rnd io.Reader, attrs, trials int) (*
 			_, err := w.Decrypt(ct)
 			return err
 		}
-		return w, enc, dec, nil
+		return enc, dec, nil
 	}
-	_, encOpt, decOpt, err := mkScheme(opt)
+	encMont, decMont, err := mkScheme(mont)
 	if err != nil {
-		return nil, fmt.Errorf("pairing bench setup optimized: %w", err)
+		return nil, fmt.Errorf("pairing bench setup montgomery: %w", err)
 	}
-	_, encRef, decRef, err := mkScheme(ref)
+	encProj, decProj, err := mkScheme(proj)
+	if err != nil {
+		return nil, fmt.Errorf("pairing bench setup projective: %w", err)
+	}
+	encRef, decRef, err := mkScheme(ref)
 	if err != nil {
 		return nil, fmt.Errorf("pairing bench setup reference: %w", err)
 	}
-	if err := report.measureKernels("encrypt", 1, encOpt, encRef); err != nil {
+	if err := report.measureKernels("encrypt", 1, encMont, encProj, encRef); err != nil {
 		return nil, err
 	}
-	if err := report.measureKernels("decrypt", 1, decOpt, decRef); err != nil {
+	if err := report.measureKernels("decrypt", 1, decMont, decProj, decRef); err != nil {
 		return nil, err
 	}
 	return report, nil
@@ -252,11 +344,22 @@ func (r *PairingReport) WriteJSON(w io.Writer) error {
 
 // Render prints a human-readable table of the report.
 func (r *PairingReport) Render(w io.Writer) {
-	fmt.Fprintf(w, "Pairing kernel optimized vs reference — |r|=%d, |q|=%d bits, attrs=%d (%d trials, best-of, single-threaded)\n",
+	fmt.Fprintf(w, "Pairing kernels montgomery vs projective vs reference — |r|=%d, |q|=%d bits, attrs=%d (%d trials, best-of, single-threaded)\n",
 		r.RBits, r.QBits, r.Attrs, r.Trials)
-	fmt.Fprintf(w, "%-14s %14s %14s %8s\n", "op", "optimized", "reference", "speedup")
+	if len(r.Fields) > 0 {
+		fmt.Fprintf(w, "%-14s %14s %14s %8s %12s %12s\n",
+			"field op", "montgomery", "big.Int", "speedup", "mont allocs", "big allocs")
+		for _, f := range r.Fields {
+			fmt.Fprintf(w, "%-14s %14s %14s %7.2fx %12.1f %12.1f\n",
+				f.Op, time.Duration(f.MontgomeryNs), time.Duration(f.BigIntNs), f.Speedup,
+				f.MontgomeryAllocs, f.BigIntAllocs)
+		}
+	}
+	fmt.Fprintf(w, "%-14s %14s %14s %14s %9s %8s\n",
+		"op", "montgomery", "projective", "reference", "vs proj", "speedup")
 	for _, pt := range r.Points {
-		fmt.Fprintf(w, "%-14s %14s %14s %7.2fx\n",
-			pt.Op, time.Duration(pt.OptimizedNs), time.Duration(pt.ReferenceNs), pt.Speedup)
+		fmt.Fprintf(w, "%-14s %14s %14s %14s %8.2fx %7.2fx\n",
+			pt.Op, time.Duration(pt.MontgomeryNs), time.Duration(pt.ProjectiveNs),
+			time.Duration(pt.ReferenceNs), pt.SpeedupVsProjective, pt.Speedup)
 	}
 }

@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"crypto/rand"
+	"strings"
+	"testing"
+
+	"maacs/internal/pairing"
+)
+
+func TestMeasurePairingShapes(t *testing.T) {
+	r, err := MeasurePairing(pairing.Test(), rand.Reader, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFields := []string{"fp-mul", "fp-square", "fp-inv", "fp2-mul"}
+	if len(r.Fields) != len(wantFields) {
+		t.Fatalf("got %d field rows, want %d", len(r.Fields), len(wantFields))
+	}
+	for i, f := range r.Fields {
+		if f.Op != wantFields[i] {
+			t.Fatalf("field row %d is %q, want %q", i, f.Op, wantFields[i])
+		}
+		if f.MontgomeryNs <= 0 || f.BigIntNs <= 0 || f.Speedup <= 0 {
+			t.Fatalf("field row %q has unmeasured columns: %+v", f.Op, f)
+		}
+		if f.MontgomeryAllocs != 0 {
+			t.Fatalf("field row %q: Montgomery path allocates %v/op", f.Op, f.MontgomeryAllocs)
+		}
+	}
+	wantOps := []string{"pair", "prepare", "prepared-pair", "g-exp", "gt-exp", "encrypt", "decrypt"}
+	if len(r.Points) != len(wantOps) {
+		t.Fatalf("got %d points, want %d", len(r.Points), len(wantOps))
+	}
+	for i, pt := range r.Points {
+		if pt.Op != wantOps[i] {
+			t.Fatalf("point %d is %q, want %q", i, pt.Op, wantOps[i])
+		}
+		if pt.MontgomeryNs <= 0 || pt.ProjectiveNs <= 0 || pt.ReferenceNs <= 0 {
+			t.Fatalf("point %q has unmeasured kernels: %+v", pt.Op, pt)
+		}
+		if pt.Speedup <= 0 || pt.SpeedupVsProjective <= 0 {
+			t.Fatalf("point %q has invalid speedups: %+v", pt.Op, pt)
+		}
+	}
+	var sb strings.Builder
+	r.Render(&sb)
+	for _, want := range []string{"montgomery", "projective", "reference", "fp-mul", "vs proj"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Fatalf("render missing %q", want)
+		}
+	}
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"montgomery_ns", "projective_ns", "speedup_vs_projective", "bigint_allocs"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Fatalf("JSON missing %q", want)
+		}
+	}
+}

@@ -100,6 +100,23 @@ type OwnerStats struct {
 	Engine engine.Stats `json:"engine"`
 }
 
+// UserStats is one data consumer's slice of the server's download counters:
+// how many whole-record and single-component fetches it issued and how many
+// ciphertext/sealed-payload bytes the server returned to it. Downloads are
+// the Server↔User channel of Table IV; this is the per-user attribution of
+// that traffic, the consumer-side sibling of OwnerStats, exposed via
+// Metrics.Users and the `maacs_user_*` Prometheus families. Requests that
+// fail (unknown record or component) are not metered — the download never
+// happened.
+type UserStats struct {
+	// RecordFetches counts successful whole-record downloads.
+	RecordFetches uint64 `json:"record_fetches"`
+	// ComponentFetches counts successful single-component downloads.
+	ComponentFetches uint64 `json:"component_fetches"`
+	// FetchedBytes totals the ciphertext + sealed payload bytes served.
+	FetchedBytes uint64 `json:"fetched_bytes"`
+}
+
 // ChannelStats is one channel's tally in an accounting snapshot.
 type ChannelStats struct {
 	Bytes    int `json:"bytes"`

@@ -72,6 +72,9 @@ type OwnerClient struct {
 // has collected, indexed by owner then authority.
 type UserClient struct {
 	env *Env
+	// UID is the identity the CA registered this user under; downloads are
+	// attributed to it in the server's per-user counters.
+	UID string
 	PK  *core.UserPublicKey
 
 	mu  sync.Mutex
@@ -127,7 +130,7 @@ func (e *Env) AddUser(uid string) (*UserClient, error) {
 		return nil, err
 	}
 	e.Acct.Add(ChanCAUser, pk.Size(e.Sys.Params))
-	uc := &UserClient{env: e, PK: pk, sks: make(map[string]map[string]*core.SecretKey)}
+	uc := &UserClient{env: e, UID: uid, PK: pk, sks: make(map[string]map[string]*core.SecretKey)}
 	e.mu.Lock()
 	e.users[uid] = uc
 	e.mu.Unlock()
@@ -297,7 +300,7 @@ func (oc *OwnerClient) Delete(recordID string) error {
 // Download fetches one component and decrypts it end to end: CP-ABE opens
 // the content key, the content key opens the data.
 func (u *UserClient) Download(recordID, label string) ([]byte, error) {
-	comp, err := u.env.Server.FetchComponent(recordID, label)
+	comp, err := u.env.Server.FetchComponentAs(recordID, label, u.UID)
 	if err != nil {
 		return nil, err
 	}
@@ -318,7 +321,7 @@ func (u *UserClient) Download(recordID, label string) ([]byte, error) {
 // open, returning label → plaintext — the paper's "different users obtain
 // different granularities of information from the same data".
 func (u *UserClient) DownloadRecord(recordID string) (map[string][]byte, error) {
-	rec, err := u.env.Server.Fetch(recordID)
+	rec, err := u.env.Server.FetchAs(recordID, u.UID)
 	if err != nil {
 		return nil, err
 	}

@@ -17,8 +17,8 @@ import (
 // encodings). Like the RPC layer, the gateway carries only public material.
 //
 //	POST /records                       — upload a record
-//	GET  /records/{id}                  — fetch a record
-//	GET  /records/{id}/{label}          — fetch one component
+//	GET  /records/{id}[?user=uid]       — fetch a record (optionally attributed)
+//	GET  /records/{id}/{label}[?user=uid] — fetch one component
 //	GET  /owners/{id}/ciphertexts       — list an owner's ciphertexts
 //	POST /owners/{id}/reencrypt         — submit a revocation re-encryption
 //	POST /owners/{id}/reencrypt/batch   — submit many update-info sets at once
@@ -179,7 +179,7 @@ func (h *httpGateway) storeRecord(w http.ResponseWriter, r *http.Request) {
 }
 
 func (h *httpGateway) fetchRecord(w http.ResponseWriter, r *http.Request) {
-	rec, err := h.server.Fetch(r.PathValue("id"))
+	rec, err := h.server.FetchAs(r.PathValue("id"), r.URL.Query().Get("user"))
 	if err != nil {
 		writeJSON(w, statusFor(err), httpError{Error: err.Error()})
 		return
@@ -201,7 +201,7 @@ func (h *httpGateway) deleteRecord(w http.ResponseWriter, r *http.Request) {
 }
 
 func (h *httpGateway) fetchComponent(w http.ResponseWriter, r *http.Request) {
-	comp, err := h.server.FetchComponent(r.PathValue("id"), r.PathValue("label"))
+	comp, err := h.server.FetchComponentAs(r.PathValue("id"), r.PathValue("label"), r.URL.Query().Get("user"))
 	if err != nil {
 		writeJSON(w, statusFor(err), httpError{Error: err.Error()})
 		return

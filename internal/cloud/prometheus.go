@@ -70,6 +70,12 @@ func WritePrometheus(w io.Writer, m HTTPMetrics) error {
 	b.sample("maacs_records", "", intVal(m.Records))
 	b.family("maacs_store_requests_total", "counter", "Successful record uploads.")
 	b.sample("maacs_store_requests_total", "", uintVal(m.StoreRequests))
+	b.family("maacs_record_fetches_total", "counter", "Successful whole-record downloads.")
+	b.sample("maacs_record_fetches_total", "", uintVal(m.RecordFetches))
+	b.family("maacs_component_fetches_total", "counter", "Successful single-component downloads.")
+	b.sample("maacs_component_fetches_total", "", uintVal(m.ComponentFetches))
+	b.family("maacs_fetched_bytes_total", "counter", "Ciphertext and sealed payload bytes served to downloads.")
+	b.sample("maacs_fetched_bytes_total", "", uintVal(m.FetchedBytes))
 	b.family("maacs_reencrypt_requests_total", "counter", "Fully committed re-encryption requests.")
 	b.sample("maacs_reencrypt_requests_total", "", uintVal(m.ReEncryptRequests))
 	b.family("maacs_reencrypt_failures_total", "counter", "Re-encryption requests failed after validation.")
@@ -131,6 +137,34 @@ func WritePrometheus(w io.Writer, m HTTPMetrics) error {
 		b.family(fam.name, fam.typ, fam.help)
 		for _, id := range owners {
 			b.sample(fam.name, label("owner", id), fam.val(m.Owners[id]))
+		}
+	}
+
+	users := make([]string, 0, len(m.Users))
+	for id := range m.Users {
+		users = append(users, id)
+	}
+	sort.Strings(users)
+	userFamilies := []struct {
+		name string
+		typ  string
+		help string
+		val  func(UserStats) string
+	}{
+		{"maacs_user_record_fetches_total", "counter", "Whole-record downloads per user.",
+			func(u UserStats) string { return uintVal(u.RecordFetches) }},
+		{"maacs_user_component_fetches_total", "counter", "Single-component downloads per user.",
+			func(u UserStats) string { return uintVal(u.ComponentFetches) }},
+		{"maacs_user_fetched_bytes_total", "counter", "Bytes served to downloads per user.",
+			func(u UserStats) string { return uintVal(u.FetchedBytes) }},
+	}
+	for _, fam := range userFamilies {
+		if len(users) == 0 {
+			break
+		}
+		b.family(fam.name, fam.typ, fam.help)
+		for _, id := range users {
+			b.sample(fam.name, label("user", id), fam.val(m.Users[id]))
 		}
 	}
 

@@ -16,6 +16,9 @@ func TestWritePrometheusGolden(t *testing.T) {
 		Metrics: Metrics{
 			Records:                3,
 			StoreRequests:          4,
+			RecordFetches:          6,
+			ComponentFetches:       11,
+			FetchedBytes:           2048,
 			ReEncryptRequests:      2,
 			ReEncryptItems:         5,
 			ReEncryptedCiphertexts: 7,
@@ -37,6 +40,10 @@ func TestWritePrometheusGolden(t *testing.T) {
 				// A hostile owner ID exercises label escaping.
 				`ward"7`: {Records: 1, StoreRequests: 1},
 			},
+			Users: map[string]UserStats{
+				"alice": {RecordFetches: 4, ComponentFetches: 9, FetchedBytes: 1536},
+				"bob":   {ComponentFetches: 2, FetchedBytes: 512},
+			},
 		},
 		Channels: map[Channel]ChannelStats{
 			ChanServerOwner: {Bytes: 4096, Messages: 6},
@@ -50,6 +57,15 @@ maacs_records 3
 # HELP maacs_store_requests_total Successful record uploads.
 # TYPE maacs_store_requests_total counter
 maacs_store_requests_total 4
+# HELP maacs_record_fetches_total Successful whole-record downloads.
+# TYPE maacs_record_fetches_total counter
+maacs_record_fetches_total 6
+# HELP maacs_component_fetches_total Successful single-component downloads.
+# TYPE maacs_component_fetches_total counter
+maacs_component_fetches_total 11
+# HELP maacs_fetched_bytes_total Ciphertext and sealed payload bytes served to downloads.
+# TYPE maacs_fetched_bytes_total counter
+maacs_fetched_bytes_total 2048
 # HELP maacs_reencrypt_requests_total Fully committed re-encryption requests.
 # TYPE maacs_reencrypt_requests_total counter
 maacs_reencrypt_requests_total 2
@@ -118,6 +134,18 @@ maacs_owner_engine_jobs_total{owner="ward\"7"} 0
 # TYPE maacs_owner_engine_wall_seconds_total counter
 maacs_owner_engine_wall_seconds_total{owner="hospital"} 1.5
 maacs_owner_engine_wall_seconds_total{owner="ward\"7"} 0
+# HELP maacs_user_record_fetches_total Whole-record downloads per user.
+# TYPE maacs_user_record_fetches_total counter
+maacs_user_record_fetches_total{user="alice"} 4
+maacs_user_record_fetches_total{user="bob"} 0
+# HELP maacs_user_component_fetches_total Single-component downloads per user.
+# TYPE maacs_user_component_fetches_total counter
+maacs_user_component_fetches_total{user="alice"} 9
+maacs_user_component_fetches_total{user="bob"} 2
+# HELP maacs_user_fetched_bytes_total Bytes served to downloads per user.
+# TYPE maacs_user_fetched_bytes_total counter
+maacs_user_fetched_bytes_total{user="alice"} 1536
+maacs_user_fetched_bytes_total{user="bob"} 512
 # HELP maacs_channel_bytes_total Bytes exchanged per protocol channel (Table IV tallies).
 # TYPE maacs_channel_bytes_total counter
 maacs_channel_bytes_total{channel="Server↔Owner"} 4096
@@ -146,7 +174,7 @@ func TestWritePrometheusEmpty(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := buf.String()
-	if strings.Contains(out, "maacs_owner_") || strings.Contains(out, "maacs_channel_") {
+	if strings.Contains(out, "maacs_owner_") || strings.Contains(out, "maacs_user_") || strings.Contains(out, "maacs_channel_") {
 		t.Fatalf("empty metrics emitted labelled families:\n%s", out)
 	}
 	if !strings.Contains(out, "maacs_records 0\n") {

@@ -35,6 +35,7 @@ type RPCStoreArgs struct {
 type RPCFetchArgs struct {
 	RecordID string
 	Label    string // empty for the whole record
+	User     string // downloading user for per-user metering; empty = unattributed
 }
 
 // RPCFetchReply returns stored components.
@@ -129,7 +130,7 @@ func (s *ServerRPC) Store(args *RPCStoreArgs, _ *struct{}) error {
 // Fetch handles record and component downloads.
 func (s *ServerRPC) Fetch(args *RPCFetchArgs, reply *RPCFetchReply) error {
 	if args.Label != "" {
-		comp, err := s.server.FetchComponent(args.RecordID, args.Label)
+		comp, err := s.server.FetchComponentAs(args.RecordID, args.Label, args.User)
 		if err != nil {
 			return err
 		}
@@ -137,7 +138,7 @@ func (s *ServerRPC) Fetch(args *RPCFetchArgs, reply *RPCFetchReply) error {
 		reply.Components = []RPCComponent{{Label: comp.Label, CT: comp.CT.Marshal(), Sealed: comp.Sealed}}
 		return nil
 	}
-	rec, err := s.server.Fetch(args.RecordID)
+	rec, err := s.server.FetchAs(args.RecordID, args.User)
 	if err != nil {
 		return err
 	}
@@ -323,19 +324,29 @@ func (r *RemoteServer) Store(rec *Record) error {
 	return r.client.Call("CloudServer.Store", args, &struct{}{})
 }
 
-// Fetch downloads a whole record.
+// Fetch downloads a whole record without user attribution.
 func (r *RemoteServer) Fetch(recordID string) (*Record, error) {
+	return r.FetchAs(recordID, "")
+}
+
+// FetchAs downloads a whole record, attributing the download to userID.
+func (r *RemoteServer) FetchAs(recordID, userID string) (*Record, error) {
 	var reply RPCFetchReply
-	if err := r.client.Call("CloudServer.Fetch", &RPCFetchArgs{RecordID: recordID}, &reply); err != nil {
+	if err := r.client.Call("CloudServer.Fetch", &RPCFetchArgs{RecordID: recordID, User: userID}, &reply); err != nil {
 		return nil, err
 	}
 	return r.decodeRecord(recordID, &reply)
 }
 
-// FetchComponent downloads one component.
+// FetchComponent downloads one component without user attribution.
 func (r *RemoteServer) FetchComponent(recordID, label string) (*StoredComponent, error) {
+	return r.FetchComponentAs(recordID, label, "")
+}
+
+// FetchComponentAs downloads one component, attributing it to userID.
+func (r *RemoteServer) FetchComponentAs(recordID, label, userID string) (*StoredComponent, error) {
 	var reply RPCFetchReply
-	if err := r.client.Call("CloudServer.Fetch", &RPCFetchArgs{RecordID: recordID, Label: label}, &reply); err != nil {
+	if err := r.client.Call("CloudServer.Fetch", &RPCFetchArgs{RecordID: recordID, Label: label, User: userID}, &reply); err != nil {
 		return nil, err
 	}
 	rec, err := r.decodeRecord(recordID, &reply)

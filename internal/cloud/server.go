@@ -106,6 +106,12 @@ type Metrics struct {
 	Records int `json:"records"`
 	// StoreRequests counts successful uploads (rejected duplicates excluded).
 	StoreRequests uint64 `json:"store_requests"`
+	// RecordFetches / ComponentFetches count successful downloads (whole
+	// records and single components); FetchedBytes totals the bytes served.
+	// Failed lookups are not metered.
+	RecordFetches    uint64 `json:"record_fetches"`
+	ComponentFetches uint64 `json:"component_fetches"`
+	FetchedBytes     uint64 `json:"fetched_bytes"`
 	// ReEncryptRequests counts re-encryption requests (a batch counts once).
 	ReEncryptRequests uint64 `json:"reencrypt_requests"`
 	// ReEncryptItems counts update-info sets across all requests.
@@ -123,6 +129,10 @@ type Metrics struct {
 	Engine engine.Stats `json:"engine"`
 	// Owners breaks the counters down per data owner.
 	Owners map[string]OwnerStats `json:"owners,omitempty"`
+	// Users breaks the download counters down per data consumer (only
+	// attributed downloads — transport callers that do not identify a user
+	// count in the cumulative counters alone).
+	Users map[string]UserStats `json:"users,omitempty"`
 }
 
 // Server is the cloud storage server: it stores records, serves downloads,
@@ -136,6 +146,7 @@ type Server struct {
 	records map[string]*Record
 	metrics Metrics
 	owners  map[string]*OwnerStats
+	users   map[string]*UserStats
 	window  int
 }
 
@@ -146,6 +157,7 @@ func NewServer(sys *core.System, acct *Accounting) *Server {
 		acct:    acct,
 		records: make(map[string]*Record),
 		owners:  make(map[string]*OwnerStats),
+		users:   make(map[string]*UserStats),
 	}
 }
 
@@ -180,6 +192,40 @@ func (s *Server) ownerStatsLocked(ownerID string) *OwnerStats {
 	return os
 }
 
+// userStatsLocked returns the mutable per-user counter row, creating it on
+// first touch. Caller holds s.mu.
+func (s *Server) userStatsLocked(userID string) *UserStats {
+	us := s.users[userID]
+	if us == nil {
+		us = &UserStats{}
+		s.users[userID] = us
+	}
+	return us
+}
+
+// noteDownload folds one successful download into the cumulative counters
+// and, when the request named a user, into that user's row.
+func (s *Server) noteDownload(userID string, size int, component bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if component {
+		s.metrics.ComponentFetches++
+	} else {
+		s.metrics.RecordFetches++
+	}
+	s.metrics.FetchedBytes += uint64(size)
+	if userID == "" {
+		return
+	}
+	us := s.userStatsLocked(userID)
+	if component {
+		us.ComponentFetches++
+	} else {
+		us.RecordFetches++
+	}
+	us.FetchedBytes += uint64(size)
+}
+
 // Store uploads a record (Server↔Owner channel). Rejected duplicates are not
 // metered: the upload never happened, so it must not inflate the Table IV
 // communication tally.
@@ -201,9 +247,16 @@ func (s *Server) Store(rec *Record) error {
 	return nil
 }
 
-// Fetch downloads a whole record (Server↔User channel). The returned record
-// is a snapshot: concurrent re-encryptions never alias into it.
+// Fetch downloads a whole record without user attribution; the download
+// counts in the cumulative counters only. Equivalent to FetchAs(recordID, "").
 func (s *Server) Fetch(recordID string) (*Record, error) {
+	return s.FetchAs(recordID, "")
+}
+
+// FetchAs downloads a whole record (Server↔User channel), attributing the
+// download to userID (empty = unattributed transport caller). The returned
+// record is a snapshot: concurrent re-encryptions never alias into it.
+func (s *Server) FetchAs(recordID, userID string) (*Record, error) {
 	s.mu.Lock()
 	rec, ok := s.records[recordID]
 	var cp *Record
@@ -219,13 +272,21 @@ func (s *Server) Fetch(recordID string) (*Record, error) {
 		size += c.CT.Size(s.sys.Params) + len(c.Sealed)
 	}
 	s.acct.Add(ChanServerUser, size)
+	s.noteDownload(userID, size, false)
 	return cp, nil
 }
 
-// FetchComponent downloads a single component by label — the fine-grained
-// access path (different users decrypt different numbers of components). The
-// component is copied under the lock for the same reason Fetch snapshots.
+// FetchComponent downloads a single component without user attribution.
+// Equivalent to FetchComponentAs(recordID, label, "").
 func (s *Server) FetchComponent(recordID, label string) (*StoredComponent, error) {
+	return s.FetchComponentAs(recordID, label, "")
+}
+
+// FetchComponentAs downloads a single component by label — the fine-grained
+// access path (different users decrypt different numbers of components) —
+// attributing the download to userID (empty = unattributed). The component
+// is copied under the lock for the same reason FetchAs snapshots.
+func (s *Server) FetchComponentAs(recordID, label, userID string) (*StoredComponent, error) {
 	s.mu.Lock()
 	rec, ok := s.records[recordID]
 	if !ok {
@@ -236,7 +297,9 @@ func (s *Server) FetchComponent(recordID, label string) (*StoredComponent, error
 		if rec.Components[i].Label == label {
 			c := rec.Components[i]
 			s.mu.Unlock()
-			s.acct.Add(ChanServerUser, c.CT.Size(s.sys.Params)+len(c.Sealed))
+			size := c.CT.Size(s.sys.Params) + len(c.Sealed)
+			s.acct.Add(ChanServerUser, size)
+			s.noteDownload(userID, size, true)
 			return &c, nil
 		}
 	}
@@ -303,7 +366,9 @@ func (s *Server) CiphertextsOf(ownerID string) []*core.Ciphertext {
 }
 
 // Metrics returns a copy of the server's cumulative counters, including the
-// per-owner breakdown (owners that stored records or issued re-encryptions).
+// per-owner breakdown (owners that stored records or issued re-encryptions)
+// and the per-user download breakdown (users that fetched records or
+// components through an attributed path).
 func (s *Server) Metrics() Metrics {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -325,6 +390,10 @@ func (s *Server) Metrics() Metrics {
 		if _, ok := m.Owners[id]; !ok {
 			m.Owners[id] = OwnerStats{Records: n}
 		}
+	}
+	m.Users = make(map[string]UserStats, len(s.users))
+	for id, us := range s.users {
+		m.Users[id] = *us
 	}
 	return m
 }

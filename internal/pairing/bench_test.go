@@ -15,16 +15,16 @@ func benchParams(b *testing.B) *Params {
 	return Default()
 }
 
-// benchKernels runs fn once per kernel as "optimized" and "reference"
-// sub-benchmarks, each on its own Params clone so SetKernel never touches
-// shared state, with allocation reporting on.
+// benchKernels runs fn once per kernel as "montgomery", "projective", and
+// "reference" sub-benchmarks, each on its own Params clone so SetKernel
+// never touches shared state, with allocation reporting on.
 func benchKernels(b *testing.B, fn func(b *testing.B, p *Params)) {
 	b.Helper()
 	base := benchParams(b)
 	for _, k := range []struct {
 		name   string
 		kernel Kernel
-	}{{"optimized", KernelOptimized}, {"reference", KernelReference}} {
+	}{{"montgomery", KernelMontgomery}, {"projective", KernelProjective}, {"reference", KernelReference}} {
 		q, r, h, gx, gy := base.Export()
 		p, err := NewParams(q, r, h, gx, gy)
 		if err != nil {
@@ -38,9 +38,10 @@ func benchKernels(b *testing.B, fn func(b *testing.B, p *Params)) {
 	}
 }
 
-// BenchmarkPair measures the full reduced pairing: projective NAF Miller
-// loop + Lucas final exponentiation vs the affine/naive reference. The
-// optimized/reference ratio here is the tentpole speedup figure.
+// BenchmarkPair measures the full reduced pairing under all three kernels:
+// fixed-width Montgomery, projective big.Int, and the affine/naive
+// reference. The montgomery/projective ratio here is the tentpole speedup
+// figure for this PR; montgomery/reference is the cumulative one.
 func BenchmarkPair(b *testing.B) {
 	benchKernels(b, func(b *testing.B, p *Params) {
 		ka, _ := p.RandomScalar(rand.Reader)
@@ -191,12 +192,105 @@ func BenchmarkGMarshalUnmarshal(b *testing.B) {
 	}
 }
 
+// benchFieldOperands builds a deterministic pair of base-field elements in
+// both representations for the kernel-split field microbenchmarks.
+func benchFieldOperands(b *testing.B) (p *Params, xb, yb *big.Int, xm, ym fpElement) {
+	b.Helper()
+	p = benchParams(b)
+	if p.fpc == nil {
+		b.Fatal("bench field exceeds fixed Montgomery width")
+	}
+	xb = new(big.Int).Mod(new(big.Int).Lsh(big.NewInt(0xA5A5A5A5), uint(p.Q.BitLen()-40)), p.Q)
+	yb = new(big.Int).Mod(new(big.Int).Lsh(big.NewInt(0x5A5A5A5A), uint(p.Q.BitLen()-48)), p.Q)
+	p.fpc.fromBig(&xm, xb)
+	p.fpc.fromBig(&ym, yb)
+	return
+}
+
+// BenchmarkFpMul compares one base-field multiplication: fixed-width CIOS
+// Montgomery vs big.Int Mul+Mod. This is the innermost hot-path operation —
+// a Miller loop at paper scale runs hundreds of thousands of these.
+func BenchmarkFpMul(b *testing.B) {
+	p, xb, yb, xm, ym := benchFieldOperands(b)
+	b.Run("montgomery", func(b *testing.B) {
+		b.ReportAllocs()
+		var z fpElement
+		for i := 0; i < b.N; i++ {
+			p.fpc.mul(&z, &xm, &ym)
+		}
+	})
+	b.Run("bigint", func(b *testing.B) {
+		b.ReportAllocs()
+		z := new(big.Int)
+		for i := 0; i < b.N; i++ {
+			z.Mul(xb, yb)
+			z.Mod(z, p.Q)
+		}
+	})
+}
+
+// BenchmarkFpSquare compares one base-field squaring.
+func BenchmarkFpSquare(b *testing.B) {
+	p, xb, _, xm, _ := benchFieldOperands(b)
+	b.Run("montgomery", func(b *testing.B) {
+		b.ReportAllocs()
+		var z fpElement
+		for i := 0; i < b.N; i++ {
+			p.fpc.square(&z, &xm)
+		}
+	})
+	b.Run("bigint", func(b *testing.B) {
+		b.ReportAllocs()
+		z := new(big.Int)
+		for i := 0; i < b.N; i++ {
+			z.Mul(xb, xb)
+			z.Mod(z, p.Q)
+		}
+	})
+}
+
+// BenchmarkFpInv compares one base-field inversion: binary extended GCD on
+// fixed-width limbs vs big.Int ModInverse (binary extended GCD).
+func BenchmarkFpInv(b *testing.B) {
+	p, xb, _, xm, _ := benchFieldOperands(b)
+	b.Run("montgomery", func(b *testing.B) {
+		b.ReportAllocs()
+		var z fpElement
+		for i := 0; i < b.N; i++ {
+			p.fpc.inv(&z, &xm)
+		}
+	})
+	b.Run("bigint", func(b *testing.B) {
+		b.ReportAllocs()
+		z := new(big.Int)
+		for i := 0; i < b.N; i++ {
+			z.ModInverse(xb, p.Q)
+		}
+	})
+}
+
+// BenchmarkFp2Mul compares one F_q² multiplication, the unit of work of
+// every Miller-loop line evaluation and Lucas ladder step.
 func BenchmarkFp2Mul(b *testing.B) {
 	p := benchParams(b)
 	x := p.GTGenerator().v
 	y := p.GTGenerator().Exp(big.NewInt(7)).v
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		p.fp2Mul(x, y)
-	}
+	b.Run("montgomery", func(b *testing.B) {
+		if p.fpc == nil {
+			b.Skip("field exceeds fixed Montgomery width")
+		}
+		b.ReportAllocs()
+		var xm, ym, zm fp2m
+		p.fpc.fp2mFromFp2(&xm, x)
+		p.fpc.fp2mFromFp2(&ym, y)
+		for i := 0; i < b.N; i++ {
+			p.fpc.fp2mMul(&zm, &xm, &ym)
+		}
+	})
+	b.Run("bigint", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			p.fp2Mul(x, y)
+		}
+	})
 }

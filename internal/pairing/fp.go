@@ -1,0 +1,367 @@
+package pairing
+
+import (
+	"encoding/binary"
+	"math/big"
+	"math/bits"
+)
+
+// Fixed-width Montgomery arithmetic for the base field F_q.
+//
+// fpElement is a little-endian array of 64-bit limbs holding a field element
+// in Montgomery form: the element x is stored as x·R mod q with R = 2^(64n),
+// where n = ⌈bits(q)/64⌉ is the active limb count of the parameter set. All
+// hot-path operations (add, sub, CIOS multiply, exponentiation, binary-EGCD
+// and batch inversion) work on fpElement values and never touch math/big;
+// conversion to and from big.Int happens only at the serialization and API
+// boundary.
+//
+// The array is sized for the shipped Type-A parameters: the default base
+// field prime is 513 bits (q = 4m·r − 1 with a 160-bit r), which needs nine
+// 64-bit limbs, one more than the nominal "512-bit field" of the paper.
+// Larger generated fields fall back to the big.Int projective kernel (see
+// newFpContext and activeKernel).
+//
+// Invariant: limbs at index ≥ n are always zero, so whole-array comparison
+// and copying are valid. Every constructor below establishes the invariant
+// and every operation preserves it.
+
+// fpMaxLimbs is the fixed width of fpElement: 9×64 = 576 bits, sized for the
+// 513-bit default prime.
+const fpMaxLimbs = 9
+
+// fpElement is a base-field element in Montgomery form, little-endian limbs.
+type fpElement [fpMaxLimbs]uint64
+
+// fpContext carries the Montgomery constants of one Params value. A context
+// is immutable after construction and safe for concurrent use; all methods
+// write only through their destination pointers.
+type fpContext struct {
+	n    int       // active limbs: ⌈bits(q)/64⌉
+	mod  fpElement // q
+	inv0 uint64    // −q⁻¹ mod 2⁶⁴, the CIOS folding constant
+	one  fpElement // R mod q: the Montgomery form of 1
+	rr   fpElement // R² mod q: fromBig multiplies by this to enter the domain
+	half fpElement // Montgomery form of 2⁻¹ = (q+1)/2, for Lucas recovery
+	raw1 fpElement // plain 1 (NOT Montgomery form), for the exit conversion
+
+	qBig    *big.Int // q, for the boundary conversions
+	qMinus2 *big.Int // q−2, the Fermat inversion exponent
+}
+
+// newFpContext builds the Montgomery constants for the odd prime q, or
+// returns nil when q does not fit the fixed width (or is even, which cannot
+// happen for valid Params but keeps the constructor total).
+func newFpContext(q *big.Int) *fpContext {
+	if q.Sign() <= 0 || q.Bit(0) == 0 || q.BitLen() > 64*fpMaxLimbs {
+		return nil
+	}
+	c := &fpContext{
+		n:       (q.BitLen() + 63) / 64,
+		qBig:    new(big.Int).Set(q),
+		qMinus2: new(big.Int).Sub(q, two),
+	}
+	c.setLimbs(&c.mod, q)
+	// inv0 = −q⁻¹ mod 2⁶⁴ by Newton iteration: x ← x(2 − q₀x) doubles the
+	// number of correct low bits each round, and x₀ = q₀ is correct mod 8.
+	q0 := c.mod[0]
+	inv := q0
+	for i := 0; i < 5; i++ {
+		inv *= 2 - q0*inv
+	}
+	c.inv0 = -inv
+	r := new(big.Int).Lsh(one, uint(64*c.n))
+	rModQ := new(big.Int).Mod(r, q)
+	c.setLimbs(&c.one, rModQ)
+	rr := new(big.Int).Mul(rModQ, rModQ)
+	c.setLimbs(&c.rr, rr.Mod(rr, q))
+	c.raw1[0] = 1
+	halfBig := new(big.Int).Rsh(new(big.Int).Add(q, one), 1)
+	c.fromBig(&c.half, halfBig)
+	return c
+}
+
+// setLimbs fills z with the little-endian limbs of v, which must satisfy
+// 0 ≤ v < 2^(64n). The value is NOT converted to Montgomery form.
+func (c *fpContext) setLimbs(z *fpElement, v *big.Int) {
+	var buf [fpMaxLimbs * 8]byte
+	v.FillBytes(buf[:c.n*8])
+	*z = fpElement{}
+	for i := 0; i < c.n; i++ {
+		z[i] = binary.BigEndian.Uint64(buf[(c.n-1-i)*8 : (c.n-i)*8])
+	}
+}
+
+// fromBig converts v into Montgomery form. Values outside [0, q) are
+// normalized (reduced mod q) first, so hostile or unreduced boundary inputs
+// cannot break the representation invariant; the normalization branch is the
+// only path that may allocate.
+func (c *fpContext) fromBig(z *fpElement, v *big.Int) {
+	if v.Sign() < 0 || v.Cmp(c.qBig) >= 0 {
+		v = new(big.Int).Mod(v, c.qBig)
+	}
+	c.setLimbs(z, v)
+	c.mul(z, z, &c.rr)
+}
+
+// toBig converts x out of Montgomery form into a fresh canonical big.Int in
+// [0, q). Only used at the boundary, so the allocations are acceptable.
+func (c *fpContext) toBig(x *fpElement) *big.Int {
+	var raw fpElement
+	c.mul(&raw, x, &c.raw1)
+	var buf [fpMaxLimbs * 8]byte
+	for i := 0; i < c.n; i++ {
+		binary.BigEndian.PutUint64(buf[(c.n-1-i)*8:(c.n-i)*8], raw[i])
+	}
+	return new(big.Int).SetBytes(buf[:c.n*8])
+}
+
+func (c *fpContext) isZero(x *fpElement) bool { return *x == fpElement{} }
+
+func (c *fpContext) isOne(x *fpElement) bool { return *x == c.one }
+
+// add sets z = x + y mod q. z may alias x or y.
+func (c *fpContext) add(z, x, y *fpElement) {
+	n := c.n
+	var carry uint64
+	for i := 0; i < n; i++ {
+		z[i], carry = bits.Add64(x[i], y[i], carry)
+	}
+	// Conditionally subtract q: the sum is < 2q < 2^(64n+1), so one pass.
+	var t fpElement
+	var borrow uint64
+	for i := 0; i < n; i++ {
+		t[i], borrow = bits.Sub64(z[i], c.mod[i], borrow)
+	}
+	if carry != 0 || borrow == 0 {
+		copy(z[:n], t[:n])
+	}
+}
+
+// sub sets z = x − y mod q. z may alias x or y.
+func (c *fpContext) sub(z, x, y *fpElement) {
+	n := c.n
+	var borrow uint64
+	for i := 0; i < n; i++ {
+		z[i], borrow = bits.Sub64(x[i], y[i], borrow)
+	}
+	if borrow != 0 {
+		var carry uint64
+		for i := 0; i < n; i++ {
+			z[i], carry = bits.Add64(z[i], c.mod[i], carry)
+		}
+	}
+}
+
+// neg sets z = −x mod q. z may alias x.
+func (c *fpContext) neg(z, x *fpElement) {
+	if c.isZero(x) {
+		*z = fpElement{}
+		return
+	}
+	n := c.n
+	var borrow uint64
+	for i := 0; i < n; i++ {
+		z[i], borrow = bits.Sub64(c.mod[i], x[i], borrow)
+	}
+	_ = borrow // x < q, so the subtraction cannot underflow
+}
+
+// dbl sets z = 2x mod q. z may alias x.
+func (c *fpContext) dbl(z, x *fpElement) { c.add(z, x, x) }
+
+// mul sets z = x·y·R⁻¹ mod q — CIOS (coarsely integrated operand scanning)
+// Montgomery multiplication. Both inputs in Montgomery form yield a result
+// in Montgomery form. z may alias x and/or y: all reads complete into the
+// local accumulator before z is written. No heap allocation.
+func (c *fpContext) mul(z, x, y *fpElement) {
+	n := c.n
+	var t [fpMaxLimbs + 2]uint64
+	for i := 0; i < n; i++ {
+		// t += x · y[i]
+		yi := y[i]
+		var carry uint64
+		for j := 0; j < n; j++ {
+			hi, lo := bits.Mul64(x[j], yi)
+			var cc uint64
+			lo, cc = bits.Add64(lo, t[j], 0)
+			hi += cc
+			lo, cc = bits.Add64(lo, carry, 0)
+			hi += cc
+			t[j] = lo
+			carry = hi
+		}
+		var cc uint64
+		t[n], cc = bits.Add64(t[n], carry, 0)
+		t[n+1] = cc
+		// Fold out the low limb: t ← (t + m·q) / 2⁶⁴ with m = t₀·inv0.
+		m := t[0] * c.inv0
+		hi, lo := bits.Mul64(m, c.mod[0])
+		_, cc = bits.Add64(lo, t[0], 0)
+		carry = hi + cc
+		for j := 1; j < n; j++ {
+			hi, lo = bits.Mul64(m, c.mod[j])
+			lo, cc = bits.Add64(lo, t[j], 0)
+			hi += cc
+			lo, cc = bits.Add64(lo, carry, 0)
+			hi += cc
+			t[j-1] = lo
+			carry = hi
+		}
+		t[n-1], cc = bits.Add64(t[n], carry, 0)
+		t[n] = t[n+1] + cc
+	}
+	// The accumulator is < 2q; one conditional subtraction canonicalizes.
+	var r fpElement
+	var borrow uint64
+	for i := 0; i < n; i++ {
+		r[i], borrow = bits.Sub64(t[i], c.mod[i], borrow)
+	}
+	if t[n] != 0 || borrow == 0 {
+		copy(z[:n], r[:n])
+	} else {
+		copy(z[:n], t[:n])
+	}
+}
+
+// square sets z = x² — routed through the CIOS multiplier, which already
+// interleaves the reduction with the partial products.
+func (c *fpContext) square(z, x *fpElement) { c.mul(z, x, x) }
+
+// exp sets z = x^k for k ≥ 0 by left-to-right square-and-multiply over the
+// bits of k. big.Int.Bit and BitLen do not allocate, so the ladder stays
+// allocation-free. z may alias x.
+func (c *fpContext) exp(z, x *fpElement, k *big.Int) {
+	base := *x
+	r := c.one
+	for i := k.BitLen() - 1; i >= 0; i-- {
+		c.mul(&r, &r, &r)
+		if k.Bit(i) == 1 {
+			c.mul(&r, &r, &base)
+		}
+	}
+	*z = r
+}
+
+// invFermat sets z = x^(q−2), the Fermat inverse. It costs a full-width
+// exponentiation (~bits(q) squarings), so inv below uses the binary
+// extended Euclidean algorithm instead; this path is kept as an
+// independently-derived cross-check pinned equal by the field tests.
+func (c *fpContext) invFermat(z, x *fpElement) {
+	c.exp(z, x, c.qMinus2)
+}
+
+// inv sets z = x⁻¹ via the binary extended Euclidean algorithm on limbs
+// (HMV Algorithm 2.22 adapted to the Montgomery domain): ~2·bits(q) cheap
+// shift/subtract passes instead of a full exponentiation, still with no
+// heap allocation. inv(0) = 0 by convention, which mirrors what the
+// projective kernel's denominator handling expects. z may alias x.
+func (c *fpContext) inv(z, x *fpElement) {
+	if c.isZero(x) {
+		*z = fpElement{}
+		return
+	}
+	n := c.n
+	u, v := *x, c.mod
+	x1, x2 := c.raw1, fpElement{}
+	for !fpIsRawOne(&u) && !fpIsRawOne(&v) {
+		for u[0]&1 == 0 {
+			fpShr1(&u, n, 0)
+			c.halve(&x1)
+		}
+		for v[0]&1 == 0 {
+			fpShr1(&v, n, 0)
+			c.halve(&x2)
+		}
+		// q is prime and 0 < u₀ < q, so gcd(u, v) = 1 throughout and the
+		// larger of the (odd) pair shrinks every round: termination is at
+		// one of them reaching 1.
+		if fpGE(&u, &v, n) {
+			fpSubNoBorrow(&u, &v, n)
+			c.sub(&x1, &x1, &x2)
+		} else {
+			fpSubNoBorrow(&v, &u, n)
+			c.sub(&x2, &x2, &x1)
+		}
+	}
+	r := &x1
+	if !fpIsRawOne(&u) {
+		r = &x2
+	}
+	// r is the plain inverse of the Montgomery value: r = x⁻¹R⁻¹ mod q. Two
+	// Montgomery multiplications by R² rebuild the Montgomery form:
+	// r·R²·R⁻¹ = x⁻¹, then x⁻¹·R²·R⁻¹ = x⁻¹·R.
+	c.mul(z, r, &c.rr)
+	c.mul(z, z, &c.rr)
+}
+
+// halve sets x = x/2 mod q for a plain residue x in [0, q): shift if even,
+// otherwise add q first. The add can carry out of the top active limb (q
+// may use all 64n bits); the carry becomes the shifted-in high bit.
+func (c *fpContext) halve(x *fpElement) {
+	var carry uint64
+	if x[0]&1 == 1 {
+		for i := 0; i < c.n; i++ {
+			x[i], carry = bits.Add64(x[i], c.mod[i], carry)
+		}
+	}
+	fpShr1(x, c.n, carry)
+}
+
+// fpShr1 shifts x right one bit over n limbs, shifting top in at the top.
+func fpShr1(x *fpElement, n int, top uint64) {
+	for i := 0; i < n-1; i++ {
+		x[i] = x[i]>>1 | x[i+1]<<63
+	}
+	x[n-1] = x[n-1]>>1 | top<<63
+}
+
+// fpIsRawOne reports whether x is the plain (non-Montgomery) integer 1.
+func fpIsRawOne(x *fpElement) bool { return *x == fpElement{1} }
+
+// fpGE reports x ≥ y as n-limb unsigned integers.
+func fpGE(x, y *fpElement, n int) bool {
+	for i := n - 1; i >= 0; i-- {
+		if x[i] != y[i] {
+			return x[i] > y[i]
+		}
+	}
+	return true
+}
+
+// fpSubNoBorrow sets x −= y for plain integers with x ≥ y.
+func fpSubNoBorrow(x, y *fpElement, n int) {
+	var borrow uint64
+	for i := 0; i < n; i++ {
+		x[i], borrow = bits.Sub64(x[i], y[i], borrow)
+	}
+}
+
+// batchInv inverts every listed element in place with Montgomery's trick:
+// one inversion plus 3(k−1) multiplications. Zero entries are left
+// as zero (matching inv) without spoiling the other inverses.
+func (c *fpContext) batchInv(xs []*fpElement) {
+	if len(xs) == 0 {
+		return
+	}
+	prods := make([]fpElement, len(xs))
+	acc := c.one
+	for i, x := range xs {
+		prods[i] = acc
+		if !c.isZero(x) {
+			c.mul(&acc, &acc, x)
+		}
+	}
+	var accInv fpElement
+	c.inv(&accInv, &acc)
+	for i := len(xs) - 1; i >= 0; i-- {
+		x := xs[i]
+		if c.isZero(x) {
+			continue
+		}
+		var t fpElement
+		c.mul(&t, &accInv, x)
+		c.mul(x, &accInv, &prods[i])
+		accInv = t
+	}
+}

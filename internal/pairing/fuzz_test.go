@@ -61,6 +61,10 @@ func FuzzPairKernels(f *testing.F) {
 		if !bytes.Equal(opt.Marshal(), ref.Marshal()) {
 			t.Fatal("projective Miller loop disagrees with affine reference")
 		}
+		prepMont, err := p.Prepare(ga).Pair(gb) // default kernel: Montgomery cache
+		if err != nil {
+			t.Fatal(err)
+		}
 		prepProj, err := p.prepareProj(ga).Pair(gb)
 		if err != nil {
 			t.Fatal(err)
@@ -69,7 +73,7 @@ func FuzzPairKernels(f *testing.F) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if !prepProj.Equal(opt) || !prepAff.Equal(opt) {
+		if !prepMont.Equal(opt) || !prepProj.Equal(opt) || !prepAff.Equal(opt) {
 			t.Fatal("prepared pairing disagrees with Params.Pair")
 		}
 		if !opt.Exp(k).Equal(opt.ExpReference(k)) {

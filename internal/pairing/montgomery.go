@@ -1,0 +1,501 @@
+package pairing
+
+import "math/big"
+
+// The Montgomery kernel: the PR 3 projective (Jacobian) chains rebuilt on
+// fixed-width fpElement arithmetic. Formulas, NAF recoding, line scalings,
+// and the Lucas final exponentiation are exactly the big.Int projective
+// kernel's — only the field representation changes — so raw Miller values
+// and reduced pairings are bit-identical across the two, which is what the
+// differential tests pin. Points and accumulators convert into Montgomery
+// form once on entry and back once on exit; in between there is no math/big
+// arithmetic and no heap allocation.
+
+// montAffine is an affine curve point with Montgomery-form coordinates.
+// Infinity is never represented here — callers special-case it before
+// converting.
+type montAffine struct {
+	x, y fpElement
+}
+
+// montJac is a Jacobian point (X, Y, Z) with x = X/Z², y = Y/Z³. Z = 0
+// encodes infinity.
+type montJac struct {
+	x, y, z fpElement
+}
+
+func (c *fpContext) montJacIsInf(j *montJac) bool { return c.isZero(&j.z) }
+
+// montFromPoint converts an affine big.Int point (not infinity).
+func (c *fpContext) montFromPoint(pt point) montAffine {
+	var m montAffine
+	c.fromBig(&m.x, pt.x)
+	c.fromBig(&m.y, pt.y)
+	return m
+}
+
+// montJacToPoint normalizes a Jacobian point back to a canonical affine
+// big.Int point, paying one field inversion.
+func (c *fpContext) montJacToPoint(j *montJac) point {
+	if c.montJacIsInf(j) {
+		return infinity()
+	}
+	var zi, zi2, zi3, ax, ay fpElement
+	c.inv(&zi, &j.z)
+	c.mul(&zi2, &zi, &zi)
+	c.mul(&zi3, &zi2, &zi)
+	c.mul(&ax, &j.x, &zi2)
+	c.mul(&ay, &j.y, &zi3)
+	return point{x: c.toBig(&ax), y: c.toBig(&ay)}
+}
+
+// montJacDouble doubles j in place: the dbl-2009-alnr chain specialized to
+// curve coefficient a = 1, mirroring jacDoubleTo.
+//
+//	M = 3X² + Z⁴, S = 2((X+Y²)² − X² − Y⁴)
+//	X3 = M² − 2S, Y3 = M(S − X3) − 8Y⁴, Z3 = 2YZ
+func (c *fpContext) montJacDouble(j *montJac) {
+	if c.montJacIsInf(j) {
+		return
+	}
+	if c.isZero(&j.y) {
+		j.z = fpElement{} // two-torsion: 2j = ∞
+		return
+	}
+	var xx, yy, yyyy, zz, s, m, t fpElement
+	c.mul(&xx, &j.x, &j.x)
+	c.mul(&yy, &j.y, &j.y)
+	c.mul(&yyyy, &yy, &yy)
+	c.mul(&zz, &j.z, &j.z)
+	c.add(&s, &j.x, &yy)
+	c.mul(&s, &s, &s)
+	c.sub(&s, &s, &xx)
+	c.sub(&s, &s, &yyyy)
+	c.dbl(&s, &s)
+	c.mul(&m, &zz, &zz)
+	c.add(&m, &m, &xx)
+	c.dbl(&t, &xx)
+	c.add(&m, &m, &t)
+	// Z3 = 2YZ before Y is clobbered.
+	c.mul(&t, &j.y, &j.z)
+	c.dbl(&j.z, &t)
+	c.mul(&j.x, &m, &m)
+	c.dbl(&t, &s)
+	c.sub(&j.x, &j.x, &t)
+	c.sub(&t, &s, &j.x)
+	c.mul(&j.y, &t, &m)
+	c.dbl(&yyyy, &yyyy)
+	c.dbl(&yyyy, &yyyy)
+	c.dbl(&yyyy, &yyyy)
+	c.sub(&j.y, &j.y, &yyyy)
+}
+
+// montJacAddAffine adds the affine point a to j in place (mixed addition,
+// mirroring jacAddAffineTo):
+//
+//	U2 = x_a·Z², S2 = y_a·Z³, H = U2 − X, R = S2 − Y
+//	X3 = R² − H³ − 2XH², Y3 = R(XH² − X3) − YH³, Z3 = ZH
+func (c *fpContext) montJacAddAffine(j *montJac, a *montAffine) {
+	if c.montJacIsInf(j) {
+		j.x = a.x
+		j.y = a.y
+		j.z = c.one
+		return
+	}
+	var zz, u2, zzz, s2, h, r fpElement
+	c.mul(&zz, &j.z, &j.z)
+	c.mul(&u2, &a.x, &zz)
+	c.mul(&zzz, &zz, &j.z)
+	c.mul(&s2, &a.y, &zzz)
+	c.sub(&h, &u2, &j.x)
+	c.sub(&r, &s2, &j.y)
+	if c.isZero(&h) {
+		if c.isZero(&r) {
+			c.montJacDouble(j)
+			return
+		}
+		j.z = fpElement{} // a = −j: vertical, sum is ∞
+		return
+	}
+	var hh, hhh, v, t fpElement
+	c.mul(&hh, &h, &h)
+	c.mul(&hhh, &hh, &h)
+	c.mul(&v, &j.x, &hh)
+	c.mul(&j.z, &j.z, &h)
+	c.mul(&j.x, &r, &r)
+	c.sub(&j.x, &j.x, &hhh)
+	c.dbl(&t, &v)
+	c.sub(&j.x, &j.x, &t)
+	c.mul(&t, &j.y, &hhh)
+	c.sub(&j.y, &v, &j.x)
+	c.mul(&j.y, &j.y, &r)
+	c.sub(&j.y, &j.y, &t)
+}
+
+// mulScalarMont computes k·pt for k ≥ 0 with the NAF double-and-add ladder
+// over Montgomery-form Jacobian points — the Montgomery-kernel body of
+// mulScalarRaw. One field inversion at the final normalization.
+func (p *Params) mulScalarMont(pt point, k *big.Int) point {
+	if pt.inf || k.Sign() == 0 {
+		return infinity()
+	}
+	c := p.fpc
+	base := c.montFromPoint(pt)
+	nBase := base
+	c.neg(&nBase.y, &base.y)
+	var acc montJac
+	for _, d := range nafDigits(k) {
+		c.montJacDouble(&acc)
+		switch {
+		case d == 1:
+			c.montJacAddAffine(&acc, &base)
+		case d == -1:
+			c.montJacAddAffine(&acc, &nBase)
+		}
+	}
+	return c.montJacToPoint(&acc)
+}
+
+// tangentStepMont doubles the running point in place and, for a
+// non-vertical tangent, writes the tangent line at φ(Q) scaled by
+// 2YZ³ ∈ F_q* into line and reports true — tangentStepProj on fpElements:
+//
+//	l' = (M·(X + Z²·x_Q) − 2Y²) + 2YZ·Z²·y_Q·i
+func (c *fpContext) tangentStepMont(r *montJac, q *montAffine, line *fp2m) bool {
+	if c.montJacIsInf(r) {
+		return false
+	}
+	if c.isZero(&r.y) {
+		r.z = fpElement{} // vertical tangent at a two-torsion point: 2R = ∞
+		return false
+	}
+	var xx, yy, yyyy, zz, s, m, z3, t fpElement
+	c.mul(&xx, &r.x, &r.x)
+	c.mul(&yy, &r.y, &r.y)
+	c.mul(&yyyy, &yy, &yy)
+	c.mul(&zz, &r.z, &r.z)
+	// S = 2((X+Y²)² − X² − Y⁴)
+	c.add(&s, &r.x, &yy)
+	c.mul(&s, &s, &s)
+	c.sub(&s, &s, &xx)
+	c.sub(&s, &s, &yyyy)
+	c.dbl(&s, &s)
+	// M = 3X² + Z⁴
+	c.mul(&m, &zz, &zz)
+	c.add(&m, &m, &xx)
+	c.dbl(&t, &xx)
+	c.add(&m, &m, &t)
+	// Z3 = 2YZ, computed before Y is clobbered.
+	c.mul(&z3, &r.y, &r.z)
+	c.dbl(&z3, &z3)
+	// Scaled tangent line, using the pre-doubling X, Y², Z².
+	var la, lb, lc fpElement
+	c.mul(&la, &zz, &q.x)
+	c.add(&la, &la, &r.x)
+	c.mul(&la, &la, &m)
+	c.dbl(&lb, &yy)
+	c.sub(&line.a, &la, &lb)
+	c.mul(&lc, &z3, &zz)
+	c.mul(&line.b, &lc, &q.y)
+	// R ← 2R: X3 = M² − 2S, Y3 = M(S − X3) − 8Y⁴, Z3 as above.
+	c.mul(&r.x, &m, &m)
+	c.dbl(&t, &s)
+	c.sub(&r.x, &r.x, &t)
+	c.sub(&t, &s, &r.x)
+	c.mul(&r.y, &t, &m)
+	c.dbl(&yyyy, &yyyy)
+	c.dbl(&yyyy, &yyyy)
+	c.dbl(&yyyy, &yyyy)
+	c.sub(&r.y, &r.y, &yyyy)
+	r.z = z3
+	return true
+}
+
+// chordStepMont adds the affine base a to the running point in place and,
+// for a non-vertical chord, writes the chord line at φ(Q) scaled by
+// Z3 = Z·H ∈ F_q* into line and reports true — chordStepProj on fpElements:
+//
+//	l' = (Rc·(x_a + x_Q) − Z3·y_a) + Z3·y_Q·i
+func (c *fpContext) chordStepMont(r *montJac, a, q *montAffine, line *fp2m) bool {
+	if c.montJacIsInf(r) {
+		r.x = a.x
+		r.y = a.y
+		r.z = c.one
+		return false
+	}
+	var zz, u2, zzz, s2, h, rc fpElement
+	c.mul(&zz, &r.z, &r.z)
+	c.mul(&u2, &a.x, &zz)
+	c.mul(&zzz, &zz, &r.z)
+	c.mul(&s2, &a.y, &zzz)
+	c.sub(&h, &u2, &r.x)
+	c.sub(&rc, &s2, &r.y)
+	if c.isZero(&h) {
+		if c.isZero(&rc) {
+			// R = a: the chord degenerates to the tangent, and the addition
+			// to a doubling — same fallback as chordStepProj.
+			return c.tangentStepMont(r, q, line)
+		}
+		r.z = fpElement{} // R = −a: vertical chord, R + a = ∞
+		return false
+	}
+	var hh, hhh, v, z3, t fpElement
+	c.mul(&hh, &h, &h)
+	c.mul(&hhh, &hh, &h)
+	c.mul(&v, &r.x, &hh)
+	c.mul(&z3, &r.z, &h)
+	// Scaled chord line anchored at a.
+	var la, lb fpElement
+	c.add(&la, &a.x, &q.x)
+	c.mul(&la, &la, &rc)
+	c.mul(&lb, &z3, &a.y)
+	c.sub(&line.a, &la, &lb)
+	c.mul(&line.b, &z3, &q.y)
+	// R ← R + a: X3 = Rc² − H³ − 2V, Y3 = Rc(V − X3) − Y·H³, Z3 = Z·H.
+	c.mul(&r.x, &rc, &rc)
+	c.sub(&r.x, &r.x, &hhh)
+	c.dbl(&t, &v)
+	c.sub(&r.x, &r.x, &t)
+	c.mul(&t, &r.y, &hhh)
+	c.sub(&r.y, &v, &r.x)
+	c.mul(&r.y, &r.y, &rc)
+	c.sub(&r.y, &r.y, &t)
+	r.z = z3
+	return true
+}
+
+// millerMont runs the NAF Miller loop entirely on fpElements and returns the
+// raw (unreduced) loop value in Montgomery form. Same chain as millerProj,
+// so the raw values agree limb-for-limb after conversion.
+func (p *Params) millerMont(P, Q point) fp2m {
+	c := p.fpc
+	base := c.montFromPoint(P)
+	nBase := base
+	c.neg(&nBase.y, &base.y)
+	q := c.montFromPoint(Q)
+	r := montJac{x: base.x, y: base.y, z: c.one}
+	f := c.fp2mOne()
+	var line fp2m
+	for _, d := range p.millerNAF[1:] {
+		c.fp2mSquare(&f, &f)
+		if c.tangentStepMont(&r, &q, &line) {
+			c.fp2mMul(&f, &f, &line)
+		}
+		if d == 0 {
+			continue
+		}
+		a := &base
+		if d < 0 {
+			a = &nBase
+		}
+		if c.chordStepMont(&r, a, &q, &line) {
+			c.fp2mMul(&f, &f, &line)
+		}
+	}
+	return f
+}
+
+// finalExpMont raises the raw Miller value to (q²−1)/r = (q−1)·h: the q−1
+// part via Frobenius (conjugate times inverse, one field inversion), then
+// the Lucas ladder by the cofactor — finalExp on fpElements.
+func (p *Params) finalExpMont(f *fp2m) fp2m {
+	c := p.fpc
+	if c.fp2mIsZero(f) {
+		// Degenerate tiny-field case (a line passed exactly through φ(Q));
+		// defined as 1, matching finalExp.
+		return c.fp2mOne()
+	}
+	var fi, u fp2m
+	c.fp2mInv(&fi, f)
+	c.fp2mConj(&u, f)
+	c.fp2mMul(&u, &u, &fi)
+	var out fp2m
+	c.fp2mExpUnitaryLucas(&out, &u, p.H)
+	return out
+}
+
+// pairMont is the Montgomery-kernel reduced pairing on raw points: convert
+// in, Miller loop + final exponentiation without math/big, convert out.
+func (p *Params) pairMont(P, Q point) fp2 {
+	f := p.millerMont(P, Q)
+	u := p.finalExpMont(&f)
+	return p.fpc.fp2mToFp2(&u)
+}
+
+// mLineCoeff is lineCoeff with Montgomery-form coordinates, the cached-step
+// format the Montgomery kernel's PreparedG walk consumes.
+type mLineCoeff struct {
+	lambda, x0, y0 fpElement
+	ok             bool
+}
+
+// mPrepStep mirrors prepStep on fpElements: one Miller step with the slope
+// still divided by its projective denominator, deferred for batch inversion.
+type mPrepStep struct {
+	ok      bool
+	tangent bool
+	m       fpElement // slope numerator: M (tangent) or Rc (chord)
+	x, y, z fpElement // tangent: Jacobian coordinates of the running point
+	ax, ay  fpElement // chord anchor (already affine)
+	den     fpElement // slope denominator, inverted in place by the batch pass
+}
+
+// prepareMont walks the NAF Miller chain on fpElements and recovers all the
+// cached affine line coefficients with one batch inversion — the
+// Montgomery-kernel body of Prepare. The cached coefficients stay in
+// Montgomery form so the per-pairing walk needs no conversions beyond Q.
+func (p *Params) prepareMont(g *G) *PreparedG {
+	if g.pt.inf {
+		return &PreparedG{p: p, inf: true}
+	}
+	c := p.fpc
+	pre := &PreparedG{p: p}
+	base := c.montFromPoint(g.pt)
+	nBase := base
+	c.neg(&nBase.y, &base.y)
+	r := montJac{x: base.x, y: base.y, z: c.one}
+	var steps []mPrepStep
+	for _, d := range p.millerNAF[1:] {
+		steps = append(steps, c.tangentStepRecordMont(&r))
+		n := byte(1)
+		if d != 0 {
+			a := &base
+			if d < 0 {
+				a = &nBase
+			}
+			steps = append(steps, c.chordStepRecordMont(&r, a))
+			n = 2
+		}
+		pre.plan = append(pre.plan, n)
+	}
+	// One inversion for the whole preparation.
+	var dens []*fpElement
+	for i := range steps {
+		st := &steps[i]
+		if !st.ok {
+			continue
+		}
+		dens = append(dens, &st.den)
+		if st.tangent {
+			dens = append(dens, &st.z)
+		}
+	}
+	c.batchInv(dens)
+	pre.msteps = make([]mLineCoeff, len(steps))
+	for i := range steps {
+		st := &steps[i]
+		if !st.ok {
+			continue
+		}
+		mc := mLineCoeff{ok: true}
+		c.mul(&mc.lambda, &st.m, &st.den) // den already inverted
+		if st.tangent {
+			var zi2, zi3 fpElement
+			c.mul(&zi2, &st.z, &st.z) // z holds Z⁻¹ now
+			c.mul(&mc.x0, &st.x, &zi2)
+			c.mul(&zi3, &zi2, &st.z)
+			c.mul(&mc.y0, &st.y, &zi3)
+		} else {
+			mc.x0 = st.ax
+			mc.y0 = st.ay
+		}
+		pre.msteps[i] = mc
+	}
+	return pre
+}
+
+// tangentStepRecordMont is tangentStepMont without the line evaluation: it
+// snapshots the tangent numerator M and the pre-doubling point, doubles R
+// in place, and leaves the denominators 2YZ and Z for the batch pass.
+func (c *fpContext) tangentStepRecordMont(r *montJac) mPrepStep {
+	if c.montJacIsInf(r) {
+		return mPrepStep{}
+	}
+	if c.isZero(&r.y) {
+		r.z = fpElement{}
+		return mPrepStep{}
+	}
+	st := mPrepStep{ok: true, tangent: true, x: r.x, y: r.y, z: r.z}
+	// M = 3X² + Z⁴.
+	var xx, zz, t fpElement
+	c.mul(&xx, &r.x, &r.x)
+	c.mul(&zz, &r.z, &r.z)
+	c.mul(&st.m, &zz, &zz)
+	c.add(&st.m, &st.m, &xx)
+	c.dbl(&t, &xx)
+	c.add(&st.m, &st.m, &t)
+	c.montJacDouble(r)
+	st.den = r.z // 2YZ of the pre-doubling point
+	return st
+}
+
+// chordStepRecordMont is chordStepMont without the line evaluation: it
+// snapshots the chord numerator Rc and the affine anchor, adds a to R in
+// place, and leaves the denominator Z·H for the batch pass. The degenerate
+// R = a case falls back to a tangent record, mirroring chordStepRecord.
+func (c *fpContext) chordStepRecordMont(r *montJac, a *montAffine) mPrepStep {
+	if c.montJacIsInf(r) {
+		r.x = a.x
+		r.y = a.y
+		r.z = c.one
+		return mPrepStep{}
+	}
+	var zz, u2, zzz, s2, h, rc fpElement
+	c.mul(&zz, &r.z, &r.z)
+	c.mul(&u2, &a.x, &zz)
+	c.mul(&zzz, &zz, &r.z)
+	c.mul(&s2, &a.y, &zzz)
+	c.sub(&h, &u2, &r.x)
+	c.sub(&rc, &s2, &r.y)
+	if c.isZero(&h) {
+		if c.isZero(&rc) {
+			return c.tangentStepRecordMont(r)
+		}
+		r.z = fpElement{}
+		return mPrepStep{}
+	}
+	st := mPrepStep{ok: true, m: rc, ax: a.x, ay: a.y}
+	var hh, hhh, v, t fpElement
+	c.mul(&hh, &h, &h)
+	c.mul(&hhh, &hh, &h)
+	c.mul(&v, &r.x, &hh)
+	c.mul(&r.z, &r.z, &h)
+	c.mul(&r.x, &rc, &rc)
+	c.sub(&r.x, &r.x, &hhh)
+	c.dbl(&t, &v)
+	c.sub(&r.x, &r.x, &t)
+	c.mul(&t, &r.y, &hhh)
+	c.sub(&r.y, &v, &r.x)
+	c.mul(&r.y, &r.y, &rc)
+	c.sub(&r.y, &r.y, &t)
+	st.den = r.z // Z·H of the pre-addition point
+	return st
+}
+
+// pairPreparedMont walks the Montgomery line cache against q: one fpElement
+// multiplication per line plus the shared squaring chain, no math/big until
+// the final boundary conversion inside finalExpMont's caller.
+func (pre *PreparedG) pairPreparedMont(q point) fp2 {
+	p := pre.p
+	c := p.fpc
+	qm := c.montFromPoint(q)
+	f := c.fp2mOne()
+	var lv fp2m
+	lv.b = qm.y // the imaginary part of every cached line is y_Q
+	var re fpElement
+	idx := 0
+	for _, n := range pre.plan {
+		c.fp2mSquare(&f, &f)
+		for k := byte(0); k < n; k++ {
+			if mc := &pre.msteps[idx]; mc.ok {
+				c.add(&re, &mc.x0, &qm.x)
+				c.mul(&re, &re, &mc.lambda)
+				c.sub(&lv.a, &re, &mc.y0)
+				c.fp2mMul(&f, &f, &lv)
+			}
+			idx++
+		}
+	}
+	u := p.finalExpMont(&f)
+	return c.fp2mToFp2(&u)
+}

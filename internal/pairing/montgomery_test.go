@@ -1,0 +1,261 @@
+package pairing
+
+import (
+	"bytes"
+	"math/big"
+	"testing"
+)
+
+// kernelCloneT builds an independent Params clone running kernel k, the way
+// the benchmarks and BENCH_pairing.json comparisons do.
+func kernelCloneT(t *testing.T, p *Params, k Kernel) *Params {
+	t.Helper()
+	q, r, h, gx, gy := p.Export()
+	cl, err := NewParams(q, r, h, gx, gy)
+	if err != nil {
+		t.Fatalf("clone params: %v", err)
+	}
+	cl.SetKernel(k)
+	return cl
+}
+
+// allKernels are the three selectable kernels in dispatch order.
+var allKernels = []struct {
+	name   string
+	kernel Kernel
+}{
+	{"montgomery", KernelMontgomery},
+	{"projective", KernelProjective},
+	{"reference", KernelReference},
+}
+
+// TestPairMatchesAllKernels pins reduced pairings, prepared-pairing walks,
+// PairProd, and G/GT exponentiation byte-identical across the Montgomery,
+// big.Int-projective, and affine-reference kernels on independent clones.
+func TestPairMatchesAllKernels(t *testing.T) {
+	base := Test()
+	scalars := [][2]int64{{98765, 43210}, {1, 1}, {2, 3}, {7919, 7919}}
+	for _, sc := range scalars {
+		a, b := big.NewInt(sc[0]), big.NewInt(sc[1])
+		k := new(big.Int).Mul(a, b)
+		var pairB, prepB, prodB, gExpB, gtExpB []byte
+		for i, kc := range allKernels {
+			p := kernelCloneT(t, base, kc.kernel)
+			if p.Kernel() != kc.kernel || p.activeKernel() != kc.kernel {
+				t.Fatalf("%s: kernel selection not reflected", kc.name)
+			}
+			ga, gb := p.Generator().Exp(a), p.Generator().Exp(b)
+			e := p.MustPair(ga, gb)
+			pp, err := p.Prepare(ga).Pair(gb)
+			if err != nil {
+				t.Fatalf("%s prepared pair: %v", kc.name, err)
+			}
+			prod, err := p.PairProd([]*G{ga, gb}, []*G{gb, ga})
+			if err != nil {
+				t.Fatalf("%s PairProd: %v", kc.name, err)
+			}
+			gExp := ga.Exp(k)
+			gtExp := e.Exp(k)
+			if i == 0 {
+				pairB, prepB, prodB = e.Marshal(), pp.Marshal(), prod.Marshal()
+				gExpB, gtExpB = gExp.Marshal(), gtExp.Marshal()
+				continue
+			}
+			if !bytes.Equal(e.Marshal(), pairB) {
+				t.Fatalf("%s: Pair differs from montgomery (a=%v b=%v)", kc.name, a, b)
+			}
+			if !bytes.Equal(pp.Marshal(), prepB) {
+				t.Fatalf("%s: prepared Pair differs from montgomery", kc.name)
+			}
+			if !bytes.Equal(prod.Marshal(), prodB) {
+				t.Fatalf("%s: PairProd differs from montgomery", kc.name)
+			}
+			if !bytes.Equal(gExp.Marshal(), gExpB) {
+				t.Fatalf("%s: G.Exp differs from montgomery", kc.name)
+			}
+			if !bytes.Equal(gtExp.Marshal(), gtExpB) {
+				t.Fatalf("%s: GT.Exp differs from montgomery", kc.name)
+			}
+		}
+	}
+}
+
+// TestPairMatchesAllKernelsPaperScale repeats the cross-kernel pin once at
+// the 513-bit default field, where the Montgomery context runs nine limbs.
+func TestPairMatchesAllKernelsPaperScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale kernels in -short mode")
+	}
+	base := Default()
+	a, b := big.NewInt(31337), big.NewInt(271828)
+	var want []byte
+	for i, kc := range allKernels {
+		p := kernelCloneT(t, base, kc.kernel)
+		ga, gb := p.Generator().Exp(a), p.Generator().Exp(b)
+		e := p.MustPair(ga, gb)
+		pp, err := p.Prepare(ga).Pair(gb)
+		if err != nil {
+			t.Fatalf("%s prepared pair: %v", kc.name, err)
+		}
+		if !pp.Equal(e) {
+			t.Fatalf("%s: prepared pair ≠ Pair at paper scale", kc.name)
+		}
+		if i == 0 {
+			want = e.Marshal()
+		} else if !bytes.Equal(e.Marshal(), want) {
+			t.Fatalf("%s: pairing differs from montgomery at paper scale", kc.name)
+		}
+	}
+}
+
+// TestMillerMontMatchesProjective pins the raw (unreduced) Miller values of
+// the Montgomery and projective kernels limb-for-limb: the two walks use
+// the same NAF chain and the same line scalings, so even the non-invariant
+// pre-final-exponentiation values must agree exactly.
+func TestMillerMontMatchesProjective(t *testing.T) {
+	p := Test()
+	g := p.Generator()
+	for i := int64(1); i < 12; i++ {
+		ga := g.Exp(big.NewInt(i * 104729))
+		gb := g.Exp(big.NewInt(i*31 + 5))
+		raw := p.millerMont(ga.pt, gb.pt)
+		got := p.fpc.fp2mToFp2(&raw)
+		want := p.millerProj(ga.pt, gb.pt)
+		if !got.equal(want) {
+			t.Fatalf("iteration %d: raw Miller values diverge", i)
+		}
+	}
+}
+
+// TestMontFallbackOversizedField simulates a parameter set whose prime
+// exceeds the fixed limb width (fpc == nil): the Montgomery kernel must
+// demote to the projective big.Int chain transparently and still agree with
+// the true Montgomery results.
+func TestMontFallbackOversizedField(t *testing.T) {
+	base := Test()
+	p := kernelCloneT(t, base, KernelMontgomery)
+	p.fpc = nil // what newFpContext returns for >576-bit primes
+	if p.Kernel() != KernelMontgomery {
+		t.Fatal("requested kernel should still read back as Montgomery")
+	}
+	if p.activeKernel() != KernelProjective {
+		t.Fatal("fallback did not demote to the projective kernel")
+	}
+	a, b := big.NewInt(12345), big.NewInt(67890)
+	ga, gb := p.Generator().Exp(a), p.Generator().Exp(b)
+	e := p.MustPair(ga, gb)
+	pp, err := p.Prepare(ga).Pair(gb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantP := base.Generator().Exp(a)
+	want := base.MustPair(wantP, base.Generator().Exp(b))
+	if !bytes.Equal(e.Marshal(), want.Marshal()) || !bytes.Equal(pp.Marshal(), want.Marshal()) {
+		t.Fatal("fallback pairing differs from the Montgomery kernel")
+	}
+	if !bytes.Equal(e.Exp(a).Marshal(), want.Exp(a).Marshal()) {
+		t.Fatal("fallback GT.Exp differs")
+	}
+	if _, err := p.UnmarshalGT(e.Marshal()); err != nil {
+		t.Fatalf("fallback UnmarshalGT: %v", err)
+	}
+}
+
+// TestSerializationByteIdenticalAcrossKernels is the wire-format guard: the
+// bytes G.Marshal and GT.Marshal emit, and the elements UnmarshalG /
+// UnmarshalGT accept, are identical whichever kernel produced them — the
+// Montgomery↔canonical conversion at the boundary is exact.
+func TestSerializationByteIdenticalAcrossKernels(t *testing.T) {
+	base := Test()
+	clones := make(map[string]*Params, len(allKernels))
+	for _, kc := range allKernels {
+		clones[kc.name] = kernelCloneT(t, base, kc.kernel)
+	}
+	for i := int64(0); i < 16; i++ {
+		k := new(big.Int).Mul(big.NewInt(i), big.NewInt(999983))
+		var gBytes, gtBytes []byte
+		for _, kc := range allKernels {
+			p := clones[kc.name]
+			gB := p.Generator().Exp(k).Marshal()
+			gtB := p.GTGenerator().Exp(k).Marshal()
+			if kc.kernel == KernelMontgomery {
+				gBytes, gtBytes = gB, gtB
+				continue
+			}
+			if !bytes.Equal(gB, gBytes) {
+				t.Fatalf("k=%v: %s G bytes differ from montgomery", k, kc.name)
+			}
+			if !bytes.Equal(gtB, gtBytes) {
+				t.Fatalf("k=%v: %s GT bytes differ from montgomery", k, kc.name)
+			}
+		}
+		// Round trips decode to equal elements under every kernel.
+		for _, kc := range allKernels {
+			p := clones[kc.name]
+			g, err := p.UnmarshalG(gBytes)
+			if err != nil {
+				t.Fatalf("k=%v: %s UnmarshalG: %v", k, kc.name, err)
+			}
+			if !bytes.Equal(g.Marshal(), gBytes) {
+				t.Fatalf("k=%v: %s G round trip drifted", k, kc.name)
+			}
+			if i != 0 { // zero GT exponent marshals to 1, still valid
+				gt, err := p.UnmarshalGT(gtBytes)
+				if err != nil {
+					t.Fatalf("k=%v: %s UnmarshalGT: %v", k, kc.name, err)
+				}
+				if !bytes.Equal(gt.Marshal(), gtBytes) {
+					t.Fatalf("k=%v: %s GT round trip drifted", k, kc.name)
+				}
+			}
+		}
+	}
+}
+
+// TestHotPathZeroBigIntAllocs pins the allocation contract of the
+// Montgomery kernel at paper scale: the field primitives are allocation-free
+// and a full Pair / prepared Pair performs only the handful of fixed
+// boundary conversions (fp2m→fp2 plus the result wrapper) — zero per-step
+// big.Int churn. The -benchmem benchmarks show the same numbers; this test
+// fails the build if they regress.
+func TestHotPathZeroBigIntAllocs(t *testing.T) {
+	p := Default()
+	c := p.fpc
+	var x, y, z fpElement
+	c.fromBig(&x, big.NewInt(123456789))
+	c.fromBig(&y, big.NewInt(987654321))
+	if a := testing.AllocsPerRun(100, func() { c.mul(&z, &x, &y) }); a != 0 {
+		t.Fatalf("fpMul allocates %v/op", a)
+	}
+	if a := testing.AllocsPerRun(100, func() { c.square(&z, &x) }); a != 0 {
+		t.Fatalf("fpSquare allocates %v/op", a)
+	}
+	if a := testing.AllocsPerRun(10, func() { c.inv(&z, &x) }); a != 0 {
+		t.Fatalf("fpInv allocates %v/op", a)
+	}
+	var xm, ym, zm fp2m
+	xm.a, xm.b, ym.a, ym.b = x, y, y, x
+	if a := testing.AllocsPerRun(100, func() { c.fp2mMul(&zm, &xm, &ym) }); a != 0 {
+		t.Fatalf("fp2mMul allocates %v/op", a)
+	}
+	if a := testing.AllocsPerRun(100, func() { c.fp2mSquare(&zm, &xm) }); a != 0 {
+		t.Fatalf("fp2mSquare allocates %v/op", a)
+	}
+
+	g := p.Generator()
+	ga, gb := g.Exp(big.NewInt(31337)), g.Exp(big.NewInt(271828))
+	// The only allocations in a full pairing are the boundary conversions:
+	// two coordinates out of Montgomery form plus the fp2/GT wrappers.
+	const pairAllocBudget = 8
+	if a := testing.AllocsPerRun(5, func() { p.MustPair(ga, gb) }); a > pairAllocBudget {
+		t.Fatalf("Pair allocates %v/op, budget %d", a, pairAllocBudget)
+	}
+	pre := p.Prepare(ga)
+	if a := testing.AllocsPerRun(5, func() {
+		if _, err := pre.Pair(gb); err != nil {
+			t.Fatal(err)
+		}
+	}); a > pairAllocBudget {
+		t.Fatalf("PreparedG.Pair allocates %v/op, budget %d", a, pairAllocBudget)
+	}
+}

@@ -30,10 +30,18 @@ func (p *Params) PairProd(as, bs []*G) (*GT, error) {
 		}
 		acc = p.fp2Mul(acc, p.millerLoop(as[i].pt, bs[i].pt))
 	}
-	if p.kernel == KernelReference {
+	switch p.activeKernel() {
+	case KernelReference:
 		return &GT{p: p, v: p.finalExpReference(acc)}, nil
+	case KernelMontgomery:
+		c := p.fpc
+		var m fp2m
+		c.fp2mFromFp2(&m, acc)
+		u := p.finalExpMont(&m)
+		return &GT{p: p, v: c.fp2mToFp2(&u)}, nil
+	default:
+		return &GT{p: p, v: p.finalExp(acc)}, nil
 	}
-	return &GT{p: p, v: p.finalExp(acc)}, nil
 }
 
 // fixedBaseWindow is the window width in bits for the generator table.

@@ -5,18 +5,23 @@ import "math/big"
 // pair computes the reduced Tate pairing e(P, Q) = f_{r,P}(φ(Q))^((q²−1)/r)
 // on raw points, returning an element of the order-R subgroup of F_q²*.
 // The default kernel runs the inversion-free projective Miller loop with
-// NAF recoding and a Lucas-sequence final exponentiation; KernelReference
-// keeps the retained affine/naive chain that the differential tests pin the
-// optimized output against. Both chains compute the same reduced pairing:
-// the value of f_{r,P}(φ(Q))^((q²−1)/r) does not depend on the addition
-// chain, because chains differ only by eliminated vertical lines and F_q*
-// scale factors, both killed by the q−1 factor of the final exponent.
+// NAF recoding and a Lucas-sequence final exponentiation on fixed-width
+// Montgomery-form field elements; KernelProjective is the same chain on
+// big.Int arithmetic, and KernelReference keeps the retained affine/naive
+// chain that the differential tests pin the optimized outputs against. All
+// chains compute the same reduced pairing: the value of
+// f_{r,P}(φ(Q))^((q²−1)/r) does not depend on the addition chain, because
+// chains differ only by eliminated vertical lines and F_q* scale factors,
+// both killed by the q−1 factor of the final exponent.
 func (p *Params) pair(P, Q point) fp2 {
-	if p.kernel == KernelReference {
+	if p.activeKernel() == KernelReference {
 		return p.pairReference(P, Q)
 	}
 	if P.inf || Q.inf {
 		return fp2One()
+	}
+	if p.activeKernel() == KernelMontgomery {
+		return p.pairMont(P, Q)
 	}
 	return p.finalExp(p.millerProj(P, Q))
 }
@@ -32,11 +37,20 @@ func (p *Params) pairReference(P, Q point) fp2 {
 
 // millerLoop dispatches the raw Miller-loop evaluation on the active kernel;
 // PairProd uses it so multi-pairings follow the same implementation as Pair.
+// The Montgomery and projective kernels walk the identical NAF chain with
+// the identical line scalings, so their raw (unreduced) values agree
+// exactly — the boundary conversion here is what the differential tests
+// compare limb-for-limb.
 func (p *Params) millerLoop(P, Q point) fp2 {
-	if p.kernel == KernelReference {
+	switch p.activeKernel() {
+	case KernelReference:
 		return p.miller(P, Q)
+	case KernelMontgomery:
+		f := p.millerMont(P, Q)
+		return p.fpc.fp2mToFp2(&f)
+	default:
+		return p.millerProj(P, Q)
 	}
-	return p.millerProj(P, Q)
 }
 
 // miller runs the BKLS Miller loop in affine coordinates, evaluating the

@@ -22,13 +22,25 @@ type Params struct {
 	// H is the cofactor: Q + 1 = H·R. H ≡ 0 (mod 4).
 	H *big.Int
 
-	gen       point    // generator of G
-	sqrtExp   *big.Int // (Q+1)/4, for square roots in F_Q
-	qMinus2   *big.Int // Q-2, for Fermat inversion
-	inv2      *big.Int // (Q+1)/2 = 2⁻¹ mod Q, for Lucas sequence recovery
-	millerWnd []int    // bits of R, most-significant first, for the affine reference Miller loop
-	millerNAF []int8   // NAF digits of R, most-significant first, for the projective Miller loop
-	kernel    Kernel   // which pairing-kernel implementation this Params uses
+	gen       point      // generator of G
+	sqrtExp   *big.Int   // (Q+1)/4, for square roots in F_Q
+	qMinus2   *big.Int   // Q-2, for Fermat inversion
+	inv2      *big.Int   // (Q+1)/2 = 2⁻¹ mod Q, for Lucas sequence recovery
+	millerWnd []int      // bits of R, most-significant first, for the affine reference Miller loop
+	millerNAF []int8     // NAF digits of R, most-significant first, for the projective Miller loop
+	kernel    Kernel     // which pairing-kernel implementation this Params uses
+	fpc       *fpContext // Montgomery constants for Q; nil when Q exceeds the fixed width
+}
+
+// activeKernel resolves the kernel that actually runs: KernelMontgomery
+// demotes to KernelProjective when the base field does not fit the
+// fixed-width fpElement (fpc == nil), so oversized generated parameters
+// keep working through the big.Int chain.
+func (p *Params) activeKernel() Kernel {
+	if p.kernel == KernelMontgomery && p.fpc == nil {
+		return KernelProjective
+	}
+	return p.kernel
 }
 
 var (
@@ -117,6 +129,7 @@ func newParams(q, r, h *big.Int) (*Params, error) {
 		p.millerWnd = append(p.millerWnd, int(r.Bit(i)))
 	}
 	p.millerNAF = nafDigits(r)
+	p.fpc = newFpContext(p.Q)
 	return p, nil
 }
 

@@ -21,6 +21,11 @@ type PreparedG struct {
 	// optionally followed by a chord line on nonzero digits. vertical steps
 	// are omitted (denominator elimination).
 	steps []lineCoeff
+	// msteps is the Montgomery kernel's cache: the same lines with the
+	// coordinates kept in fixed-width Montgomery form, so the per-pairing
+	// walk never converts or allocates. Exactly one of steps/msteps is
+	// populated, fixed by the kernel active at Prepare time.
+	msteps []mLineCoeff
 	// plan[i] is the number of lines consumed at loop iteration i (1 or 2).
 	plan []byte
 	inf  bool
@@ -37,10 +42,14 @@ type lineCoeff struct {
 // Prepare precomputes the Miller-loop lines of g as a first pairing
 // argument.
 func (p *Params) Prepare(g *G) *PreparedG {
-	if p.kernel == KernelReference {
+	switch p.activeKernel() {
+	case KernelReference:
 		return p.prepareAffine(g)
+	case KernelMontgomery:
+		return p.prepareMont(g)
+	default:
+		return p.prepareProj(g)
 	}
-	return p.prepareProj(g)
 }
 
 // prepareAffine is the retained reference preparation: the binary Miller
@@ -240,6 +249,10 @@ func (pre *PreparedG) Pair(q *G) (*GT, error) {
 	if pre.inf || q.pt.inf {
 		return p.OneGT(), nil
 	}
+	if pre.msteps != nil {
+		// Prepared under the Montgomery kernel: walk the fixed-width cache.
+		return &GT{p: p, v: pre.pairPreparedMont(q.pt)}, nil
+	}
 	s := newScratch()
 	f := fp2One()
 	lv := fp2{a: new(big.Int), b: new(big.Int).Set(q.pt.y)}
@@ -259,7 +272,7 @@ func (pre *PreparedG) Pair(q *G) (*GT, error) {
 			idx++
 		}
 	}
-	if p.kernel == KernelReference {
+	if p.activeKernel() == KernelReference {
 		return &GT{p: p, v: p.finalExpReference(f)}, nil
 	}
 	return &GT{p: p, v: p.finalExp(f)}, nil

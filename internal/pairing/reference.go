@@ -3,22 +3,34 @@ package pairing
 import "math/big"
 
 // Kernel selects which implementation of the pairing hot path a Params
-// value drives. The two kernels are pinned bit-identical on every valid
-// input by differential and fuzz tests; KernelReference exists so the
-// naive chain stays compiled, testable, and benchmarkable as the baseline
-// the optimized kernel is measured against (BENCH_pairing.json).
+// value drives. All kernels are pinned bit-identical on every valid input
+// by differential and fuzz tests; the slower ones stay compiled, testable,
+// and benchmarkable as the baselines the fast kernel is measured against
+// (BENCH_pairing.json).
 type Kernel int
 
 const (
-	// KernelOptimized is the default: projective (Jacobian) NAF Miller
-	// loop with fused line evaluation, Montgomery batch inversion in
-	// Prepare, Lucas-sequence unitary exponentiation in the final
-	// exponentiation and GT.Exp, and scratch-buffer field arithmetic.
-	KernelOptimized Kernel = iota
+	// KernelMontgomery is the default: the projective NAF Miller loop,
+	// Lucas final exponentiation, and batch-inverted Prepare running on
+	// fixed-width fpElement arithmetic in Montgomery form (CIOS
+	// multiplication, carry-chain add/sub) — zero math/big on the hot
+	// path. Parameter sets whose prime exceeds the fixed width fall back
+	// to KernelProjective transparently (see activeKernel).
+	KernelMontgomery Kernel = iota
+	// KernelProjective is the PR 3 big.Int kernel: projective (Jacobian)
+	// NAF Miller loop with fused line evaluation, Montgomery batch
+	// inversion in Prepare, Lucas-sequence unitary exponentiation in the
+	// final exponentiation and GT.Exp, and scratch-buffer field
+	// arithmetic.
+	KernelProjective
 	// KernelReference is the retained affine/naive implementation: one
 	// ModInverse per Miller step, square-and-multiply everywhere.
 	KernelReference
 )
+
+// KernelOptimized is the historical name of the default kernel, kept so
+// callers that selected "the fast one" keep compiling and keep getting it.
+const KernelOptimized = KernelMontgomery
 
 // SetKernel selects the kernel for this Params value. It mutates shared
 // state, so call it only during setup, never while other goroutines use

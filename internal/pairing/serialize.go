@@ -106,10 +106,24 @@ func (p *Params) UnmarshalGT(data []byte) (*GT, error) {
 	if v.isZero() {
 		return nil, fmt.Errorf("%w: zero is not a group element", ErrBadEncoding)
 	}
-	if !p.fp2Exp(v, p.R).isOne() {
+	if !p.gtSubgroupCheck(v) {
 		return nil, fmt.Errorf("%w: element not in order-r subgroup", ErrBadEncoding)
 	}
 	return &GT{p: p, v: v}, nil
+}
+
+// gtSubgroupCheck reports v^R = 1. The Montgomery kernel runs the
+// exponentiation on fixed-width field elements; the predicate is identical
+// across kernels.
+func (p *Params) gtSubgroupCheck(v fp2) bool {
+	if p.activeKernel() == KernelMontgomery {
+		c := p.fpc
+		var m fp2m
+		c.fp2mFromFp2(&m, v)
+		c.fp2mExp(&m, &m, p.R)
+		return c.fp2mIsOne(&m)
+	}
+	return p.fp2Exp(v, p.R).isOne()
 }
 
 // MarshalScalar encodes an exponent as a fixed-width big-endian integer.

@@ -18,4 +18,6 @@ echo "== go test -race ./internal/pairing"
 go test -race -count=1 ./internal/pairing
 echo "== bench smoke: pairing kernels"
 go test -run=NoTests -bench=Pair -benchtime=1x ./internal/pairing
+echo "== fuzz smoke: Montgomery field vs math/big"
+go test -run=NoTests -fuzz=FuzzFpMontgomery -fuzztime=5s ./internal/pairing
 echo "== OK"
