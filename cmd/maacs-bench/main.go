@@ -9,6 +9,7 @@
 //	maacs-bench -what fig3,fig4     # only the timing figures
 //	maacs-bench -what revocation    # only the revocation experiment
 //	maacs-bench -what reencrypt-batch  # per-ciphertext vs batched submission
+//	maacs-bench -what shardiso      # cross-owner fetch latency, mem vs sharded
 //	maacs-bench -points 2,5,8 -trials 3
 //	maacs-bench -fast               # small test curve (CI smoke run)
 //	maacs-bench -csv dir            # also write CSV series into dir
@@ -40,7 +41,7 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("maacs-bench", flag.ContinueOnError)
-	what := fs.String("what", "tables,fig3,fig4,revocation,ablation,scale,engine,reencrypt-batch,pairing", "comma-separated experiments to run")
+	what := fs.String("what", "tables,fig3,fig4,revocation,ablation,scale,engine,reencrypt-batch,shardiso,pairing", "comma-separated experiments to run")
 	points := fs.String("points", "2,5,8,11,14,17,20", "sweep values for the figures (paper: 2..20)")
 	fixed := fs.Int("fixed", 5, "value of the non-swept axis (paper: 5)")
 	trials := fs.Int("trials", 2, "trials per sweep point (paper: 20)")
@@ -50,6 +51,8 @@ func run(args []string, out io.Writer) error {
 	engineJSON := fs.String("engine-json", "BENCH_engine.json", "output path for the engine serial-vs-parallel report")
 	reencryptJSON := fs.String("reencrypt-json", "BENCH_reencrypt.json", "output path for the batched re-encryption report")
 	batchWindow := fs.Int("batch-window", 4, "window size for the windowed re-encryption submissions (0 = unwindowed)")
+	shardisoJSON := fs.String("shardiso-json", "BENCH_shardiso.json", "output path for the shard-isolation report")
+	shards := fs.Int("shards", 4, "shard count for the shard-isolation experiment")
 	pairingJSON := fs.String("pairing-json", "BENCH_pairing.json", "output path for the three-kernel pairing report (montgomery/projective/reference)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -192,6 +195,26 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(out, "  wrote %s\n\n", *reencryptJSON)
+	}
+
+	if want["shardiso"] {
+		report, err := bench.MeasureShardIsolation(params, rand.Reader, *ciphertexts, *shards, *trials)
+		if err != nil {
+			return fmt.Errorf("shardiso: %w", err)
+		}
+		report.Render(out)
+		f, err := os.Create(*shardisoJSON)
+		if err != nil {
+			return err
+		}
+		if err := report.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "  wrote %s\n\n", *shardisoJSON)
 	}
 
 	if want["pairing"] {

@@ -11,10 +11,27 @@
 //	maacs-server -addr 127.0.0.1:7744 -fast                  # small test curve
 //	maacs-server -addr 127.0.0.1:7744 -workers 8             # engine pool width
 //	maacs-server -addr 127.0.0.1:7744 -batch-window 32       # streaming window
+//	maacs-server -store file -data-dir /var/lib/maacs        # durable records
+//	maacs-server -store file -data-dir /var/lib/maacs -shards 8
+//
+// Storage backends (-store):
+//
+//	mem   in-memory maps; records live for the process lifetime (default)
+//	file  crash-safe file store in -data-dir: append-only WAL (fsync on
+//	      commit), replay on start, periodic compaction into a snapshot
+//	      file; a restarted server serves every previously committed record
+//
+// -shards N > 1 stripes either backend per data owner (hash of the owner ID
+// picks one of N shards, each with its own lock — and for the file backend
+// its own WAL in -data-dir/shard-NNN), so one owner's re-encryption commit
+// never blocks another owner's downloads. On SIGINT the server stops
+// listening and closes the store, flushing the WAL before exit.
+// GET /healthz reports the backend, shard count, WAL size and records
+// loaded; RPC clients get the same via CloudServer.Health.
 //
 // The HTTP gateway additionally serves POST /owners/{id}/reencrypt/batch
 // (many update-info sets streamed through bounded engine runs — the window
-// caps how many fuse into one run, so huge batches never pin the server
+// caps how many fuse into one run, so huge batches never pin a shard
 // lock), GET /metrics (Prometheus text exposition of the cumulative and
 // per-owner counters; ?format=json for the JSON body), and sets explicit
 // read/write/idle timeouts so one slow client cannot pin a connection
@@ -32,6 +49,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"time"
 
 	"maacs/internal/cloud"
@@ -45,6 +63,9 @@ type config struct {
 	addr, httpAddr    string
 	fast              bool
 	batchWindow       int
+	store             string
+	dataDir           string
+	shards            int
 	readHeaderTimeout time.Duration
 	readTimeout       time.Duration
 	writeTimeout      time.Duration
@@ -59,6 +80,12 @@ func main() {
 	workers := flag.Int("workers", 0, "engine pool width (0 = GOMAXPROCS)")
 	flag.IntVar(&cfg.batchWindow, "batch-window", 64,
 		"max update-info sets fused into one engine run per batch window (0 = whole batch)")
+	flag.StringVar(&cfg.store, "store", "mem",
+		"storage backend: mem (process-lifetime maps) or file (WAL-backed, crash-safe)")
+	flag.StringVar(&cfg.dataDir, "data-dir", "",
+		"data directory for -store=file (required; shard WALs live under it)")
+	flag.IntVar(&cfg.shards, "shards", 1,
+		"per-owner shard stripes over the backend (1 = unsharded)")
 	flag.DurationVar(&cfg.readHeaderTimeout, "read-header-timeout", 5*time.Second,
 		"http: max time to read a request's headers")
 	flag.DurationVar(&cfg.readTimeout, "read-timeout", 2*time.Minute,
@@ -75,16 +102,50 @@ func main() {
 	}
 }
 
+// openStore builds the configured storage backend.
+func openStore(cfg config, sys *core.System) (cloud.Store, error) {
+	if cfg.shards < 1 {
+		return nil, fmt.Errorf("-shards must be >= 1, got %d", cfg.shards)
+	}
+	switch cfg.store {
+	case "mem":
+		if cfg.shards == 1 {
+			return cloud.NewMemStore(), nil
+		}
+		return cloud.NewShardedMemStore(cfg.shards), nil
+	case "file":
+		if cfg.dataDir == "" {
+			return nil, errors.New("-store=file requires -data-dir")
+		}
+		if cfg.shards == 1 {
+			return cloud.OpenFileStore(sys, cfg.dataDir)
+		}
+		return cloud.NewShardedStore(cfg.shards, func(i int) (cloud.Store, error) {
+			return cloud.OpenFileStore(sys, filepath.Join(cfg.dataDir, fmt.Sprintf("shard-%03d", i)))
+		})
+	default:
+		return nil, fmt.Errorf("unknown -store %q (want mem or file)", cfg.store)
+	}
+}
+
 func run(cfg config) error {
 	params := pairing.Default()
 	if cfg.fast {
 		params = pairing.Test()
 	}
 	sys := core.NewSystem(params)
-	server := cloud.NewServer(sys, cloud.NewAccounting())
+	store, err := openStore(cfg, sys)
+	if err != nil {
+		return err
+	}
+	server := cloud.NewServerWithStore(sys, cloud.NewAccounting(), store)
 	server.SetBatchWindow(cfg.batchWindow)
+	info := server.StoreInfo()
+	fmt.Printf("maacs-server: store %s, %d shard(s), %d record(s) loaded, wal %d bytes\n",
+		info.Backend, info.Shards, info.Records, info.WALBytes)
 	listener, bound, err := cloud.ServeRPC(sys, server, cfg.addr)
 	if err != nil {
+		store.Close()
 		return err
 	}
 	fmt.Printf("maacs-server: rpc listening on %s (|r|=%d bits, |q|=%d bits)\n",
@@ -114,8 +175,16 @@ func run(cfg config) error {
 	fmt.Println("maacs-server: shutting down")
 	if httpSrv != nil {
 		if err := httpSrv.Close(); err != nil {
+			listener.Close()
+			server.Close()
 			return err
 		}
 	}
-	return listener.Close()
+	// Stop accepting work first, then flush: Close fsyncs and releases the
+	// WAL, so every committed record is on disk before the process exits.
+	if err := listener.Close(); err != nil {
+		server.Close()
+		return err
+	}
+	return server.Close()
 }

@@ -1,0 +1,58 @@
+package bench
+
+import (
+	"crypto/rand"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"maacs/internal/pairing"
+)
+
+func TestMeasureShardIsolationProducesValidJSON(t *testing.T) {
+	report, err := MeasureShardIsolation(pairing.Test(), rand.Reader, 3, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Points) != 2 {
+		t.Fatalf("got %d points, want 2 (mem + sharded-mem)", len(report.Points))
+	}
+	mem, sharded := report.Points[0], report.Points[1]
+	if mem.Backend != "mem" || mem.Shards != 1 {
+		t.Fatalf("first point %+v, want unsharded mem", mem)
+	}
+	if sharded.Backend != "sharded-mem" || sharded.Shards != 4 {
+		t.Fatalf("second point %+v, want 4-way sharded", sharded)
+	}
+	for _, pt := range report.Points {
+		if pt.FetchOps == 0 || pt.FetchAvgNs <= 0 || pt.FetchMaxNs < pt.FetchAvgNs {
+			t.Fatalf("point %+v has inconsistent fetch measurements", pt)
+		}
+		if pt.ReencryptNs <= 0 {
+			t.Fatalf("point %+v missing re-encrypt time", pt)
+		}
+	}
+	if report.RecordsPerOwner != 3 || report.Rounds != 2 {
+		t.Fatalf("workload metadata %+v", report)
+	}
+
+	var buf strings.Builder
+	if err := report.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back ShardIsoReport
+	if err := json.Unmarshal([]byte(buf.String()), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Points) != 2 || back.Points[1].Shards != 4 {
+		t.Fatalf("JSON round-trip lost data: %+v", back)
+	}
+
+	var tbl strings.Builder
+	report.Render(&tbl)
+	for _, want := range []string{"Shard isolation", "mem", "sharded-mem", "fetch avg"} {
+		if !strings.Contains(tbl.String(), want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, tbl.String())
+		}
+	}
+}

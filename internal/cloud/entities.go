@@ -31,13 +31,25 @@ type Env struct {
 	users  map[string]*UserClient
 }
 
-// NewEnv creates an empty environment over the given system parameters.
+// NewEnv creates an empty environment over the given system parameters,
+// with the default storage backend under the server.
 func NewEnv(sys *core.System, rnd io.Reader) *Env {
+	return NewEnvWithStore(sys, rnd, nil)
+}
+
+// NewEnvWithStore creates an environment whose server runs on an explicit
+// storage backend (nil = the default), so scenarios and tests can exercise
+// the file-backed and sharded engines through the full protocol.
+func NewEnvWithStore(sys *core.System, rnd io.Reader, store Store) *Env {
 	acct := NewAccounting()
+	server := NewServer(sys, acct)
+	if store != nil {
+		server = NewServerWithStore(sys, acct, store)
+	}
 	return &Env{
 		Sys:    sys,
 		CA:     core.NewCA(sys),
-		Server: NewServer(sys, acct),
+		Server: server,
 		Acct:   acct,
 		rnd:    rnd,
 		aas:    make(map[string]*Authority),

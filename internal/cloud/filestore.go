@@ -1,0 +1,501 @@
+package cloud
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"maacs/internal/core"
+	"maacs/internal/wire"
+)
+
+// FileStore is the crash-safe file-backed storage engine: an in-memory index
+// (a MemStore) fronting an append-only write-ahead log plus a periodic
+// snapshot file, both in one data directory.
+//
+//	<dir>/snapshot.maacs — full state in the Server.Snapshot wire format
+//	<dir>/wal.maacs      — framed entries appended since that snapshot
+//
+// Every mutation is logged and fsynced before it becomes visible in the
+// index, so a committed operation survives a crash; Open replays the WAL
+// over the snapshot and discards a torn tail entry (a crash mid-append).
+// When the WAL outgrows a threshold the store compacts: it writes a fresh
+// snapshot (tmp + rename) and truncates the log. WAL entries reuse the
+// snapshot wire format for record bodies, framed as
+//
+//	uint32-LE payload length | uint32-LE IEEE CRC of payload | payload
+//	payload = uvarint op (1 = put/upsert, 2 = delete) + body
+//
+// Replay applies puts as upserts and deletes as unconditional removes, so
+// re-applying entries already folded into a snapshot (a crash between the
+// compaction rename and the log truncation) converges instead of failing.
+//
+// Reads (Get, OwnerScan, IDs, Records, …) go straight to the index under its
+// read lock and never touch the files — a fetch is never blocked behind an
+// fsync. Mutations serialize on the store mutex. The store assumes a single
+// process owns the directory.
+type FileStore struct {
+	sys *core.System
+	dir string
+
+	// muW serializes mutations (log append + index update). Reads bypass it
+	// and go straight to the index under its read lock.
+	muW sync.Mutex
+
+	mem       *MemStore
+	wal       *os.File
+	walBytes  int64
+	compactAt int64
+	closed    bool
+}
+
+const (
+	walFileName      = "wal.maacs"
+	snapshotFileName = "snapshot.maacs"
+
+	walOpPut    = 1
+	walOpDelete = 2
+
+	// defaultCompactThreshold is the WAL size that triggers compaction into a
+	// fresh snapshot file.
+	defaultCompactThreshold = 4 << 20
+)
+
+// ErrWALCorrupt reports a WAL whose non-tail contents fail validation.
+var ErrWALCorrupt = errors.New("cloud: write-ahead log corrupt")
+
+// OpenFileStore opens (creating if needed) a file store in dir. It loads the
+// snapshot file, replays the WAL over it — truncating a torn tail entry left
+// by a crash mid-append — and is then ready to serve.
+func OpenFileStore(sys *core.System, dir string) (*FileStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cloud: create data dir: %w", err)
+	}
+	fs := &FileStore{
+		sys:       sys,
+		dir:       dir,
+		mem:       NewMemStore(),
+		compactAt: defaultCompactThreshold,
+	}
+	if err := fs.loadSnapshotFile(); err != nil {
+		return nil, err
+	}
+	if err := fs.openAndReplayWAL(); err != nil {
+		return nil, err
+	}
+	return fs, nil
+}
+
+// SetCompactThreshold sets the WAL size (bytes) that triggers compaction.
+// n <= 0 restores the default. Compaction also runs on demand via Compact.
+func (f *FileStore) SetCompactThreshold(n int64) {
+	f.muW.Lock()
+	defer f.muW.Unlock()
+	if n <= 0 {
+		n = defaultCompactThreshold
+	}
+	f.compactAt = n
+}
+
+// loadSnapshotFile restores the snapshot file into the index, if one exists.
+func (f *FileStore) loadSnapshotFile() error {
+	path := filepath.Join(f.dir, snapshotFileName)
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("cloud: read snapshot file: %w", err)
+	}
+	d := wire.NewDecoder(data)
+	if magic := d.String(); magic != snapshotMagic {
+		return fmt.Errorf("cloud: %s is not a maacs snapshot (magic %q)", path, magic)
+	}
+	n := d.Count(3)
+	if d.Err() != nil {
+		return fmt.Errorf("cloud: snapshot file header: %w", d.Err())
+	}
+	for i := 0; i < n; i++ {
+		rec, err := decodeRecord(f.sys, d)
+		if err != nil {
+			return fmt.Errorf("cloud: snapshot file record %d: %w", i, err)
+		}
+		f.mem.upsert(rec)
+	}
+	if err := d.Done(); err != nil {
+		return fmt.Errorf("cloud: snapshot file: %w", err)
+	}
+	return nil
+}
+
+// openAndReplayWAL opens the log, applies every complete entry, and truncates
+// the file after the last complete entry so a torn tail never confuses a
+// later replay. Corruption before the tail is an error — silently dropping
+// interior entries would resurrect deleted records or lose committed ones.
+func (f *FileStore) openAndReplayWAL() error {
+	path := filepath.Join(f.dir, walFileName)
+	wal, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("cloud: open wal: %w", err)
+	}
+	data, err := io.ReadAll(wal)
+	if err != nil {
+		wal.Close()
+		return fmt.Errorf("cloud: read wal: %w", err)
+	}
+	good := 0 // offset after the last fully applied entry
+	for off := 0; off < len(data); {
+		if len(data)-off < 8 {
+			break // torn frame header
+		}
+		length := binary.LittleEndian.Uint32(data[off:])
+		sum := binary.LittleEndian.Uint32(data[off+4:])
+		if uint32(len(data)-off-8) < length {
+			break // torn payload
+		}
+		payload := data[off+8 : off+8+int(length)]
+		if crc32.ChecksumIEEE(payload) != sum {
+			// A CRC mismatch on the final frame is a torn append (the length
+			// landed but the payload didn't finish); earlier it is corruption.
+			if off+8+int(length) == len(data) {
+				break
+			}
+			wal.Close()
+			return fmt.Errorf("%w: bad checksum at offset %d", ErrWALCorrupt, off)
+		}
+		if err := f.applyWALEntry(payload); err != nil {
+			wal.Close()
+			return fmt.Errorf("%w: entry at offset %d: %v", ErrWALCorrupt, off, err)
+		}
+		off += 8 + int(length)
+		good = off
+	}
+	if good < len(data) {
+		if err := wal.Truncate(int64(good)); err != nil {
+			wal.Close()
+			return fmt.Errorf("cloud: truncate torn wal tail: %w", err)
+		}
+	}
+	if _, err := wal.Seek(int64(good), io.SeekStart); err != nil {
+		wal.Close()
+		return fmt.Errorf("cloud: seek wal: %w", err)
+	}
+	f.wal = wal
+	f.walBytes = int64(good)
+	return nil
+}
+
+// applyWALEntry folds one decoded entry into the index.
+func (f *FileStore) applyWALEntry(payload []byte) error {
+	d := wire.NewDecoder(payload)
+	switch op := d.Uvarint(); op {
+	case walOpPut:
+		rec, err := decodeRecord(f.sys, d)
+		if err != nil {
+			return err
+		}
+		if err := d.Done(); err != nil {
+			return err
+		}
+		f.mem.upsert(rec)
+		return nil
+	case walOpDelete:
+		id := d.String()
+		if err := d.Done(); err != nil {
+			return err
+		}
+		f.mem.remove(id)
+		return nil
+	default:
+		return fmt.Errorf("unknown op %d", op)
+	}
+}
+
+// appendLocked frames, appends and fsyncs one or more entries, then runs a
+// compaction if the log outgrew the threshold. Caller holds muW; the index
+// must not yet reflect the entries (the commit point is the fsync).
+func (f *FileStore) appendLocked(payloads [][]byte) error {
+	var buf []byte
+	for _, p := range payloads {
+		var hdr [8]byte
+		binary.LittleEndian.PutUint32(hdr[0:], uint32(len(p)))
+		binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(p))
+		buf = append(buf, hdr[:]...)
+		buf = append(buf, p...)
+	}
+	if _, err := f.wal.Write(buf); err != nil {
+		return fmt.Errorf("cloud: wal append: %w", err)
+	}
+	if err := f.wal.Sync(); err != nil {
+		return fmt.Errorf("cloud: wal sync: %w", err)
+	}
+	f.walBytes += int64(len(buf))
+	return nil
+}
+
+// maybeCompactLocked compacts when the WAL passed the threshold. A failed
+// compaction is reported but the store stays consistent: the WAL still holds
+// every committed entry.
+func (f *FileStore) maybeCompactLocked() error {
+	if f.walBytes < f.compactAt {
+		return nil
+	}
+	return f.compactLocked()
+}
+
+// Compact writes a fresh snapshot file and truncates the WAL.
+func (f *FileStore) Compact() error {
+	f.muW.Lock()
+	defer f.muW.Unlock()
+	if f.closed {
+		return ErrStoreClosed
+	}
+	return f.compactLocked()
+}
+
+func (f *FileStore) compactLocked() error {
+	// Serialize the full index state in the exact Server.Snapshot format.
+	var e wire.Encoder
+	recs := f.mem.Records()
+	e.String(snapshotMagic)
+	e.Int(len(recs))
+	for _, rec := range recs {
+		encodeRecord(&e, rec)
+	}
+
+	path := filepath.Join(f.dir, snapshotFileName)
+	tmp := path + ".tmp"
+	if err := writeFileSync(tmp, e.Bytes()); err != nil {
+		return fmt.Errorf("cloud: write snapshot file: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("cloud: install snapshot file: %w", err)
+	}
+	if err := syncDir(f.dir); err != nil {
+		return fmt.Errorf("cloud: sync data dir: %w", err)
+	}
+	// A crash here (snapshot renamed, WAL not yet truncated) is safe: replay
+	// re-applies the WAL's upserts/removes over the snapshot idempotently.
+	if err := f.wal.Truncate(0); err != nil {
+		return fmt.Errorf("cloud: truncate wal: %w", err)
+	}
+	if _, err := f.wal.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("cloud: rewind wal: %w", err)
+	}
+	if err := f.wal.Sync(); err != nil {
+		return fmt.Errorf("cloud: sync truncated wal: %w", err)
+	}
+	f.walBytes = 0
+	return nil
+}
+
+// writeFileSync writes data to path and fsyncs it before closing.
+func writeFileSync(path string, data []byte) error {
+	fd, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := fd.Write(data); err != nil {
+		fd.Close()
+		return err
+	}
+	if err := fd.Sync(); err != nil {
+		fd.Close()
+		return err
+	}
+	return fd.Close()
+}
+
+// syncDir fsyncs a directory so a rename inside it is durable.
+func syncDir(dir string) error {
+	fd, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = fd.Sync()
+	if cerr := fd.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// encodePutEntry builds the WAL payload for installing rec.
+func encodePutEntry(rec *Record) []byte {
+	var e wire.Encoder
+	e.Uvarint(walOpPut)
+	encodeRecord(&e, rec)
+	return e.Bytes()
+}
+
+// encodeDeleteEntry builds the WAL payload for removing id.
+func encodeDeleteEntry(id string) []byte {
+	var e wire.Encoder
+	e.Uvarint(walOpDelete)
+	e.String(id)
+	return e.Bytes()
+}
+
+// Get reads the index directly — never blocked behind a log append.
+func (f *FileStore) Get(id string) (*Record, bool) { return f.mem.Get(id) }
+
+// Len reports the number of stored records.
+func (f *FileStore) Len() int { return f.mem.Len() }
+
+// IDs lists the stored record IDs sorted.
+func (f *FileStore) IDs() []string { return f.mem.IDs() }
+
+// OwnerScan visits the owner's records in sorted ID order.
+func (f *FileStore) OwnerScan(ownerID string, fn func(*Record) bool) {
+	f.mem.OwnerScan(ownerID, fn)
+}
+
+// Records returns every stored record sorted by ID.
+func (f *FileStore) Records() []*Record { return f.mem.Records() }
+
+// Put logs and installs a new record: validate against the index, append +
+// fsync, then publish to readers.
+func (f *FileStore) Put(rec *Record) error {
+	f.muW.Lock()
+	defer f.muW.Unlock()
+	if f.closed {
+		return ErrStoreClosed
+	}
+	if _, exists := f.mem.Get(rec.ID); exists {
+		return fmt.Errorf("%w: %q", ErrAlreadyStored, rec.ID)
+	}
+	if err := f.appendLocked([][]byte{encodePutEntry(rec)}); err != nil {
+		return err
+	}
+	f.mem.upsert(rec)
+	return f.maybeCompactLocked()
+}
+
+// Delete logs and removes a record after the owner check.
+func (f *FileStore) Delete(id, ownerID string) (*Record, error) {
+	f.muW.Lock()
+	defer f.muW.Unlock()
+	if f.closed {
+		return nil, ErrStoreClosed
+	}
+	rec, ok := f.mem.Get(id)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrRecordNotFound, id)
+	}
+	if err := checkDeleteOwner(rec, ownerID); err != nil {
+		return nil, err
+	}
+	if err := f.appendLocked([][]byte{encodeDeleteEntry(id)}); err != nil {
+		return nil, err
+	}
+	f.mem.remove(id)
+	if err := f.maybeCompactLocked(); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}
+
+// ReplaceIfUnchanged validates the swaps against the live index, logs every
+// updated record as one fsynced append, then publishes the new records. The
+// conflict check is stable because all mutations serialize on muW.
+func (f *FileStore) ReplaceIfUnchanged(ownerID string, swaps []CTSwap) error {
+	f.muW.Lock()
+	defer f.muW.Unlock()
+	if f.closed {
+		return ErrStoreClosed
+	}
+	f.mem.mu.RLock()
+	err := f.mem.validateSwapsLocked(swaps)
+	f.mem.mu.RUnlock()
+	if err != nil {
+		return err
+	}
+	// Build the post-swap records (clone once per record, as MemStore does)
+	// and log them before publishing.
+	clones := make(map[string]*Record)
+	for _, sw := range swaps {
+		cl := clones[sw.RecordID]
+		if cl == nil {
+			rec, _ := f.mem.Get(sw.RecordID)
+			cl = rec.snapshot()
+			clones[sw.RecordID] = cl
+		}
+		cl.Components[sw.Index].CT = sw.New
+	}
+	payloads := make([][]byte, 0, len(clones))
+	for _, id := range sortedRecordIDs(clones) {
+		payloads = append(payloads, encodePutEntry(clones[id]))
+	}
+	if err := f.appendLocked(payloads); err != nil {
+		return err
+	}
+	if err := f.mem.ReplaceIfUnchanged(ownerID, swaps); err != nil {
+		// Unreachable: mutations serialize on muW and validation passed.
+		return err
+	}
+	return f.maybeCompactLocked()
+}
+
+// Restore logs and installs a snapshot's records as one fsynced append,
+// refusing to overwrite any existing ID.
+func (f *FileStore) Restore(recs []*Record) error {
+	f.muW.Lock()
+	defer f.muW.Unlock()
+	if f.closed {
+		return ErrStoreClosed
+	}
+	for _, rec := range recs {
+		if _, exists := f.mem.Get(rec.ID); exists {
+			return fmt.Errorf("cloud: restore would overwrite record %q", rec.ID)
+		}
+	}
+	payloads := make([][]byte, len(recs))
+	for i, rec := range recs {
+		payloads[i] = encodePutEntry(rec)
+	}
+	if err := f.appendLocked(payloads); err != nil {
+		return err
+	}
+	for _, rec := range recs {
+		f.mem.upsert(rec)
+	}
+	return f.maybeCompactLocked()
+}
+
+// Info describes the backend, including the live WAL size.
+func (f *FileStore) Info() StoreInfo {
+	f.muW.Lock()
+	defer f.muW.Unlock()
+	return StoreInfo{Backend: "file", Shards: 1, WALBytes: f.walBytes, Records: f.mem.Len()}
+}
+
+// Close flushes the WAL and releases the file. Further mutations fail with
+// ErrStoreClosed; reads keep serving the in-memory index.
+func (f *FileStore) Close() error {
+	f.muW.Lock()
+	defer f.muW.Unlock()
+	if f.closed {
+		return nil
+	}
+	f.closed = true
+	if err := f.wal.Sync(); err != nil {
+		f.wal.Close()
+		return fmt.Errorf("cloud: flush wal: %w", err)
+	}
+	return f.wal.Close()
+}
+
+// sortedRecordIDs returns the map's keys sorted, for deterministic WAL order.
+func sortedRecordIDs(m map[string]*Record) []string {
+	out := make([]string, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -75,6 +75,13 @@ type HTTPBatchReEncryptResponse struct {
 	Engine      engine.Stats      `json:"engine"`
 }
 
+// HTTPHealth is the GET /healthz body: liveness plus a description of the
+// storage backend (engine, shard count, WAL size, records loaded).
+type HTTPHealth struct {
+	Status string    `json:"status"`
+	Store  StoreInfo `json:"store"`
+}
+
 // HTTPMetrics is the GET /metrics body: the server's cumulative counters
 // plus the per-channel communication tallies.
 type HTTPMetrics struct {
@@ -96,7 +103,7 @@ func NewHTTPHandler(sys *core.System, server *Server) http.Handler {
 	h := &httpGateway{sys: sys, server: server}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		writeJSON(w, http.StatusOK, HTTPHealth{Status: "ok", Store: server.StoreInfo()})
 	})
 	mux.HandleFunc("GET /metrics", h.metrics)
 	mux.HandleFunc("POST /records", h.storeRecord)
@@ -345,6 +352,10 @@ func statusFor(err error) int {
 		errors.Is(err, ErrAlreadyStored),
 		errors.Is(err, ErrReEncryptConflict):
 		return http.StatusConflict
+	case errors.Is(err, ErrStoreClosed):
+		// The backend flushed and shut down; the request may be retried
+		// against the restarted server.
+		return http.StatusServiceUnavailable
 	default:
 		return http.StatusBadRequest
 	}

@@ -120,10 +120,10 @@ func TestRestoreRejectsOversizedSnapshot(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	defer func(old int64) { maxSnapshotBytes = old }(maxSnapshotBytes)
-	maxSnapshotBytes = int64(buf.Len()) - 100 // below the body size
-
+	// The limit is a per-server option — no global state to mutate and
+	// restore around the test.
 	fresh := NewServer(env.Sys, nil)
+	fresh.SetSnapshotLimit(int64(buf.Len()) - 100) // below the body size
 	if err := fresh.Restore(bytes.NewReader(buf.Bytes())); !errors.Is(err, ErrSnapshotTooLarge) {
 		t.Fatalf("got %v, want ErrSnapshotTooLarge", err)
 	}
@@ -132,7 +132,7 @@ func TestRestoreRejectsOversizedSnapshot(t *testing.T) {
 	}
 
 	// The same stream restores fine once it fits the cap.
-	maxSnapshotBytes = int64(buf.Len())
+	fresh.SetSnapshotLimit(int64(buf.Len()))
 	if err := fresh.Restore(bytes.NewReader(buf.Bytes())); err != nil {
 		t.Fatal(err)
 	}

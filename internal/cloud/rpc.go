@@ -250,6 +250,13 @@ func (s *ServerRPC) Metrics(_ *struct{}, reply *Metrics) error {
 	return nil
 }
 
+// Health describes the server's storage backend — the RPC sibling of
+// GET /healthz.
+func (s *ServerRPC) Health(_ *struct{}, reply *StoreInfo) error {
+	*reply = s.server.StoreInfo()
+	return nil
+}
+
 // Listener is a running RPC endpoint for a cloud server.
 type Listener struct {
 	ln net.Listener
@@ -432,6 +439,15 @@ func (r *RemoteServer) ReEncryptBatchWindowed(ownerID string, items []ReEncryptI
 		Committed:   reply.Committed,
 		Engine:      reply.Engine,
 	}, nil
+}
+
+// Health fetches the server's storage backend description.
+func (r *RemoteServer) Health() (*StoreInfo, error) {
+	var reply StoreInfo
+	if err := r.client.Call("CloudServer.Health", &struct{}{}, &reply); err != nil {
+		return nil, err
+	}
+	return &reply, nil
 }
 
 // Metrics fetches the server's cumulative counters.

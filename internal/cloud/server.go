@@ -39,10 +39,10 @@ type Record struct {
 }
 
 // snapshot copies the record shell and its component slice. Stored
-// *core.Ciphertext values are immutable (ReEncrypt swaps the pointer in the
-// component slot rather than mutating the pointee), so sharing the pointers
-// is safe once they have been read under the server lock. The caller must
-// hold s.mu.
+// *core.Ciphertext values are immutable (a re-encryption commit swaps the
+// pointer in a cloned record rather than mutating the pointee), so sharing
+// the pointers is safe: stored records never change after they are read from
+// the store.
 func (r *Record) snapshot() *Record {
 	return &Record{
 		ID:         r.ID,
@@ -138,33 +138,68 @@ type Metrics struct {
 // Server is the cloud storage server: it stores records, serves downloads,
 // and performs proxy re-encryption during revocation. It holds no secret key
 // material and never sees a plaintext or content key.
+//
+// Record storage lives behind the Store interface — in-memory, file-backed
+// (WAL + snapshot) or sharded per owner — and the store carries its own
+// synchronization. The server's mutex guards only the small counter state
+// (metrics, per-owner/per-user rows, configuration) and is never held across
+// a store operation, an engine run or any I/O, so downloads of different
+// records proceed concurrently and a re-encryption commit on one owner's
+// shard never blocks another owner's fetches.
 type Server struct {
-	sys  *core.System
-	acct *Accounting
+	sys   *core.System
+	acct  *Accounting
+	store Store
 
-	mu      sync.Mutex
-	records map[string]*Record
-	metrics Metrics
-	owners  map[string]*OwnerStats
-	users   map[string]*UserStats
-	window  int
+	mu            sync.Mutex // guards everything below; never held across store/engine calls
+	metrics       Metrics
+	owners        map[string]*OwnerStats
+	users         map[string]*UserStats
+	window        int
+	snapshotLimit int64
 }
 
-// NewServer creates a server over the system's public parameters.
+// defaultStore, when non-nil, overrides the backend NewServer installs. The
+// test suite sets it (MAACS_STORE=file|sharded|sharded-file) to run every
+// NewServer-based test against another backend; production code leaves it
+// nil, which means a fresh MemStore.
+var defaultStore func(sys *core.System) Store
+
+// NewServer creates a server over the system's public parameters, storing
+// records in memory (the MemStore backend).
 func NewServer(sys *core.System, acct *Accounting) *Server {
+	if defaultStore != nil {
+		return NewServerWithStore(sys, acct, defaultStore(sys))
+	}
+	return NewServerWithStore(sys, acct, NewMemStore())
+}
+
+// NewServerWithStore creates a server over an explicit storage backend. The
+// server takes ownership: its lifecycle ends with Server.Close flushing the
+// backend. A backend reopened from disk serves its previous records
+// immediately.
+func NewServerWithStore(sys *core.System, acct *Accounting, store Store) *Server {
 	return &Server{
-		sys:     sys,
-		acct:    acct,
-		records: make(map[string]*Record),
-		owners:  make(map[string]*OwnerStats),
-		users:   make(map[string]*UserStats),
+		sys:    sys,
+		acct:   acct,
+		store:  store,
+		owners: make(map[string]*OwnerStats),
+		users:  make(map[string]*UserStats),
 	}
 }
 
+// Close flushes and releases the storage backend (a file-backed store fsyncs
+// and closes its WAL; further writes fail with ErrStoreClosed).
+func (s *Server) Close() error { return s.store.Close() }
+
+// StoreInfo describes the storage backend serving this server — the body of
+// GET /healthz.
+func (s *Server) StoreInfo() StoreInfo { return s.store.Info() }
+
 // SetBatchWindow configures the default window for ReEncryptBatch: at most n
-// update-info sets are fused into one engine run, with the server lock
-// released between windows. n <= 0 restores the unwindowed default (the whole
-// batch in one run).
+// update-info sets are fused into one engine run, with the commit applied per
+// window. n <= 0 restores the unwindowed default (the whole batch in one
+// run).
 func (s *Server) SetBatchWindow(n int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -234,15 +269,13 @@ func (s *Server) Store(rec *Record) error {
 	for _, c := range rec.Components {
 		size += c.CT.Size(s.sys.Params) + len(c.Sealed)
 	}
-
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.records[rec.ID]; ok {
-		return fmt.Errorf("%w: %q", ErrAlreadyStored, rec.ID)
+	if err := s.store.Put(rec); err != nil {
+		return err
 	}
-	s.records[rec.ID] = rec
+	s.mu.Lock()
 	s.metrics.StoreRequests++
 	s.ownerStatsLocked(rec.OwnerID).StoreRequests++
+	s.mu.Unlock()
 	s.acct.Add(ChanServerOwner, size)
 	return nil
 }
@@ -255,18 +288,15 @@ func (s *Server) Fetch(recordID string) (*Record, error) {
 
 // FetchAs downloads a whole record (Server↔User channel), attributing the
 // download to userID (empty = unattributed transport caller). The returned
-// record is a snapshot: concurrent re-encryptions never alias into it.
+// record is a snapshot: concurrent re-encryptions never alias into it. The
+// read takes no server lock at all — stored records are immutable, so the
+// store's lookup is the only synchronization a download needs.
 func (s *Server) FetchAs(recordID, userID string) (*Record, error) {
-	s.mu.Lock()
-	rec, ok := s.records[recordID]
-	var cp *Record
-	if ok {
-		cp = rec.snapshot()
-	}
-	s.mu.Unlock()
+	rec, ok := s.store.Get(recordID)
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrRecordNotFound, recordID)
 	}
+	cp := rec.snapshot()
 	size := 0
 	for _, c := range cp.Components {
 		size += c.CT.Size(s.sys.Params) + len(c.Sealed)
@@ -285,99 +315,73 @@ func (s *Server) FetchComponent(recordID, label string) (*StoredComponent, error
 // FetchComponentAs downloads a single component by label — the fine-grained
 // access path (different users decrypt different numbers of components) —
 // attributing the download to userID (empty = unattributed). The component
-// is copied under the lock for the same reason FetchAs snapshots.
+// is copied from the immutable stored record.
 func (s *Server) FetchComponentAs(recordID, label, userID string) (*StoredComponent, error) {
-	s.mu.Lock()
-	rec, ok := s.records[recordID]
+	rec, ok := s.store.Get(recordID)
 	if !ok {
-		s.mu.Unlock()
 		return nil, fmt.Errorf("%w: %q", ErrRecordNotFound, recordID)
 	}
 	for i := range rec.Components {
 		if rec.Components[i].Label == label {
 			c := rec.Components[i]
-			s.mu.Unlock()
 			size := c.CT.Size(s.sys.Params) + len(c.Sealed)
 			s.acct.Add(ChanServerUser, size)
 			s.noteDownload(userID, size, true)
 			return &c, nil
 		}
 	}
-	s.mu.Unlock()
 	return nil, fmt.Errorf("%w: %q/%q", ErrComponentNotFound, recordID, label)
 }
 
-// Delete removes a record. Only its owner may delete it; the server checks
+// Delete removes a record. Only its owner may delete it; the store checks
 // the claimed owner against the stored record (the paper's server executes
 // owners' tasks correctly).
 func (s *Server) Delete(recordID, ownerID string) (*Record, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	rec, ok := s.records[recordID]
-	if !ok {
-		return nil, fmt.Errorf("%w: %q", ErrRecordNotFound, recordID)
-	}
-	if rec.OwnerID != ownerID {
-		return nil, fmt.Errorf("cloud: record %q belongs to %q, not %q", recordID, rec.OwnerID, ownerID)
-	}
-	delete(s.records, recordID)
-	return rec, nil
+	return s.store.Delete(recordID, ownerID)
 }
 
 // RecordIDs lists stored record IDs in sorted order, so HTTP/RPC responses
 // and tests never depend on map iteration order (not metered: directory
 // metadata).
 func (s *Server) RecordIDs() []string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.sortedIDsLocked()
-}
-
-// sortedIDsLocked returns the record IDs sorted. Caller holds s.mu.
-func (s *Server) sortedIDsLocked() []string {
-	out := make([]string, 0, len(s.records))
-	for id := range s.records {
-		out = append(out, id)
-	}
-	sort.Strings(out)
-	return out
+	return s.store.IDs()
 }
 
 // CiphertextsOf returns the content-key ciphertexts of an owner's records
 // (the inputs the owner needs to build revocation update information), in
 // stable order: records sorted by ID, components in stored order. The
-// pointers are snapshotted under the lock; the pointees are immutable, so a
-// concurrent re-encryption (which swaps slots to fresh ciphertexts) cannot
-// race with the caller.
+// pointees are immutable, so a concurrent re-encryption (which installs
+// fresh records with fresh ciphertexts) cannot race with the caller.
 func (s *Server) CiphertextsOf(ownerID string) []*core.Ciphertext {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	var out []*core.Ciphertext
-	for _, id := range s.sortedIDsLocked() {
-		rec := s.records[id]
-		if rec.OwnerID != ownerID {
-			continue
-		}
+	s.store.OwnerScan(ownerID, func(rec *Record) bool {
 		for i := range rec.Components {
 			out = append(out, rec.Components[i].CT)
 		}
-	}
+		return true
+	})
 	return out
 }
 
 // Metrics returns a copy of the server's cumulative counters, including the
 // per-owner breakdown (owners that stored records or issued re-encryptions)
 // and the per-user download breakdown (users that fetched records or
-// components through an attributed path).
+// components through an attributed path). Counter rows and the record census
+// are read at slightly different instants — the counters under the server
+// mutex, the records from the store — so under concurrent traffic the two
+// can differ by in-flight operations.
 func (s *Server) Metrics() Metrics {
+	perOwner := make(map[string]int)
+	records := 0
+	for _, rec := range s.store.Records() {
+		perOwner[rec.OwnerID]++
+		records++
+	}
+
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	m := s.metrics
-	m.Records = len(s.records)
-	perOwner := make(map[string]int)
-	for _, rec := range s.records {
-		perOwner[rec.OwnerID]++
-	}
+	m.Records = records
 	m.Owners = make(map[string]OwnerStats, len(s.owners))
 	for id, os := range s.owners {
 		row := *os
@@ -424,13 +428,13 @@ func (s *Server) ReEncryptBatch(ownerID string, items []ReEncryptItem) (*BatchRe
 
 // ReEncryptBatchWindowed streams a batch of update-info sets through bounded
 // engine runs of at most window items each (window <= 0 fuses the whole batch
-// into one run). Windows are pipelined: each window snapshots its slots under
-// the lock, fans out with the lock *released* — so downloads and uploads
-// proceed while the expensive group arithmetic runs — and commits its swaps
-// atomically under the lock again, where the commit re-validates that every
+// into one run). Windows are pipelined: each window snapshots its slots from
+// the store, fans out with no lock held — so downloads and uploads proceed
+// while the expensive group arithmetic runs — and commits its swaps
+// atomically through Store.ReplaceIfUnchanged, which re-validates that every
 // slot still holds the snapshot it was computed from (ErrReEncryptConflict
-// otherwise). The lock is therefore held per-window, never across a whole
-// large batch.
+// otherwise). Under a sharded store the commit takes only the owner's shard
+// lock, so it cannot delay another owner's traffic.
 //
 // Items must target disjoint ciphertexts — chained version updates of the
 // same ciphertext need sequential requests. Each window is all-or-nothing
@@ -451,15 +455,11 @@ func (s *Server) ReEncryptBatchWindowed(ownerID string, items []ReEncryptItem, w
 		}
 	}
 
-	s.mu.Lock()
 	ownerKnown := false
-	for _, rec := range s.records {
-		if rec.OwnerID == ownerID {
-			ownerKnown = true
-			break
-		}
-	}
-	s.mu.Unlock()
+	s.store.OwnerScan(ownerID, func(*Record) bool {
+		ownerKnown = true
+		return false
+	})
 	if !ownerKnown {
 		return nil, fmt.Errorf("%w: %q has no stored records", ErrUnknownOwner, ownerID)
 	}
@@ -507,21 +507,16 @@ type windowWork struct {
 }
 
 // reencryptWindow runs items[start:end] through one engine fan-out:
-// snapshot under the lock, compute with the lock released, commit-or-reject
-// under the lock. On success the window's work is folded into report, the
-// committed set, the accounting meter and the cumulative + per-owner
-// metrics; on error nothing from this window is applied.
+// snapshot from the store, compute with no lock held, commit-or-reject
+// through ReplaceIfUnchanged. On success the window's work is folded into
+// report, the committed set, the accounting meter and the cumulative +
+// per-owner metrics; on error nothing from this window is applied.
 func (s *Server) reencryptWindow(ownerID string, items []ReEncryptItem, start, end int, claimed map[string]int, report *BatchReport, committed map[string]bool) error {
-	// Snapshot the window's affected slots in stable record order. The
-	// ciphertext pointers are immutable, so they can be read outside the
-	// lock once captured here.
-	s.mu.Lock()
+	// Snapshot the window's affected slots in stable record order. Stored
+	// records and their ciphertexts are immutable, so the captured pointers
+	// stay valid without any lock.
 	var work []windowWork
-	for _, id := range s.sortedIDsLocked() {
-		rec := s.records[id]
-		if rec.OwnerID != ownerID {
-			continue
-		}
+	s.store.OwnerScan(ownerID, func(rec *Record) bool {
 		for i := range rec.Components {
 			ctID := rec.Components[i].CT.ID
 			item, ok := claimed[ctID]
@@ -529,15 +524,15 @@ func (s *Server) reencryptWindow(ownerID string, items []ReEncryptItem, start, e
 				continue
 			}
 			work = append(work, windowWork{
-				recID: id,
+				recID: rec.ID,
 				idx:   i,
 				item:  item,
 				ct:    rec.Components[i].CT,
 				ui:    items[item].UIs[ctID],
 			})
 		}
-	}
-	s.mu.Unlock()
+		return true
+	})
 
 	reencs := make([]*core.Ciphertext, len(work))
 	touched := make([]int, len(work))
@@ -557,20 +552,20 @@ func (s *Server) reencryptWindow(ownerID string, items []ReEncryptItem, start, e
 		return err
 	}
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	// Commit only if every slot still holds the ciphertext this window was
 	// computed from; a concurrent writer (another batch, a delete) means the
-	// results would overwrite state they were not derived from.
-	for _, w := range work {
-		rec, ok := s.records[w.recID]
-		if !ok || w.idx >= len(rec.Components) || rec.Components[w.idx].CT != w.ct {
-			return fmt.Errorf("%w: record %q", ErrReEncryptConflict, w.recID)
-		}
+	// results would overwrite state they were not derived from. The store
+	// applies the whole window atomically under its (shard's) lock.
+	swaps := make([]CTSwap, len(work))
+	for j, w := range work {
+		swaps[j] = CTSwap{RecordID: w.recID, Index: w.idx, Expect: w.ct, New: reencs[j]}
 	}
+	if err := s.store.ReplaceIfUnchanged(ownerID, swaps); err != nil {
+		return err
+	}
+
 	winCts, winRows := 0, 0
 	for j, w := range work {
-		s.records[w.recID].Components[w.idx].CT = reencs[j]
 		report.Items[w.item].Ciphertexts++
 		report.Items[w.item].Rows += touched[j]
 		winCts++
@@ -591,6 +586,8 @@ func (s *Server) reencryptWindow(ownerID string, items []ReEncryptItem, start, e
 		}
 		s.acct.Add(ChanServerOwner, items[i].UK.Size(s.sys.Params))
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.metrics.ReEncryptItems += uint64(end - start)
 	s.metrics.ReEncryptedCiphertexts += uint64(winCts)
 	s.metrics.ReEncryptedRows += uint64(winRows)

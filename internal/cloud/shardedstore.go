@@ -1,0 +1,198 @@
+package cloud
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+)
+
+// ShardedStore stripes any backend per data owner: hash(owner ID) → one of N
+// shards, each a complete Store with its own locks (and, for file shards, its
+// own WAL). The revocation protocol makes the server do per-owner work, so
+// owner striping puts a re-encryption commit and the fetch traffic of every
+// other owner on different locks — one owner's revocation never blocks
+// another owner's downloads.
+//
+// A lock-free directory (record ID → shard index) routes the by-record-ID
+// operations (Get, Delete, ReplaceIfUnchanged targets) without probing the
+// shards, so a reader never touches — let alone waits on — a shard it has no
+// record in.
+type ShardedStore struct {
+	shards []Store
+	// dir maps record ID → shard index. sync.Map: read-mostly, and a lookup
+	// must never contend with a shard's commit.
+	dir sync.Map
+}
+
+// NewShardedStore stripes n shards built by open (called once per index).
+// Existing records loaded by the shards (file backends reopening their data
+// dirs) are indexed into the routing directory.
+func NewShardedStore(n int, open func(shard int) (Store, error)) (*ShardedStore, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("cloud: shard count %d < 1", n)
+	}
+	s := &ShardedStore{shards: make([]Store, n)}
+	for i := range s.shards {
+		st, err := open(i)
+		if err != nil {
+			for j := 0; j < i; j++ {
+				s.shards[j].Close()
+			}
+			return nil, fmt.Errorf("cloud: open shard %d: %w", i, err)
+		}
+		s.shards[i] = st
+	}
+	for i, st := range s.shards {
+		for _, rec := range st.Records() {
+			s.dir.Store(rec.ID, i)
+		}
+	}
+	return s, nil
+}
+
+// NewShardedMemStore stripes n in-memory shards.
+func NewShardedMemStore(n int) *ShardedStore {
+	s, err := NewShardedStore(n, func(int) (Store, error) { return NewMemStore(), nil })
+	if err != nil {
+		panic(err) // unreachable: NewMemStore cannot fail
+	}
+	return s
+}
+
+// shardFor hashes an owner ID onto a shard index.
+func (s *ShardedStore) shardFor(ownerID string) int {
+	h := fnv.New32a()
+	h.Write([]byte(ownerID))
+	return int(h.Sum32() % uint32(len(s.shards)))
+}
+
+// Get routes through the directory; a record in another owner's shard is
+// found without touching that shard's lock at all.
+func (s *ShardedStore) Get(id string) (*Record, bool) {
+	idx, ok := s.dir.Load(id)
+	if !ok {
+		return nil, false
+	}
+	return s.shards[idx.(int)].Get(id)
+}
+
+// Put reserves the ID in the directory, then inserts into the owner's shard.
+// The reservation makes cross-shard duplicate IDs (two owners claiming the
+// same record ID concurrently) impossible.
+func (s *ShardedStore) Put(rec *Record) error {
+	idx := s.shardFor(rec.OwnerID)
+	if _, taken := s.dir.LoadOrStore(rec.ID, idx); taken {
+		return fmt.Errorf("%w: %q", ErrAlreadyStored, rec.ID)
+	}
+	if err := s.shards[idx].Put(rec); err != nil {
+		s.dir.Delete(rec.ID)
+		return err
+	}
+	return nil
+}
+
+// Delete routes through the directory and unindexes on success.
+func (s *ShardedStore) Delete(id, ownerID string) (*Record, error) {
+	idx, ok := s.dir.Load(id)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrRecordNotFound, id)
+	}
+	rec, err := s.shards[idx.(int)].Delete(id, ownerID)
+	if err != nil {
+		return nil, err
+	}
+	s.dir.Delete(id)
+	return rec, nil
+}
+
+// Len sums the shards.
+func (s *ShardedStore) Len() int {
+	n := 0
+	for _, st := range s.shards {
+		n += st.Len()
+	}
+	return n
+}
+
+// IDs merges and sorts the shards' ID lists.
+func (s *ShardedStore) IDs() []string {
+	var out []string
+	for _, st := range s.shards {
+		out = append(out, st.IDs()...)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// OwnerScan delegates to the single shard the owner lives in.
+func (s *ShardedStore) OwnerScan(ownerID string, fn func(*Record) bool) {
+	s.shards[s.shardFor(ownerID)].OwnerScan(ownerID, fn)
+}
+
+// ReplaceIfUnchanged delegates the commit to the owner's shard — the only
+// lock it takes, which is the whole point of the striping.
+func (s *ShardedStore) ReplaceIfUnchanged(ownerID string, swaps []CTSwap) error {
+	return s.shards[s.shardFor(ownerID)].ReplaceIfUnchanged(ownerID, swaps)
+}
+
+// Records merges the shards' record lists in sorted ID order. Each shard's
+// slice is consistent; the merge is not a cross-shard atomic snapshot.
+func (s *ShardedStore) Records() []*Record {
+	var out []*Record
+	for _, st := range s.shards {
+		out = append(out, st.Records()...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Restore groups the batch by shard and loads each group. The overwrite
+// check runs across all shards first; the per-shard loads are atomic within
+// their shard but not across shards.
+func (s *ShardedStore) Restore(recs []*Record) error {
+	for _, rec := range recs {
+		if _, exists := s.dir.Load(rec.ID); exists {
+			return fmt.Errorf("cloud: restore would overwrite record %q", rec.ID)
+		}
+	}
+	byShard := make(map[int][]*Record)
+	for _, rec := range recs {
+		idx := s.shardFor(rec.OwnerID)
+		byShard[idx] = append(byShard[idx], rec)
+	}
+	for idx, group := range byShard {
+		if err := s.shards[idx].Restore(group); err != nil {
+			return err
+		}
+		for _, rec := range group {
+			s.dir.Store(rec.ID, idx)
+		}
+	}
+	return nil
+}
+
+// Info aggregates the shards: the child backend name, the stripe width, and
+// the summed WAL size and record count.
+func (s *ShardedStore) Info() StoreInfo {
+	info := StoreInfo{Shards: len(s.shards)}
+	for _, st := range s.shards {
+		ci := st.Info()
+		info.Backend = ci.Backend
+		info.WALBytes += ci.WALBytes
+		info.Records += ci.Records
+	}
+	return info
+}
+
+// Close closes every shard, reporting the joined errors.
+func (s *ShardedStore) Close() error {
+	var errs []error
+	for i, st := range s.shards {
+		if err := st.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("shard %d: %w", i, err))
+		}
+	}
+	return errors.Join(errs...)
+}

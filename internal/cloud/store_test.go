@@ -1,0 +1,505 @@
+package cloud
+
+import (
+	"bytes"
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"maacs/internal/core"
+	"maacs/internal/pairing"
+	"maacs/internal/wire"
+)
+
+// storeFixture builds real records (CP-ABE ciphertexts included) without
+// touching the store under test: an in-memory env produces them, the test
+// clones them in.
+func storeFixture(t *testing.T, n int) (*core.System, []*Record) {
+	t.Helper()
+	sys := core.NewSystem(pairing.Test())
+	env := NewEnvWithStore(sys, rand.Reader, NewMemStore())
+	if _, err := env.AddAuthority("a", []string{"x"}); err != nil {
+		t.Fatal(err)
+	}
+	owner, err := env.AddOwner("owner-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := make([]*Record, n)
+	for i := range recs {
+		id := fmt.Sprintf("rec-%02d", i)
+		rec, err := owner.Upload(id, []UploadComponent{
+			{Label: "d", Data: []byte("payload " + id), Policy: "a:x"},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs[i] = rec.snapshot()
+	}
+	return sys, recs
+}
+
+// sameRecords compares two stores' contents by wire encoding — ID, owner,
+// labels, ciphertext bytes and sealed payloads all have to match.
+func sameRecords(t *testing.T, want, got []*Record) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("record count %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		var ew, eg wire.Encoder
+		encodeRecord(&ew, want[i])
+		encodeRecord(&eg, got[i])
+		if !bytes.Equal(ew.Bytes(), eg.Bytes()) {
+			t.Fatalf("record %d (%q) differs after recovery", i, want[i].ID)
+		}
+	}
+}
+
+// TestStoreBackendsConformance runs the Store contract over every backend:
+// duplicate rejection, the delete owner check, sorted listings, owner scans,
+// conditional re-encryption commits and batch restore.
+func TestStoreBackendsConformance(t *testing.T) {
+	sys, recs := storeFixture(t, 4)
+	backends := map[string]func(t *testing.T) Store{
+		"mem":  func(*testing.T) Store { return NewMemStore() },
+		"file": func(t *testing.T) Store { return mustOpenFileStore(t, sys, t.TempDir()) },
+		"sharded-mem": func(*testing.T) Store {
+			return NewShardedMemStore(3)
+		},
+		"sharded-file": func(t *testing.T) Store {
+			dir := t.TempDir()
+			s, err := NewShardedStore(3, func(i int) (Store, error) {
+				return OpenFileStore(sys, filepath.Join(dir, fmt.Sprintf("shard-%d", i)))
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		},
+	}
+	for name, open := range backends {
+		t.Run(name, func(t *testing.T) {
+			st := open(t)
+			defer st.Close()
+			for _, rec := range recs[:3] {
+				if err := st.Put(rec.snapshot()); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := st.Put(recs[0].snapshot()); !errors.Is(err, ErrAlreadyStored) {
+				t.Fatalf("duplicate put: got %v, want ErrAlreadyStored", err)
+			}
+			if st.Len() != 3 {
+				t.Fatalf("len %d, want 3", st.Len())
+			}
+			if got := st.IDs(); len(got) != 3 || got[0] != "rec-00" || got[2] != "rec-02" {
+				t.Fatalf("ids %v", got)
+			}
+			if _, ok := st.Get("rec-01"); !ok {
+				t.Fatal("rec-01 missing")
+			}
+			if _, ok := st.Get("ghost"); ok {
+				t.Fatal("phantom record")
+			}
+
+			var scanned []string
+			st.OwnerScan("owner-1", func(r *Record) bool {
+				scanned = append(scanned, r.ID)
+				return true
+			})
+			if len(scanned) != 3 || scanned[0] != "rec-00" {
+				t.Fatalf("owner scan %v", scanned)
+			}
+			st.OwnerScan("nobody", func(*Record) bool { t.Fatal("scanned wrong owner"); return false })
+
+			// Conditional commit: swapping against the live pointer succeeds,
+			// a stale expectation conflicts and changes nothing.
+			live, _ := st.Get("rec-00")
+			oldCT := live.Components[0].CT
+			newCT := oldCT.Clone()
+			if err := st.ReplaceIfUnchanged("owner-1", []CTSwap{
+				{RecordID: "rec-00", Index: 0, Expect: oldCT, New: newCT},
+			}); err != nil {
+				t.Fatal(err)
+			}
+			after, _ := st.Get("rec-00")
+			if after.Components[0].CT != newCT {
+				t.Fatal("swap not applied")
+			}
+			if live.Components[0].CT != oldCT {
+				t.Fatal("swap mutated a handed-out record")
+			}
+			err := st.ReplaceIfUnchanged("owner-1", []CTSwap{
+				{RecordID: "rec-00", Index: 0, Expect: oldCT, New: oldCT.Clone()},
+			})
+			if !errors.Is(err, ErrReEncryptConflict) {
+				t.Fatalf("stale swap: got %v, want ErrReEncryptConflict", err)
+			}
+			if cur, _ := st.Get("rec-00"); cur.Components[0].CT != newCT {
+				t.Fatal("conflicting swap changed state")
+			}
+
+			// Delete enforces ownership; restore refuses overwrites.
+			if _, err := st.Delete("rec-01", "impostor"); err == nil {
+				t.Fatal("wrong owner deleted")
+			}
+			if _, err := st.Delete("rec-01", "owner-1"); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := st.Delete("rec-01", "owner-1"); !errors.Is(err, ErrRecordNotFound) {
+				t.Fatalf("double delete: got %v", err)
+			}
+			if err := st.Restore([]*Record{recs[3].snapshot(), recs[0].snapshot()}); err == nil {
+				t.Fatal("restore overwrote rec-00")
+			}
+			if _, ok := st.Get("rec-03"); ok {
+				t.Fatal("refused restore inserted part of the batch")
+			}
+			if err := st.Restore([]*Record{recs[1].snapshot(), recs[3].snapshot()}); err != nil {
+				t.Fatal(err)
+			}
+			if got := st.Len(); got != 4 {
+				t.Fatalf("len after restore %d, want 4", got)
+			}
+
+			info := st.Info()
+			if info.Records != 4 || info.Shards < 1 || info.Backend == "" {
+				t.Fatalf("info %+v", info)
+			}
+		})
+	}
+}
+
+func mustOpenFileStore(t *testing.T, sys *core.System, dir string) *FileStore {
+	t.Helper()
+	fs, err := OpenFileStore(sys, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+// TestFileStoreReopenServesCommitted is the restart guarantee: everything
+// committed before the store goes away — uploads, a delete, a re-encryption
+// commit — is served verbatim by a store reopened on the same directory.
+func TestFileStoreReopenServesCommitted(t *testing.T) {
+	sys, recs := storeFixture(t, 4)
+	dir := t.TempDir()
+	fs := mustOpenFileStore(t, sys, dir)
+	for _, rec := range recs {
+		if err := fs.Put(rec.snapshot()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := fs.Delete("rec-02", "owner-1"); err != nil {
+		t.Fatal(err)
+	}
+	live, _ := fs.Get("rec-00")
+	if err := fs.ReplaceIfUnchanged("owner-1", []CTSwap{
+		{RecordID: "rec-00", Index: 0, Expect: live.Components[0].CT, New: live.Components[0].CT.Clone()},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := fs.Records()
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Put(recs[0].snapshot()); !errors.Is(err, ErrStoreClosed) {
+		t.Fatalf("put after close: got %v, want ErrStoreClosed", err)
+	}
+
+	re := mustOpenFileStore(t, sys, dir)
+	defer re.Close()
+	sameRecords(t, want, re.Records())
+}
+
+// TestFileStoreCrashRecovery simulates a kill mid-WAL-append: a torn tail
+// entry (header only, short payload, or payload with a bad checksum) must be
+// discarded on reopen, recovering the store to the last complete record, and
+// the truncated log must accept new appends.
+func TestFileStoreCrashRecovery(t *testing.T) {
+	sys, recs := storeFixture(t, 3)
+	tails := map[string][]byte{
+		// Length claims 1000 bytes, almost none follow.
+		"torn-payload": {0xe8, 0x03, 0x00, 0x00, 0xef, 0xbe, 0xad, 0xde, 0x01, 0x02, 0x03},
+		// Fewer than 8 bytes: not even a complete frame header.
+		"torn-header": {0x10, 0x00, 0x00},
+		// Complete frame whose checksum does not match its payload — the
+		// payload bytes landed partially before the crash.
+		"bad-tail-crc": {0x04, 0x00, 0x00, 0x00, 0xef, 0xbe, 0xad, 0xde, 0x01, 0x02, 0x03, 0x04},
+	}
+	for name, tail := range tails {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			fs := mustOpenFileStore(t, sys, dir)
+			for _, rec := range recs {
+				if err := fs.Put(rec.snapshot()); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want := fs.Records()
+			// Crash: the store is abandoned without Close; the next append
+			// died partway through.
+			walPath := filepath.Join(dir, walFileName)
+			f, err := os.OpenFile(walPath, os.O_APPEND|os.O_WRONLY, 0o644)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.Write(tail); err != nil {
+				t.Fatal(err)
+			}
+			f.Close()
+			sizeBefore, _ := os.Stat(walPath)
+
+			re := mustOpenFileStore(t, sys, dir)
+			defer re.Close()
+			sameRecords(t, want, re.Records())
+			// The torn tail is gone from disk and the log keeps working.
+			sizeAfter, err := os.Stat(walPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sizeAfter.Size() != sizeBefore.Size()-int64(len(tail)) {
+				t.Fatalf("wal %d bytes after recovery, want %d",
+					sizeAfter.Size(), sizeBefore.Size()-int64(len(tail)))
+			}
+			extra := &Record{ID: "rec-99", OwnerID: "owner-1",
+				Components: recs[0].snapshot().Components}
+			if err := re.Put(extra); err != nil {
+				t.Fatal(err)
+			}
+			re.Close()
+			re2 := mustOpenFileStore(t, sys, dir)
+			defer re2.Close()
+			if _, ok := re2.Get("rec-99"); !ok {
+				t.Fatal("post-recovery append lost")
+			}
+		})
+	}
+}
+
+// TestFileStoreRejectsInteriorCorruption: a checksum failure before the tail
+// is real corruption, not a torn append — silently dropping interior entries
+// could resurrect deleted records, so Open must refuse.
+func TestFileStoreRejectsInteriorCorruption(t *testing.T) {
+	sys, recs := storeFixture(t, 2)
+	dir := t.TempDir()
+	fs := mustOpenFileStore(t, sys, dir)
+	for _, rec := range recs {
+		if err := fs.Put(rec.snapshot()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fs.Close()
+
+	walPath := filepath.Join(dir, walFileName)
+	data, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[20] ^= 0xff // flip a byte inside the first entry's payload
+	if err := os.WriteFile(walPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFileStore(sys, dir); !errors.Is(err, ErrWALCorrupt) {
+		t.Fatalf("got %v, want ErrWALCorrupt", err)
+	}
+}
+
+// TestFileStoreCompaction: once the WAL passes the threshold the store folds
+// it into the snapshot file and truncates the log; a reopen serves the same
+// records from the compacted state.
+func TestFileStoreCompaction(t *testing.T) {
+	sys, recs := storeFixture(t, 4)
+	dir := t.TempDir()
+	fs := mustOpenFileStore(t, sys, dir)
+	fs.SetCompactThreshold(1) // every committed write compacts
+	for _, rec := range recs {
+		if err := fs.Put(rec.snapshot()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := fs.Delete("rec-01", "owner-1"); err != nil {
+		t.Fatal(err)
+	}
+	if got := fs.Info().WALBytes; got != 0 {
+		t.Fatalf("wal %d bytes after compaction, want 0", got)
+	}
+	if _, err := os.Stat(filepath.Join(dir, snapshotFileName)); err != nil {
+		t.Fatalf("no snapshot file: %v", err)
+	}
+	want := fs.Records()
+	fs.Close()
+
+	re := mustOpenFileStore(t, sys, dir)
+	defer re.Close()
+	sameRecords(t, want, re.Records())
+	if re.Len() != 3 {
+		t.Fatalf("len %d, want 3 (delete must survive compaction)", re.Len())
+	}
+}
+
+// TestFileServerRestartMidWorkload is the acceptance check at server level:
+// a FileStore server restarted mid-workload serves every previously
+// committed record — including re-encrypted ones — to the same user.
+func TestFileServerRestartMidWorkload(t *testing.T) {
+	sys := core.NewSystem(pairing.Test())
+	dir := t.TempDir()
+	env := NewEnvWithStore(sys, rand.Reader, mustOpenFileStore(t, sys, dir))
+	a, err := env.AddAuthority("a", []string{"x", "y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner, err := env.AddOwner("o")
+	if err != nil {
+		t.Fatal(err)
+	}
+	user := addUser(t, env, "u", map[string][]string{"a": {"x", "y"}})
+	evictee := addUser(t, env, "evictee", map[string][]string{"a": {"x"}})
+	_ = evictee
+	for i := 0; i < 3; i++ {
+		if _, err := owner.Upload(fmt.Sprintf("r%d", i), []UploadComponent{
+			{Label: "d", Data: []byte(fmt.Sprintf("v%d", i)), Policy: "a:x"},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A revocation re-encrypts every stored ciphertext through the WAL.
+	if _, err := a.RevokeAttribute("evictee", "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := env.Server.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": a fresh server over the same directory. The surviving user's
+	// (version-updated) keys still decrypt the re-encrypted records.
+	restarted := NewServerWithStore(sys, NewAccounting(), mustOpenFileStore(t, sys, dir))
+	defer restarted.Close()
+	if got := len(restarted.RecordIDs()); got != 3 {
+		t.Fatalf("restarted server has %d records, want 3", got)
+	}
+	for i := 0; i < 3; i++ {
+		comp, err := restarted.FetchComponent(fmt.Sprintf("r%d", i), "d")
+		if err != nil {
+			t.Fatal(err)
+		}
+		el, err := core.Decrypt(sys, comp.CT, user.PK, user.keysFor("o"))
+		if err != nil {
+			t.Fatalf("r%d: %v", i, err)
+		}
+		if el == nil {
+			t.Fatalf("r%d: nil plaintext element", i)
+		}
+	}
+	info := restarted.StoreInfo()
+	if info.Backend != "file" || info.Records != 3 {
+		t.Fatalf("restarted store info %+v", info)
+	}
+}
+
+// TestShardedStoreMixedRace hammers a sharded store with concurrent
+// fetch/store/re-encrypt traffic across owners (run under -race by
+// scripts/check.sh). Every owner has its own authority, so the goroutines'
+// revocations are independent; the cross-owner fetches are the part the
+// striping must keep safe and non-blocking.
+func TestShardedStoreMixedRace(t *testing.T) {
+	sys := core.NewSystem(pairing.Test())
+	env := NewEnvWithStore(sys, rand.Reader, NewShardedMemStore(4))
+	const owners = 3
+	const rounds = 2
+	ownerClients := make([]*OwnerClient, owners)
+	for i := 0; i < owners; i++ {
+		aid := fmt.Sprintf("a%d", i)
+		if _, err := env.AddAuthority(aid, []string{"x"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < owners; i++ {
+		oc, err := env.AddOwner(fmt.Sprintf("o%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ownerClients[i] = oc
+		if _, err := oc.Upload(fmt.Sprintf("seed-o%d", i), []UploadComponent{
+			{Label: "d", Data: []byte("seed"), Policy: fmt.Sprintf("a%d:x", i)},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	errc := make(chan error, owners*rounds*4)
+	for i := 0; i < owners; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			oc := ownerClients[i]
+			aid := fmt.Sprintf("a%d", i)
+			aa, _ := env.Authority(aid)
+			for r := 0; r < rounds; r++ {
+				// Cross-owner reads while neighbours re-encrypt.
+				other := fmt.Sprintf("seed-o%d", (i+1)%owners)
+				if _, err := env.Server.Fetch(other); err != nil {
+					errc <- err
+					return
+				}
+				if _, err := oc.Upload(fmt.Sprintf("o%d-r%d", i, r), []UploadComponent{
+					{Label: "d", Data: []byte("x"), Policy: fmt.Sprintf("a%d:x", i)},
+				}); err != nil {
+					errc <- err
+					return
+				}
+				// Own-corpus re-encryption: rekey this owner's authority and
+				// push the update through the proxy.
+				fromV, _, err := aa.AA.Rekey(rand.Reader)
+				if err != nil {
+					errc <- err
+					return
+				}
+				uk, err := aa.AA.UpdateKeyFor(oc.Owner.SecretKeyForAAs(), fromV)
+				if err != nil {
+					errc <- err
+					return
+				}
+				cts := env.Server.CiphertextsOf(oc.Owner.ID())
+				uiList, err := oc.Owner.RevocationUpdate(uk, cts)
+				if err != nil {
+					errc <- err
+					return
+				}
+				uis := make(map[string]*core.UpdateInfo)
+				for _, ui := range uiList {
+					if ui != nil {
+						uis[ui.CiphertextID] = ui
+					}
+				}
+				if len(uis) == 0 {
+					errc <- fmt.Errorf("owner %d round %d: no update info", i, r)
+					return
+				}
+				if _, err := env.Server.ReEncrypt(oc.Owner.ID(), uis, uk); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	if got, want := len(env.Server.RecordIDs()), owners*(rounds+1); got != want {
+		t.Fatalf("stored %d records, want %d", got, want)
+	}
+	info := env.Server.StoreInfo()
+	if info.Shards != 4 || info.Records != owners*(rounds+1) {
+		t.Fatalf("store info %+v", info)
+	}
+}

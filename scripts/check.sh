@@ -14,6 +14,12 @@ echo "== go test -race ./internal/cloud/..."
 go test -race -count=1 ./internal/cloud/...
 echo "== streaming-batch race gate"
 go test -race -count=2 -run 'TestStreamingBatchRace|TestFetchDuringReEncryptNoRace' ./internal/cloud/
+echo "== storage race gate: crash recovery + sharded mixed traffic"
+go test -race -count=2 -run 'TestFileStoreCrashRecovery|TestShardedStoreMixedRace' ./internal/cloud/
+echo "== cloud suite on the file backend (MAACS_STORE=file)"
+MAACS_STORE=file go test -count=1 ./internal/cloud/
+echo "== cloud suite on the sharded file backend (MAACS_STORE=sharded-file)"
+MAACS_STORE=sharded-file go test -count=1 ./internal/cloud/
 echo "== go test -race ./internal/pairing"
 go test -race -count=1 ./internal/pairing
 echo "== bench smoke: pairing kernels"
