@@ -10,6 +10,7 @@
 //	maacs-bench -what revocation    # only the revocation experiment
 //	maacs-bench -what reencrypt-batch  # per-ciphertext vs batched submission
 //	maacs-bench -what shardiso      # cross-owner fetch latency, mem vs sharded
+//	maacs-bench -what walcommit     # durable put throughput + fsyncs/op vs writers
 //	maacs-bench -points 2,5,8 -trials 3
 //	maacs-bench -fast               # small test curve (CI smoke run)
 //	maacs-bench -csv dir            # also write CSV series into dir
@@ -41,7 +42,7 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("maacs-bench", flag.ContinueOnError)
-	what := fs.String("what", "tables,fig3,fig4,revocation,ablation,scale,engine,reencrypt-batch,shardiso,pairing", "comma-separated experiments to run")
+	what := fs.String("what", "tables,fig3,fig4,revocation,ablation,scale,engine,reencrypt-batch,shardiso,walcommit,pairing", "comma-separated experiments to run")
 	points := fs.String("points", "2,5,8,11,14,17,20", "sweep values for the figures (paper: 2..20)")
 	fixed := fs.Int("fixed", 5, "value of the non-swept axis (paper: 5)")
 	trials := fs.Int("trials", 2, "trials per sweep point (paper: 20)")
@@ -54,6 +55,9 @@ func run(args []string, out io.Writer) error {
 	shardisoJSON := fs.String("shardiso-json", "BENCH_shardiso.json", "output path for the shard-isolation report")
 	shards := fs.Int("shards", 4, "shard count for the shard-isolation experiment")
 	pairingJSON := fs.String("pairing-json", "BENCH_pairing.json", "output path for the three-kernel pairing report (montgomery/projective/reference)")
+	walcommitJSON := fs.String("walcommit-json", "BENCH_walcommit.json", "output path for the WAL group-commit report")
+	walOps := fs.Int("wal-ops", 256, "durable puts per writer in the WAL group-commit experiment")
+	walSegment := fs.Int64("wal-segment-bytes", 256<<10, "WAL segment rotation threshold during the group-commit experiment")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -215,6 +219,31 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(out, "  wrote %s\n\n", *shardisoJSON)
+	}
+
+	if want["walcommit"] {
+		dir, err := os.MkdirTemp("", "maacs-walcommit-")
+		if err != nil {
+			return err
+		}
+		report, err := bench.MeasureWALCommit(params, rand.Reader, dir, *walOps, *walSegment, []int{1, 4, 16})
+		os.RemoveAll(dir)
+		if err != nil {
+			return fmt.Errorf("walcommit: %w", err)
+		}
+		report.Render(out)
+		f, err := os.Create(*walcommitJSON)
+		if err != nil {
+			return err
+		}
+		if err := report.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "  wrote %s\n\n", *walcommitJSON)
 	}
 
 	if want["pairing"] {

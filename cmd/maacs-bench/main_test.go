@@ -1,15 +1,25 @@
 package main
 
 import (
+	"path/filepath"
 	"strings"
 	"testing"
 )
 
 // TestBenchToolSmoke runs the whole tool on the fast curve with a minimal
 // sweep and checks every experiment section renders with a shape verdict.
+// The JSON reports go to a temp dir so the test never overwrites the
+// committed BENCH_*.json artifacts with fast-curve numbers.
 func TestBenchToolSmoke(t *testing.T) {
+	dir := t.TempDir()
 	var sb strings.Builder
-	err := run([]string{"-fast", "-points", "2,3", "-trials", "1", "-fixed", "2", "-ciphertexts", "2"}, &sb)
+	err := run([]string{"-fast", "-points", "2,3", "-trials", "1", "-fixed", "2", "-ciphertexts", "2",
+		"-engine-json", filepath.Join(dir, "engine.json"),
+		"-reencrypt-json", filepath.Join(dir, "reencrypt.json"),
+		"-shardiso-json", filepath.Join(dir, "shardiso.json"),
+		"-pairing-json", filepath.Join(dir, "pairing.json"),
+		"-walcommit-json", filepath.Join(dir, "walcommit.json"),
+	}, &sb)
 	if err != nil {
 		t.Fatal(err)
 	}

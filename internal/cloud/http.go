@@ -76,16 +76,20 @@ type HTTPBatchReEncryptResponse struct {
 }
 
 // HTTPHealth is the GET /healthz body: liveness plus a description of the
-// storage backend (engine, shard count, WAL size, records loaded).
+// storage backend (engine, shard count, WAL state, records loaded). Status
+// is "degraded" while the backend reports a background-compaction failure —
+// writes are still durable through the WAL, but the log is no longer being
+// folded and disk usage grows unbounded.
 type HTTPHealth struct {
 	Status string    `json:"status"`
 	Store  StoreInfo `json:"store"`
 }
 
-// HTTPMetrics is the GET /metrics body: the server's cumulative counters
-// plus the per-channel communication tallies.
+// HTTPMetrics is the GET /metrics body: the server's cumulative counters,
+// the storage backend state, and the per-channel communication tallies.
 type HTTPMetrics struct {
 	Metrics
+	Store    StoreInfo                `json:"store"`
 	Channels map[Channel]ChannelStats `json:"channels,omitempty"`
 }
 
@@ -103,7 +107,12 @@ func NewHTTPHandler(sys *core.System, server *Server) http.Handler {
 	h := &httpGateway{sys: sys, server: server}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, http.StatusOK, HTTPHealth{Status: "ok", Store: server.StoreInfo()})
+		info := server.StoreInfo()
+		status := "ok"
+		if info.CompactErr != "" {
+			status = "degraded"
+		}
+		writeJSON(w, http.StatusOK, HTTPHealth{Status: status, Store: info})
 	})
 	mux.HandleFunc("GET /metrics", h.metrics)
 	mux.HandleFunc("POST /records", h.storeRecord)
@@ -143,6 +152,7 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 func (h *httpGateway) metrics(w http.ResponseWriter, r *http.Request) {
 	m := HTTPMetrics{
 		Metrics:  h.server.Metrics(),
+		Store:    h.server.StoreInfo(),
 		Channels: h.server.acct.Snapshot(),
 	}
 	if r.URL.Query().Get("format") == "json" {

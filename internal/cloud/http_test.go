@@ -74,10 +74,52 @@ func TestHTTPHealthz(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d", resp.StatusCode)
 	}
-	resp.Body.Close()
+	var health HTTPHealth
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "ok" {
+		t.Fatalf("status %q, want ok", health.Status)
+	}
+}
+
+// TestHTTPHealthzDegradedOnCompactionFailure: a sick background compactor
+// flips /healthz to "degraded" and names the failure — without ever failing
+// a mutation (writes stay durable through the WAL).
+func TestHTTPHealthzDegradedOnCompactionFailure(t *testing.T) {
+	sys, recs := storeFixture(t, 1)
+	fs := mustOpenFileStore(t, sys, t.TempDir())
+	fs.compactHook = func(string) error { return fmt.Errorf("injected compaction fault") }
+	server := NewServerWithStore(sys, NewAccounting(), fs)
+	t.Cleanup(func() { server.Close() })
+	ts := httptest.NewServer(NewHTTPHandler(sys, server))
+	t.Cleanup(ts.Close)
+
+	if err := fs.Put(recs[0].snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Compact(); err == nil {
+		t.Fatal("compaction ignored the injected fault")
+	}
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var health HTTPHealth
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "degraded" {
+		t.Fatalf("status %q, want degraded", health.Status)
+	}
+	if !strings.Contains(health.Store.CompactErr, "injected compaction fault") {
+		t.Fatalf("compact_err %q does not carry the failure", health.Store.CompactErr)
+	}
 }
 
 func TestHTTPStoreFetchDecrypt(t *testing.T) {

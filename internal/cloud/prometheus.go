@@ -100,6 +100,15 @@ func WritePrometheus(w io.Writer, m HTTPMetrics) error {
 	b.family("maacs_engine_wall_seconds_total", "counter", "Summed wall time of re-encryption fan-outs.")
 	b.sample("maacs_engine_wall_seconds_total", "", secondsVal(m.Engine.WallNs))
 
+	b.family("maacs_wal_bytes", "gauge", "Committed write-ahead log bytes not yet compacted (0 for memory backends).")
+	b.sample("maacs_wal_bytes", "", strconv.FormatInt(m.Store.WALBytes, 10))
+	b.family("maacs_wal_segments", "gauge", "Write-ahead log segment files on disk.")
+	b.sample("maacs_wal_segments", "", intVal(m.Store.WALSegments))
+	b.family("maacs_wal_fsyncs_total", "counter", "Write-ahead log fsync calls (group commit coalesces writers).")
+	b.sample("maacs_wal_fsyncs_total", "", uintVal(m.Store.WALFsyncs))
+	b.family("maacs_compactions_total", "counter", "Completed WAL-into-snapshot compactions.")
+	b.sample("maacs_compactions_total", "", uintVal(m.Store.Compactions))
+
 	owners := make([]string, 0, len(m.Owners))
 	for id := range m.Owners {
 		owners = append(owners, id)

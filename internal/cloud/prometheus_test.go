@@ -45,6 +45,11 @@ func TestWritePrometheusGolden(t *testing.T) {
 				"bob":   {ComponentFetches: 2, FetchedBytes: 512},
 			},
 		},
+		Store: StoreInfo{
+			Backend: "file", Shards: 1,
+			WALBytes: 8192, WALSegments: 3, WALFsyncs: 17, Compactions: 2,
+			Records: 3,
+		},
 		Channels: map[Channel]ChannelStats{
 			ChanServerOwner: {Bytes: 4096, Messages: 6},
 			ChanServerUser:  {Bytes: 1024, Messages: 2},
@@ -98,6 +103,18 @@ maacs_engine_cache_misses_total{cache="prepared"} 2
 # HELP maacs_engine_wall_seconds_total Summed wall time of re-encryption fan-outs.
 # TYPE maacs_engine_wall_seconds_total counter
 maacs_engine_wall_seconds_total 1.5
+# HELP maacs_wal_bytes Committed write-ahead log bytes not yet compacted (0 for memory backends).
+# TYPE maacs_wal_bytes gauge
+maacs_wal_bytes 8192
+# HELP maacs_wal_segments Write-ahead log segment files on disk.
+# TYPE maacs_wal_segments gauge
+maacs_wal_segments 3
+# HELP maacs_wal_fsyncs_total Write-ahead log fsync calls (group commit coalesces writers).
+# TYPE maacs_wal_fsyncs_total counter
+maacs_wal_fsyncs_total 17
+# HELP maacs_compactions_total Completed WAL-into-snapshot compactions.
+# TYPE maacs_compactions_total counter
+maacs_compactions_total 2
 # HELP maacs_owner_records Records currently stored per owner.
 # TYPE maacs_owner_records gauge
 maacs_owner_records{owner="hospital"} 2

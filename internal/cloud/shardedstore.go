@@ -148,40 +148,100 @@ func (s *ShardedStore) Records() []*Record {
 	return out
 }
 
-// Restore groups the batch by shard and loads each group. The overwrite
-// check runs across all shards first; the per-shard loads are atomic within
-// their shard but not across shards.
+// RestoreError reports a restore that failed after some shards had already
+// committed their groups. The committed shards keep their records (they are
+// durable on file backends and cannot be atomically unwound), so the caller
+// needs to know which records landed; directory entries for every
+// *uncommitted* group are rolled back, so a corrected retry with the
+// remaining records does not trip over stale reservations.
+type RestoreError struct {
+	// CommittedShards lists the shard indexes whose groups loaded before the
+	// failure, ascending.
+	CommittedShards []int
+	// CommittedRecords lists the record IDs that landed, sorted.
+	CommittedRecords []string
+	// Err is the failing shard's error.
+	Err error
+}
+
+func (e *RestoreError) Error() string {
+	return fmt.Sprintf("cloud: restore failed after %d records committed on shards %v: %v",
+		len(e.CommittedRecords), e.CommittedShards, e.Err)
+}
+
+func (e *RestoreError) Unwrap() error { return e.Err }
+
+// Restore reserves every ID in the directory up front (making the batch
+// visible to concurrent Puts exactly like single-record inserts), groups the
+// batch by shard, and commits the groups in shard order. A group that fails
+// mid-batch cannot unload the groups already committed — file shards have
+// already fsynced them — so the failure is reported as a *RestoreError
+// naming the committed shards and records, and the reservations of every
+// not-yet-committed group are rolled back so a retry is not poisoned by
+// "would overwrite" on records that never landed.
 func (s *ShardedStore) Restore(recs []*Record) error {
-	for _, rec := range recs {
-		if _, exists := s.dir.Load(rec.ID); exists {
-			return fmt.Errorf("cloud: restore would overwrite record %q", rec.ID)
+	reserved := make([]string, 0, len(recs))
+	release := func() {
+		for _, id := range reserved {
+			s.dir.Delete(id)
 		}
 	}
 	byShard := make(map[int][]*Record)
 	for _, rec := range recs {
 		idx := s.shardFor(rec.OwnerID)
+		if _, taken := s.dir.LoadOrStore(rec.ID, idx); taken {
+			release()
+			return fmt.Errorf("cloud: restore would overwrite record %q", rec.ID)
+		}
+		reserved = append(reserved, rec.ID)
 		byShard[idx] = append(byShard[idx], rec)
 	}
-	for idx, group := range byShard {
-		if err := s.shards[idx].Restore(group); err != nil {
-			return err
-		}
-		for _, rec := range group {
-			s.dir.Store(rec.ID, idx)
+	// Deterministic shard order, so a reported partial failure is
+	// reproducible and CommittedShards is always a prefix of the plan.
+	order := make([]int, 0, len(byShard))
+	for idx := range byShard {
+		order = append(order, idx)
+	}
+	sort.Ints(order)
+	for n, idx := range order {
+		if err := s.shards[idx].Restore(byShard[idx]); err != nil {
+			ferr := &RestoreError{Err: err}
+			committed := make(map[string]bool)
+			for _, done := range order[:n] {
+				ferr.CommittedShards = append(ferr.CommittedShards, done)
+				for _, rec := range byShard[done] {
+					ferr.CommittedRecords = append(ferr.CommittedRecords, rec.ID)
+					committed[rec.ID] = true
+				}
+			}
+			sort.Strings(ferr.CommittedRecords)
+			for _, id := range reserved {
+				if !committed[id] {
+					s.dir.Delete(id)
+				}
+			}
+			return ferr
 		}
 	}
 	return nil
 }
 
-// Info aggregates the shards: the child backend name, the stripe width, and
-// the summed WAL size and record count.
+// Info aggregates the shards: the child backend name, the stripe width, the
+// summed WAL/compaction counters, and the first shard compaction error (if
+// any) prefixed with its shard index.
 func (s *ShardedStore) Info() StoreInfo {
 	info := StoreInfo{Shards: len(s.shards)}
-	for _, st := range s.shards {
+	for i, st := range s.shards {
 		ci := st.Info()
 		info.Backend = ci.Backend
 		info.WALBytes += ci.WALBytes
+		info.WALSegments += ci.WALSegments
+		info.WALFsyncs += ci.WALFsyncs
+		info.Compactions += ci.Compactions
 		info.Records += ci.Records
+		if info.CompactErr == "" && ci.CompactErr != "" {
+			info.CompactErr = fmt.Sprintf("shard %d: %s", i, ci.CompactErr)
+		}
 	}
 	return info
 }

@@ -28,13 +28,20 @@ type CTSwap struct {
 }
 
 // StoreInfo describes a storage backend for health reporting: which engine
-// holds the records, how it is striped, and how large its write-ahead log
-// currently is (0 for memory-only backends).
+// holds the records, how it is striped, and the state of its write-ahead log
+// (zero values for memory-only backends). CompactErr carries the most recent
+// background-compaction failure, if any — mutations stay durable through the
+// WAL when compaction is sick, so the condition is reported here (and via
+// /healthz) instead of failing committed writes.
 type StoreInfo struct {
-	Backend  string `json:"backend"`
-	Shards   int    `json:"shards"`
-	WALBytes int64  `json:"wal_bytes"`
-	Records  int    `json:"records"`
+	Backend     string `json:"backend"`
+	Shards      int    `json:"shards"`
+	WALBytes    int64  `json:"wal_bytes"`
+	WALSegments int    `json:"wal_segments,omitempty"`
+	WALFsyncs   uint64 `json:"wal_fsyncs,omitempty"`
+	Compactions uint64 `json:"compactions,omitempty"`
+	CompactErr  string `json:"compact_err,omitempty"`
+	Records     int    `json:"records"`
 }
 
 // Store is the record storage engine under the cloud server. Implementations
@@ -252,14 +259,17 @@ func (m *MemStore) Records() []*Record {
 	return out
 }
 
-// Restore inserts a snapshot's records atomically, refusing overwrites.
+// Restore inserts a snapshot's records atomically, refusing overwrites —
+// including a duplicate ID inside the batch itself.
 func (m *MemStore) Restore(recs []*Record) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	seen := make(map[string]bool, len(recs))
 	for _, rec := range recs {
-		if _, exists := m.recs[rec.ID]; exists {
+		if _, exists := m.recs[rec.ID]; exists || seen[rec.ID] {
 			return fmt.Errorf("cloud: restore would overwrite record %q", rec.ID)
 		}
+		seen[rec.ID] = true
 	}
 	for _, rec := range recs {
 		m.recs[rec.ID] = rec

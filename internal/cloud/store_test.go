@@ -184,6 +184,20 @@ func mustOpenFileStore(t *testing.T, sys *core.System, dir string) *FileStore {
 	return fs
 }
 
+// lastWALSegmentPath returns the path of the highest-sequence WAL segment —
+// the one the store appends to.
+func lastWALSegmentPath(t *testing.T, dir string) string {
+	t.Helper()
+	seqs, err := listWALSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) == 0 {
+		t.Fatalf("no wal segments in %s", dir)
+	}
+	return filepath.Join(dir, walSegmentName(seqs[len(seqs)-1]))
+}
+
 // TestFileStoreReopenServesCommitted is the restart guarantee: everything
 // committed before the store goes away — uploads, a delete, a re-encryption
 // commit — is served verbatim by a store reopened on the same directory.
@@ -244,8 +258,8 @@ func TestFileStoreCrashRecovery(t *testing.T) {
 			}
 			want := fs.Records()
 			// Crash: the store is abandoned without Close; the next append
-			// died partway through.
-			walPath := filepath.Join(dir, walFileName)
+			// died partway through on the active (highest) segment.
+			walPath := lastWALSegmentPath(t, dir)
 			f, err := os.OpenFile(walPath, os.O_APPEND|os.O_WRONLY, 0o644)
 			if err != nil {
 				t.Fatal(err)
@@ -297,7 +311,7 @@ func TestFileStoreRejectsInteriorCorruption(t *testing.T) {
 	}
 	fs.Close()
 
-	walPath := filepath.Join(dir, walFileName)
+	walPath := lastWALSegmentPath(t, dir)
 	data, err := os.ReadFile(walPath)
 	if err != nil {
 		t.Fatal(err)
@@ -311,14 +325,16 @@ func TestFileStoreRejectsInteriorCorruption(t *testing.T) {
 	}
 }
 
-// TestFileStoreCompaction: once the WAL passes the threshold the store folds
-// it into the snapshot file and truncates the log; a reopen serves the same
-// records from the compacted state.
+// TestFileStoreCompaction: compaction folds the WAL segments into the
+// snapshot file and deletes them; a reopen serves the same records from the
+// compacted state. Background compaction (threshold 1 wakes the compactor on
+// every commit) runs concurrently; the explicit Compact makes the final
+// state deterministic — either way every sealed segment must be folded.
 func TestFileStoreCompaction(t *testing.T) {
 	sys, recs := storeFixture(t, 4)
 	dir := t.TempDir()
 	fs := mustOpenFileStore(t, sys, dir)
-	fs.SetCompactThreshold(1) // every committed write compacts
+	fs.SetCompactThreshold(1) // every committed write wakes the compactor
 	for _, rec := range recs {
 		if err := fs.Put(rec.snapshot()); err != nil {
 			t.Fatal(err)
@@ -327,8 +343,21 @@ func TestFileStoreCompaction(t *testing.T) {
 	if _, err := fs.Delete("rec-01", "owner-1"); err != nil {
 		t.Fatal(err)
 	}
-	if got := fs.Info().WALBytes; got != 0 {
-		t.Fatalf("wal %d bytes after compaction, want 0", got)
+	if err := fs.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	info := fs.Info()
+	if info.WALBytes != 0 {
+		t.Fatalf("wal %d bytes after compaction, want 0", info.WALBytes)
+	}
+	if info.WALSegments != 1 {
+		t.Fatalf("%d wal segments after compaction, want 1 (the empty active one)", info.WALSegments)
+	}
+	if info.Compactions == 0 {
+		t.Fatal("compaction counter did not advance")
+	}
+	if info.CompactErr != "" {
+		t.Fatalf("unexpected compaction error: %s", info.CompactErr)
 	}
 	if _, err := os.Stat(filepath.Join(dir, snapshotFileName)); err != nil {
 		t.Fatalf("no snapshot file: %v", err)

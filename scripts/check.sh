@@ -16,6 +16,10 @@ echo "== streaming-batch race gate"
 go test -race -count=2 -run 'TestStreamingBatchRace|TestFetchDuringReEncryptNoRace' ./internal/cloud/
 echo "== storage race gate: crash recovery + sharded mixed traffic"
 go test -race -count=2 -run 'TestFileStoreCrashRecovery|TestShardedStoreMixedRace' ./internal/cloud/
+echo "== group-commit race gate: concurrent writers + kill-at-any-point"
+go test -race -count=2 -run 'TestFileStoreGroupCommit|TestFileStoreKillAnywhere' ./internal/cloud/
+echo "== WAL fault-injection gate: append faults, compaction faults, partial restore"
+go test -count=1 -run 'TestFileStoreAppendFaultTruncates|TestFileStoreCompactFault|TestFileStoreCompactionCrashBeforeDelete|TestShardedStoreRestorePartialFailure' ./internal/cloud/
 echo "== cloud suite on the file backend (MAACS_STORE=file)"
 MAACS_STORE=file go test -count=1 ./internal/cloud/
 echo "== cloud suite on the sharded file backend (MAACS_STORE=sharded-file)"
