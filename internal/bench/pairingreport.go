@@ -4,11 +4,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strings"
 	"testing"
 	"time"
 
 	"maacs/internal/engine"
 	"maacs/internal/pairing"
+	"maacs/internal/waters"
 )
 
 // PairingPoint is one measured operation of the pairing-kernel comparison:
@@ -17,7 +19,8 @@ import (
 // reference.
 type PairingPoint struct {
 	// Op names the operation: "pair", "prepared-pair", "prepare", "g-exp",
-	// "gt-exp", "encrypt", "decrypt".
+	// "gt-exp", a per-scheme "encrypt"/"encrypt-lewko"/"encrypt-waters",
+	// or "decrypt".
 	Op string `json:"op"`
 	// Reps is the number of back-to-back executions inside one timed trial;
 	// the recorded times are already divided down to per-operation cost.
@@ -112,6 +115,35 @@ func (r *PairingReport) measureKernels(op string, reps int, mont, proj, ref func
 	return nil
 }
 
+// minFieldReps floors every field row: fewer iterations than this cannot
+// resolve per-op costs above timer noise (the old fixed reps=8 for fp-inv
+// could not have detected the 6× EGCD regression it was meant to watch).
+const minFieldReps = 200
+
+// calibrateFieldReps sizes a row's per-trial batch from the measured cost
+// of one iteration: cheap ops get large batches to amortize timer
+// granularity, expensive ops get smaller ones to bound total runtime, and
+// no op ever gets fewer than minFieldReps.
+func calibrateFieldReps(f func()) int {
+	const probe = 8
+	start := time.Now()
+	for i := 0; i < probe; i++ {
+		f()
+	}
+	per := time.Since(start) / probe
+	if per <= 0 {
+		per = time.Nanosecond
+	}
+	reps := int(2 * time.Millisecond / per)
+	if reps < minFieldReps {
+		reps = minFieldReps
+	}
+	if reps > 4000 {
+		reps = 4000
+	}
+	return reps
+}
+
 // measureFields builds the field-primitive rows from the pairing package's
 // exported closures. The Montgomery closures are nil when the prime exceeds
 // the fixed limb width; the rows are skipped in that case.
@@ -120,9 +152,11 @@ func (r *PairingReport) measureFields(p *pairing.Params) error {
 		if op.Montgomery == nil {
 			continue
 		}
-		reps := 2000
-		if op.Name == "fp-inv" {
-			reps = 8 // Fermat inversion is ~three orders slower than one mul
+		// Both columns share one rep count (sized by the slower closure) so
+		// the per-op times divide identically.
+		reps := calibrateFieldReps(op.Montgomery)
+		if bi := calibrateFieldReps(op.BigInt); bi < reps {
+			reps = bi
 		}
 		repeat := func(f func()) func() error {
 			return func() error {
@@ -331,6 +365,63 @@ func MeasurePairing(params *pairing.Params, rnd io.Reader, attrs, trials int) (*
 	}
 	if err := report.measureKernels("decrypt", 1, decMont, decProj, decRef); err != nil {
 		return nil, err
+	}
+
+	// Per-scheme encrypt rows: the comparison schemes' encrypt loops run
+	// the same per-attribute two-base exponentiations through the engine's
+	// table caches, so the headline "encrypt wins" claim is visible for
+	// every scheme, not just the paper's.
+	mkLewko := func(p *pairing.Params) (func() error, error) {
+		w, err := SetupLewko(Config{Params: p, Authorities: 1, AttrsPerAuthority: attrs, Rnd: rnd})
+		if err != nil {
+			return nil, err
+		}
+		if _, _, err := w.Encrypt(); err != nil { // warm tables like a live server
+			return nil, err
+		}
+		return func() error {
+			_, _, err := w.Encrypt()
+			return err
+		}, nil
+	}
+	mkWaters := func(p *pairing.Params) (func() error, error) {
+		auth, err := waters.Setup(p, rnd)
+		if err != nil {
+			return nil, err
+		}
+		names := attrNames(attrs)
+		policy := strings.Join(names, " AND ")
+		m, _, err := p.RandomGT(rnd)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := waters.Encrypt(auth.PK, m, policy, rnd); err != nil {
+			return nil, err
+		}
+		return func() error {
+			_, err := waters.Encrypt(auth.PK, m, policy, rnd)
+			return err
+		}, nil
+	}
+	for _, sch := range []struct {
+		op string
+		mk func(p *pairing.Params) (func() error, error)
+	}{{"encrypt-lewko", mkLewko}, {"encrypt-waters", mkWaters}} {
+		fMont, err := sch.mk(mont)
+		if err != nil {
+			return nil, fmt.Errorf("pairing bench setup %s montgomery: %w", sch.op, err)
+		}
+		fProj, err := sch.mk(proj)
+		if err != nil {
+			return nil, fmt.Errorf("pairing bench setup %s projective: %w", sch.op, err)
+		}
+		fRef, err := sch.mk(ref)
+		if err != nil {
+			return nil, fmt.Errorf("pairing bench setup %s reference: %w", sch.op, err)
+		}
+		if err := report.measureKernels(sch.op, 1, fMont, fProj, fRef); err != nil {
+			return nil, err
+		}
 	}
 	return report, nil
 }

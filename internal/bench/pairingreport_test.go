@@ -27,8 +27,11 @@ func TestMeasurePairingShapes(t *testing.T) {
 		if f.MontgomeryAllocs != 0 {
 			t.Fatalf("field row %q: Montgomery path allocates %v/op", f.Op, f.MontgomeryAllocs)
 		}
+		if f.Reps < minFieldReps {
+			t.Fatalf("field row %q ran %d reps, floor is %d", f.Op, f.Reps, minFieldReps)
+		}
 	}
-	wantOps := []string{"pair", "prepare", "prepared-pair", "g-exp", "gt-exp", "encrypt", "decrypt"}
+	wantOps := []string{"pair", "prepare", "prepared-pair", "g-exp", "gt-exp", "encrypt", "decrypt", "encrypt-lewko", "encrypt-waters"}
 	if len(r.Points) != len(wantOps) {
 		t.Fatalf("got %d points, want %d", len(r.Points), len(wantOps))
 	}

@@ -55,8 +55,9 @@ func (p *Pool) PairAll(a *pairing.G, bs []*pairing.G) ([]*pairing.GT, error) {
 // preparedCacheCap bounds the prepared-point and exp-table caches.
 // Decryption prepares at most two points per ciphertext (C' and PK_UID) and
 // revocation exponentiates one base per affected attribute, so even a busy
-// server working a few dozen hot ciphertexts fits.
-const preparedCacheCap = 128
+// server working a few dozen hot ciphertexts fits. A variable, not a
+// constant, so the eviction tests can shrink it.
+var preparedCacheCap = 128
 
 // prepKey identifies a cached derivation: same parameter set, same
 // serialized point.

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"math/big"
 	"math/bits"
+	"sync/atomic"
 )
 
 // Fixed-width Montgomery arithmetic for the base field F_q.
@@ -251,69 +252,283 @@ func (c *fpContext) invFermat(z, x *fpElement) {
 	c.exp(z, x, c.qMinus2)
 }
 
-// inv sets z = x⁻¹ via the binary extended Euclidean algorithm on limbs
-// (HMV Algorithm 2.22 adapted to the Montgomery domain): ~2·bits(q) cheap
-// shift/subtract passes instead of a full exponentiation, still with no
-// heap allocation. inv(0) = 0 by convention, which mirrors what the
-// projective kernel's denominator handling expects. z may alias x.
+// fpInvFallbacks counts how often inv had to abandon the Lehmer path and
+// recompute through invFermat. It should stay at zero — the fuzz and field
+// tests assert that — and exists so a latent approximation bug would surface
+// as a counter, not a wrong inverse.
+var fpInvFallbacks atomic.Uint64
+
+// invDivsteps is the number of divsteps simulated per outer round of the
+// Lehmer-style inversion. The transition-matrix entries grow by at most one
+// bit per step (|f₀|+|g₀| ≤ 2^i), so 62 keeps them inside int64, and the
+// exact low limb of the double-limb approximation covers all 62 parity
+// decisions.
+const invDivsteps = 62
+
+// inv sets z = x⁻¹ via a Lehmer-style batched binary GCD (the delayed-halving
+// divstep formulation): instead of touching the full-width pair once per bit
+// like the old binary EGCD, each outer round simulates invDivsteps divsteps
+// on a uint128-style double-limb approximation (exact low limb for the parity
+// decisions, top 64 bits at a common scale for the magnitude comparisons),
+// accumulating the 2×2 transition matrix in int64s. The matrix is then
+// applied once per round to the full-width Euclidean pair (exact shift by
+// 2^62, conditional negation when an approximate comparison went the wrong
+// way) and to the Bezout cosequences mod q (one Montgomery-style fold by
+// 2^62). ~2·bits(q) divsteps retire in bits(q)/31 passes over the vectors,
+// which is what closes the gap to math/big's assembly-backed ModInverse.
+//
+// The result is verified with one multiplication; on mismatch (which would
+// indicate a bug, not bad input) the Fermat inversion recomputes it, so the
+// answer is always exact. inv(0) = 0 by convention, which mirrors what the
+// projective kernel's denominator handling expects. z may alias x. No heap
+// allocation on any path except the (never-taken) fallback.
 func (c *fpContext) inv(z, x *fpElement) {
 	if c.isZero(x) {
 		*z = fpElement{}
 		return
 	}
+	xv := *x // z may alias x, and both tails write z before their last read
+	if !c.invLehmer(z, &xv) {
+		fpInvFallbacks.Add(1)
+		c.invFermat(z, &xv)
+	}
+}
+
+// invLehmer is the body of inv; it reports false when the round cap trips or
+// the verification multiply disagrees, in which case z is unspecified.
+func (c *fpContext) invLehmer(z, x *fpElement) bool {
 	n := c.n
-	u, v := *x, c.mod
-	x1, x2 := c.raw1, fpElement{}
-	for !fpIsRawOne(&u) && !fpIsRawOne(&v) {
-		for u[0]&1 == 0 {
-			fpShr1(&u, n, 0)
-			c.halve(&x1)
+	// Euclidean pair (plain multiprecision integers) and Bezout cosequences
+	// (plain residues mod q), with the invariant
+	//
+	//	a·2^c ≡ u·x̃  and  b·2^c ≡ v·x̃  (mod q)
+	//
+	// where x̃ is the input read as a plain integer and c counts retired
+	// divsteps. At termination a = 0 and b = gcd(x̃, q) = 1, so v ≡ x̃⁻¹·2^c;
+	// the per-round 2^-62 folds cancel the 2^c as it accrues, keeping u and v
+	// in [0, q) the whole time.
+	a, b := *x, c.mod
+	var u, v fpElement
+	u[0] = 1
+	// Every divstep halves a, and a·b < 2^(128n) shrinks monotonically, so
+	// 128n divsteps always suffice; the cap only guards a logic bug.
+	maxRounds := (128*n)/invDivsteps + 3
+	for round := 0; ; round++ {
+		if a == (fpElement{}) {
+			break
 		}
-		for v[0]&1 == 0 {
-			fpShr1(&v, n, 0)
-			c.halve(&x2)
+		if round >= maxRounds {
+			return false
 		}
-		// q is prime and 0 < u₀ < q, so gcd(u, v) = 1 throughout and the
-		// larger of the (odd) pair shrinks every round: termination is at
-		// one of them reaching 1.
-		if fpGE(&u, &v, n) {
-			fpSubNoBorrow(&u, &v, n)
-			c.sub(&x1, &x1, &x2)
+		// Double-limb approximations: exact low limbs, and the top 64 bits of
+		// the longer of the pair (same scale for both, so comparisons are
+		// meaningful). When both fit 128 bits the approximation is exact.
+		l := fpBitLen(&a, n)
+		if bl := fpBitLen(&b, n); bl > l {
+			l = bl
+		}
+		lact := (l + 63) / 64 // live limbs: a and b shrink ~62 bits a round
+		alo, blo := a[0], b[0]
+		var ahi, bhi uint64
+		if l <= 128 {
+			ahi, bhi = a[1], b[1]
 		} else {
-			fpSubNoBorrow(&v, &u, n)
-			c.sub(&x2, &x2, &x1)
+			ahi = fpBitsAt(&a, l-64)
+			bhi = fpBitsAt(&b, l-64)
 		}
+		// invDivsteps divsteps on the approximation. Row 0 of the matrix
+		// tracks a, row 1 tracks b: a' = (f0·a + g0·b)/2^62 and likewise for
+		// b'. Halving a keeps row 0 fixed and doubles row 1, so both rows
+		// share the 2^62 denominator at the end.
+		// The factors live as uint64 two's complement (subtraction and
+		// doubling agree with the signed interpretation) and are
+		// reinterpreted at the end.
+		// Runs of even steps retire in one shot via TrailingZeros64 — each
+		// halving of a doubles matrix row 1, so a run of tz zeros is a single
+		// tz-bit shift on both.
+		f0, g0 := uint64(1), uint64(0)
+		f1, g1 := uint64(0), uint64(1)
+		for i := 0; i < invDivsteps; {
+			if alo&1 != 0 {
+				if ahi < bhi || (ahi == bhi && alo < blo) {
+					ahi, alo, bhi, blo = bhi, blo, ahi, alo
+					f0, g0, f1, g1 = f1, g1, f0, g0
+				}
+				var bo uint64
+				alo, bo = bits.Sub64(alo, blo, 0)
+				ahi, _ = bits.Sub64(ahi, bhi, bo)
+				f0 -= f1
+				g0 -= g1
+			}
+			tz := bits.TrailingZeros64(alo) // ≥ 1: odd a turned even above
+			if tz > invDivsteps-i {
+				tz = invDivsteps - i
+			}
+			alo = alo>>tz | ahi<<(64-tz)
+			ahi >>= tz
+			f1 <<= tz
+			g1 <<= tz
+			i += tz
+		}
+		// Apply the matrix to the full-width pair. The low 62 bits of both
+		// combinations are exactly zero (parity decisions used exact low
+		// limbs), so the shifts lose nothing; a comparison the truncated
+		// approximation got wrong surfaces as a negative combination, fixed
+		// by negating the value and its matrix row together.
+		sf0, sg0 := int64(f0), int64(g0)
+		sf1, sg1 := int64(f1), int64(g1)
+		var na, nb fpElement
+		if fpLinComb62(&na, &a, &b, sf0, sg0, lact) {
+			sf0, sg0 = -sf0, -sg0
+		}
+		if fpLinComb62(&nb, &a, &b, sf1, sg1, lact) {
+			sf1, sg1 = -sf1, -sg1
+		}
+		var nu, nv fpElement
+		c.fpLinComb62Mod(&nu, &u, &v, sf0, sg0)
+		c.fpLinComb62Mod(&nv, &u, &v, sf1, sg1)
+		a, b, u, v = na, nb, nu, nv
 	}
-	r := &x1
-	if !fpIsRawOne(&u) {
-		r = &x2
+	if !fpIsRawOne(&b) {
+		return false
 	}
-	// r is the plain inverse of the Montgomery value: r = x⁻¹R⁻¹ mod q. Two
+	// v is the plain inverse of the Montgomery value: v = x⁻¹R⁻¹ mod q. Two
 	// Montgomery multiplications by R² rebuild the Montgomery form:
-	// r·R²·R⁻¹ = x⁻¹, then x⁻¹·R²·R⁻¹ = x⁻¹·R.
-	c.mul(z, r, &c.rr)
+	// v·R²·R⁻¹ = x⁻¹, then x⁻¹·R²·R⁻¹ = x⁻¹·R.
+	c.mul(z, &v, &c.rr)
 	c.mul(z, z, &c.rr)
+	var chk fpElement
+	c.mul(&chk, z, x)
+	return chk == c.one
 }
 
-// halve sets x = x/2 mod q for a plain residue x in [0, q): shift if even,
-// otherwise add q first. The add can carry out of the top active limb (q
-// may use all 64n bits); the carry becomes the shifted-in high bit.
-func (c *fpContext) halve(x *fpElement) {
-	var carry uint64
-	if x[0]&1 == 1 {
-		for i := 0; i < c.n; i++ {
-			x[i], carry = bits.Add64(x[i], c.mod[i], carry)
+// fpBitLen returns the bit length of x over n limbs.
+func fpBitLen(x *fpElement, n int) int {
+	for i := n - 1; i >= 0; i-- {
+		if x[i] != 0 {
+			return i*64 + bits.Len64(x[i])
 		}
 	}
-	fpShr1(x, c.n, carry)
+	return 0
 }
 
-// fpShr1 shifts x right one bit over n limbs, shifting top in at the top.
-func fpShr1(x *fpElement, n int, top uint64) {
-	for i := 0; i < n-1; i++ {
-		x[i] = x[i]>>1 | x[i+1]<<63
+// fpBitsAt reads the 64 bits of x starting at bit offset s (little-endian).
+// Bits beyond the array read as zero.
+func fpBitsAt(x *fpElement, s int) uint64 {
+	i, off := s/64, uint(s%64)
+	v := x[i] >> off
+	if off != 0 && i+1 < fpMaxLimbs {
+		v |= x[i+1] << (64 - off)
 	}
-	x[n-1] = x[n-1]>>1 | top<<63
+	return v
+}
+
+func absInt64(v int64) (uint64, bool) {
+	if v < 0 {
+		return uint64(-v), true
+	}
+	return uint64(v), false
+}
+
+// fpSignedComb sets t = |f·x + g·y| over n+1 limbs and reports whether the
+// signed combination was negative. |f|+|g| ≤ 2^62 and x, y < 2^(64n), so the
+// magnitude always fits n+1 limbs. Both word products run fused with the
+// combination in one pass; an opposite-sign combination is computed
+// speculatively as |f|·x − |g|·y and two's-complement negated if it
+// underflows.
+func fpSignedComb(t *[fpMaxLimbs + 1]uint64, x, y *fpElement, f, g int64, n int) bool {
+	af, sf := absInt64(f)
+	ag, sg := absInt64(g)
+	var c1, c2 uint64
+	if sf == sg {
+		var carry uint64
+		for i := 0; i < n; i++ {
+			hi, lo := bits.Mul64(x[i], af)
+			var cc uint64
+			lo, cc = bits.Add64(lo, c1, 0)
+			c1 = hi + cc
+			hi2, lo2 := bits.Mul64(y[i], ag)
+			lo2, cc = bits.Add64(lo2, c2, 0)
+			c2 = hi2 + cc
+			t[i], carry = bits.Add64(lo, lo2, carry)
+		}
+		t[n], _ = bits.Add64(c1, c2, carry) // top words are < 2^62 each: no overflow
+		return sf
+	}
+	var borrow uint64
+	for i := 0; i < n; i++ {
+		hi, lo := bits.Mul64(x[i], af)
+		var cc uint64
+		lo, cc = bits.Add64(lo, c1, 0)
+		c1 = hi + cc
+		hi2, lo2 := bits.Mul64(y[i], ag)
+		lo2, cc = bits.Add64(lo2, c2, 0)
+		c2 = hi2 + cc
+		t[i], borrow = bits.Sub64(lo, lo2, borrow)
+	}
+	t[n], borrow = bits.Sub64(c1, c2, borrow)
+	if borrow == 0 {
+		return sf
+	}
+	var cc uint64 = 1
+	for i := 0; i <= n; i++ {
+		t[i], cc = bits.Add64(^t[i], 0, cc)
+	}
+	return sg
+}
+
+// fpLinComb62 sets dst = |f·x + g·y| / 2^62 (the low 62 bits are exactly
+// zero by construction) and reports whether the combination was negative.
+func fpLinComb62(dst, x, y *fpElement, f, g int64, n int) bool {
+	var t [fpMaxLimbs + 1]uint64
+	neg := fpSignedComb(&t, x, y, f, g, n)
+	for i := 0; i < n; i++ {
+		dst[i] = t[i]>>invDivsteps | t[i+1]<<(64-invDivsteps)
+	}
+	for i := n; i < fpMaxLimbs; i++ {
+		dst[i] = 0
+	}
+	if neg && *dst == (fpElement{}) {
+		neg = false
+	}
+	return neg
+}
+
+// fpLinComb62Mod sets dst = (f·u + g·v)·2^-62 mod q for plain residues
+// u, v ∈ [0, q): one Montgomery-style fold by 2^62 (m = t·(−q⁻¹) mod 2^62,
+// t ← (t + m·q)/2^62 < 2q), a conditional subtraction, and a negation for a
+// negative combination.
+func (c *fpContext) fpLinComb62Mod(dst, u, v *fpElement, f, g int64) {
+	n := c.n
+	var t [fpMaxLimbs + 1]uint64
+	neg := fpSignedComb(&t, u, v, f, g, n)
+	const mask62 = 1<<invDivsteps - 1
+	m := (t[0] * c.inv0) & mask62
+	var carry uint64
+	for i := 0; i < n; i++ {
+		hi, lo := bits.Mul64(c.mod[i], m)
+		var cc uint64
+		lo, cc = bits.Add64(lo, t[i], 0)
+		hi += cc
+		lo, cc = bits.Add64(lo, carry, 0)
+		hi += cc
+		t[i] = lo
+		carry = hi
+	}
+	t[n], _ = bits.Add64(t[n], carry, 0) // < 2^62·2q, cannot overflow n+1 limbs
+	var r fpElement
+	for i := 0; i < n; i++ {
+		r[i] = t[i]>>invDivsteps | t[i+1]<<(64-invDivsteps)
+	}
+	if fpGE(&r, &c.mod, n) {
+		fpSubNoBorrow(&r, &c.mod, n)
+	}
+	if neg && r != (fpElement{}) {
+		q := c.mod
+		fpSubNoBorrow(&q, &r, n)
+		r = q
+	}
+	*dst = r
 }
 
 // fpIsRawOne reports whether x is the plain (non-Montgomery) integer 1.

@@ -437,3 +437,60 @@ func FuzzFp2Montgomery(f *testing.F) {
 		}
 	})
 }
+
+// FuzzFpInvLehmer pins the Lehmer/divstep inversion against both the
+// Fermat power ladder and math/big's ModInverse, at test scale (2 active
+// limbs) and paper scale (9 active limbs). It also asserts the
+// verified-fallback counter stays untouched: the Lehmer path must succeed
+// on its own for every input, including 0, 1, q−1, and sparse-limb values.
+func FuzzFpInvLehmer(f *testing.F) {
+	pt := Test()
+	pd := Default()
+	f.Add([]byte{})                            // 0
+	f.Add([]byte{1})                           // 1
+	f.Add(new(big.Int).Sub(pd.Q, one).Bytes()) // q−1
+	f.Add(new(big.Int).Sub(pt.Q, one).Bytes()) // small-field q−1
+	f.Add([]byte{2})                           // smallest even
+	f.Add(new(big.Int).Lsh(one, 62).Bytes())   // single mid bit
+	f.Add(new(big.Int).Lsh(one, 511).Bytes())  // sparse top limb
+	f.Add(pd.Q.Bytes())                        // ≡ 0 after reduction
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) > 80 {
+			return // keep the math/big oracle time bounded
+		}
+		x := new(big.Int).SetBytes(raw)
+		for _, p := range []*Params{pt, pd} {
+			c := p.fpc
+			before := fpInvFallbacks.Load()
+			xr := new(big.Int).Mod(x, c.qBig)
+			var xm, zm fpElement
+			c.fromBig(&xm, xr)
+			c.inv(&zm, &xm)
+			got := c.toBig(&zm)
+			if xr.Sign() == 0 {
+				if got.Sign() != 0 {
+					t.Fatalf("inv(0) = %v, want 0", got)
+				}
+				continue
+			}
+			want := new(big.Int).ModInverse(xr, c.qBig)
+			if got.Cmp(want) != 0 {
+				t.Fatalf("inv mismatch mod %v: got %v want %v", c.qBig, got, want)
+			}
+			var fm fpElement
+			c.invFermat(&fm, &xm)
+			if fm != zm {
+				t.Fatal("Lehmer and Fermat inversions disagree")
+			}
+			// Aliased form must match too.
+			alias := xm
+			c.inv(&alias, &alias)
+			if alias != zm {
+				t.Fatal("aliased inv(x, x) disagrees with inv(z, x)")
+			}
+			if after := fpInvFallbacks.Load(); after != before {
+				t.Fatalf("Lehmer inversion fell back to Fermat (%d → %d)", before, after)
+			}
+		}
+	})
+}

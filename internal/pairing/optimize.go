@@ -7,11 +7,19 @@ import (
 
 // This file holds performance extensions that go beyond what the paper's
 // evaluation used: a multi-pairing product that shares one final
-// exponentiation across Miller loops, and fixed-base exponentiation of the
-// generator with a precomputed window table. The scheme implementations use
-// the plain operations so their cost profiles match the paper; these
-// variants are exercised by the ablation benchmarks and are available to
-// API users who want the speed.
+// exponentiation across Miller loops, and precomputed-table exponentiation
+// (a fixed-base comb for the generator, and per-base tables for hot public
+// keys). The scheme implementations use the plain operations so their cost
+// profiles match the paper; these variants are exercised by the ablation
+// benchmarks and are available to API users who want the speed.
+//
+// Both table kinds keep two representations: limb-native Montgomery combs
+// (affine entries, mixed-addition evaluation, zero heap allocations per
+// exponentiation) used when the Montgomery kernel is active, and the
+// original big.Int Jacobian tables as the fallback for the projective and
+// reference kernels and for moduli wider than fpMaxLimbs. Each side is
+// built lazily under its own sync.Once, so kernel flips mid-lifetime stay
+// correct and concurrent use stays safe.
 
 // PairProd computes Π_i e(a_i, b_i) with a single final exponentiation:
 // the Miller-loop values multiply in F_q² before the (q²−1)/r power, which
@@ -44,23 +52,140 @@ func (p *Params) PairProd(as, bs []*G) (*GT, error) {
 	}
 }
 
-// fixedBaseWindow is the window width in bits for the generator table.
+// fixedBaseWindow is the window width in bits for precomputed tables.
 const fixedBaseWindow = 4
 
-// fixedBaseTable holds (w · 2^(windowIdx·window)) · gen for every window
-// position and window value, built lazily on first use.
+// combEntriesPerRow is the number of stored multiples per window position:
+// w·2^(4j)·base for w = 1..15. The zero window contributes nothing, so it
+// is not stored.
+const combEntriesPerRow = 1<<fixedBaseWindow - 1
+
+// montComb is a limb-native windowed comb: rows[j][w-1] holds the affine
+// Montgomery-form point w·2^(fixedBaseWindow·j)·base. Because the base has
+// prime order R and 0 < w·2^(4j) mod R < R, no entry is ever the point at
+// infinity, so entries need no infinity flag and evaluation is pure mixed
+// addition.
+type montComb struct {
+	rows [][]montAffine
+}
+
+// combWindows is the number of window positions needed to cover any scalar
+// reduced mod R.
+func (p *Params) combWindows() int {
+	return (p.R.BitLen() + fixedBaseWindow - 1) / fixedBaseWindow
+}
+
+// montJacBatchToAffine normalizes a batch of non-infinity Jacobian points
+// with a single shared inversion (Montgomery's trick via batchInv).
+func (c *fpContext) montJacBatchToAffine(js []montJac, out []montAffine) {
+	zs := make([]fpElement, len(js))
+	ptrs := make([]*fpElement, len(js))
+	for i := range js {
+		zs[i] = js[i].z
+		ptrs[i] = &zs[i]
+	}
+	c.batchInv(ptrs)
+	for i := range js {
+		var zi2, zi3 fpElement
+		c.mul(&zi2, &zs[i], &zs[i])
+		c.mul(&zi3, &zi2, &zs[i])
+		c.mul(&out[i].x, &js[i].x, &zi2)
+		c.mul(&out[i].y, &js[i].y, &zi3)
+	}
+}
+
+// buildMontComb precomputes the comb for base (affine, not infinity).
+// Cost: 4·(windows−1) Jacobian doublings for the spine 2^(4j)·base,
+// 14·windows mixed additions for the row chains, and two batch
+// normalizations — about the price of one plain exponentiation, amortized
+// by the table caches.
+func (p *Params) buildMontComb(base point) *montComb {
+	c := p.fpc
+	windows := p.combWindows()
+	chain := make([]montJac, windows)
+	a0 := c.montFromPoint(base)
+	chain[0] = montJac{x: a0.x, y: a0.y, z: c.one}
+	for j := 1; j < windows; j++ {
+		chain[j] = chain[j-1]
+		for d := 0; d < fixedBaseWindow; d++ {
+			c.montJacDouble(&chain[j])
+		}
+	}
+	spine := make([]montAffine, windows)
+	c.montJacBatchToAffine(chain, spine)
+
+	entries := make([]montJac, windows*combEntriesPerRow)
+	for j := 0; j < windows; j++ {
+		acc := montJac{x: spine[j].x, y: spine[j].y, z: c.one}
+		entries[j*combEntriesPerRow] = acc
+		for w := 2; w <= combEntriesPerRow; w++ {
+			c.montJacAddAffine(&acc, &spine[j])
+			entries[j*combEntriesPerRow+w-1] = acc
+		}
+	}
+	flat := make([]montAffine, len(entries))
+	c.montJacBatchToAffine(entries, flat)
+
+	mc := &montComb{rows: make([][]montAffine, windows)}
+	for j := 0; j < windows; j++ {
+		mc.rows[j] = flat[j*combEntriesPerRow : (j+1)*combEntriesPerRow : (j+1)*combEntriesPerRow]
+	}
+	return mc
+}
+
+// combExpMont is the zero-allocation evaluation core: one mixed addition
+// per nonzero window of kk (already reduced mod R), then a single inline
+// normalization. Returns false when the result is the point at infinity
+// (kk = 0). Pinned at 0 allocs/op by TestCombExpMontAllocs.
+func (p *Params) combExpMont(dst *montAffine, mc *montComb, kk *big.Int) bool {
+	c := p.fpc
+	var acc montJac
+	words := kk.Bits()
+	bitLen := kk.BitLen()
+	for j := 0; j*fixedBaseWindow < bitLen; j++ {
+		if w := extractWindow(words, j*fixedBaseWindow); w != 0 {
+			c.montJacAddAffine(&acc, &mc.rows[j][w-1])
+		}
+	}
+	if c.montJacIsInf(&acc) {
+		return false
+	}
+	var zi, zi2, zi3 fpElement
+	c.inv(&zi, &acc.z)
+	c.mul(&zi2, &zi, &zi)
+	c.mul(&zi3, &zi2, &zi)
+	c.mul(&dst.x, &acc.x, &zi2)
+	c.mul(&dst.y, &acc.y, &zi3)
+	return true
+}
+
+// combPointMont converts a normalized comb result back to a canonical
+// big.Int point. This is the only allocation site on the Montgomery path.
+func (p *Params) combPointMont(out *montAffine) *G {
+	c := p.fpc
+	return &G{p: p, pt: point{x: c.toBig(&out.x), y: c.toBig(&out.y)}}
+}
+
+// fixedBaseTable holds the generator's precomputed window tables, one
+// representation per kernel family, each built lazily on first use.
 type fixedBaseTable struct {
 	once sync.Once
-	rows [][]point // rows[windowIdx][w]
+	rows [][]point // rows[windowIdx][w] = w·2^(4j)·gen, big.Int affine
+
+	montOnce sync.Once
+	mont     *montComb
 }
 
 var fixedTables sync.Map // *Params → *fixedBaseTable
 
 func (p *Params) fixedTable() *fixedBaseTable {
 	v, _ := fixedTables.LoadOrStore(p, &fixedBaseTable{})
-	t := v.(*fixedBaseTable)
+	return v.(*fixedBaseTable)
+}
+
+func (t *fixedBaseTable) bigRows(p *Params) [][]point {
 	t.once.Do(func() {
-		windows := (p.R.BitLen() + fixedBaseWindow - 1) / fixedBaseWindow
+		windows := p.combWindows()
 		t.rows = make([][]point, windows)
 		base := p.gen.clone()
 		for j := 0; j < windows; j++ {
@@ -76,17 +201,34 @@ func (p *Params) fixedTable() *fixedBaseTable {
 			}
 		}
 	})
-	return t
+	return t.rows
+}
+
+func (t *fixedBaseTable) montRows(p *Params) *montComb {
+	t.montOnce.Do(func() {
+		t.mont = p.buildMontComb(p.gen)
+	})
+	return t.mont
 }
 
 // FixedBaseExp computes g^k for the generator g using the precomputed
 // window table: one point addition per window instead of a double-and-add
-// pass. The additions accumulate in Jacobian coordinates through a per-call
-// scratch, so the whole exponentiation pays a single modular inversion at
-// the final normalization. k is reduced mod R.
+// pass, with a single modular inversion at the final normalization. On the
+// Montgomery kernel the additions run limb-native over affine table
+// entries; otherwise they accumulate big.Int Jacobian coordinates through
+// a per-call scratch. k is reduced mod R. All kernels return bit-identical
+// points.
 func (p *Params) FixedBaseExp(k *big.Int) *G {
 	kk := new(big.Int).Mod(k, p.R)
 	t := p.fixedTable()
+	if p.activeKernel() == KernelMontgomery {
+		var out montAffine
+		if !p.combExpMont(&out, t.montRows(p), kk) {
+			return p.OneG()
+		}
+		return p.combPointMont(&out)
+	}
+	rows := t.bigRows(p)
 	s := newScratch()
 	acc := jacInfinity()
 	words := kk.Bits()
@@ -94,7 +236,7 @@ func (p *Params) FixedBaseExp(k *big.Int) *G {
 	for j := 0; j*fixedBaseWindow < bitLen || j == 0; j++ {
 		w := extractWindow(words, j*fixedBaseWindow)
 		if w != 0 {
-			p.jacAddAffineTo(&acc, t.rows[j][w], s)
+			p.jacAddAffineTo(&acc, rows[j][w], s)
 		}
 	}
 	return &G{p: p, pt: p.toAffine(acc)}
@@ -117,50 +259,87 @@ func extractWindow(words []big.Word, offset int) int {
 }
 
 // ExpTable is the arbitrary-base analogue of the generator's fixed-base
-// table: the doubling chain 2^i·P of one base, precomputed once. Each
-// subsequent exponentiation with that base then costs only the mixed
-// additions for the set bits of the exponent (~|r|/2 of them) instead of a
-// full double-and-add ladder — roughly half the work. Building the table
-// costs about one plain exponentiation, so it pays for itself from the
-// second use; the engine layer caches tables for hot bases (e.g. attribute
-// public keys, which owners exponentiate once per stored ciphertext during
-// a revocation).
+// table. On the Montgomery kernel it is the same windowed comb layout as
+// the generator table, so each exponentiation costs one mixed addition per
+// nonzero window (≤ ⌈|R|/4⌉ of them) plus one inversion; on the big.Int
+// kernels it is the doubling chain 2^i·P, costing one mixed addition per
+// set bit (~|R|/2). Building either side costs about one plain
+// exponentiation, so a table pays for itself from the second use; the
+// engine layer caches tables for hot bases (e.g. attribute public keys,
+// which owners exponentiate once per stored ciphertext during a
+// revocation).
 type ExpTable struct {
 	p    *Params
 	inf  bool
-	pows []point // pows[i] = 2^i · base, affine
+	base point
+
+	bigOnce sync.Once
+	pows    []point // pows[i] = 2^i · base, affine
+
+	montOnce sync.Once
+	mont     *montComb
 }
 
-// PrepareExp builds the doubling table for g.
+// PrepareExp builds the exponentiation table for g in the representation
+// matching the active kernel; the other representation is built lazily if
+// the kernel changes under the table.
 func (p *Params) PrepareExp(g *G) *ExpTable {
-	t := &ExpTable{p: p, inf: g.pt.inf}
+	t := &ExpTable{p: p, inf: g.pt.inf, base: g.pt}
 	if t.inf {
 		return t
 	}
-	n := p.R.BitLen()
-	t.pows = make([]point, n)
-	cur := g.pt.clone()
-	for i := 0; i < n; i++ {
-		t.pows[i] = cur
-		cur = p.double(cur)
+	if p.activeKernel() == KernelMontgomery {
+		t.montTable()
+	} else {
+		t.bigPows()
 	}
 	return t
 }
 
+func (t *ExpTable) bigPows() []point {
+	t.bigOnce.Do(func() {
+		p := t.p
+		n := p.R.BitLen()
+		t.pows = make([]point, n)
+		cur := t.base.clone()
+		for i := 0; i < n; i++ {
+			t.pows[i] = cur
+			cur = p.double(cur)
+		}
+	})
+	return t.pows
+}
+
+func (t *ExpTable) montTable() *montComb {
+	t.montOnce.Do(func() {
+		t.mont = t.p.buildMontComb(t.base)
+	})
+	return t.mont
+}
+
 // Exp computes base^k using the table. k is normalized mod R before any
 // table walk, so zero, negative, and oversized scalars touch at most
-// |R| table rows; the result is bit-identical to base.Exp(k).
+// ⌈|R|/4⌉ comb rows (or |R| doubling-chain rows on the big.Int path); the
+// result is bit-identical to base.Exp(k) on every kernel.
 func (t *ExpTable) Exp(k *big.Int) *G {
 	p := t.p
 	if t.inf {
 		return p.OneG()
 	}
 	kk := new(big.Int).Mod(k, p.R)
+	if p.activeKernel() == KernelMontgomery {
+		var out montAffine
+		if !p.combExpMont(&out, t.montTable(), kk) {
+			return p.OneG()
+		}
+		return p.combPointMont(&out)
+	}
+	pows := t.bigPows()
 	s := newScratch()
 	acc := jacInfinity()
 	for i := 0; i < kk.BitLen(); i++ {
 		if kk.Bit(i) == 1 {
-			p.jacAddAffineTo(&acc, t.pows[i], s)
+			p.jacAddAffineTo(&acc, pows[i], s)
 		}
 	}
 	return &G{p: p, pt: p.toAffine(acc)}

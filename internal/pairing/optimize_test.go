@@ -1,6 +1,7 @@
 package pairing
 
 import (
+	"bytes"
 	"crypto/rand"
 	"math/big"
 	"testing"
@@ -91,8 +92,155 @@ func TestFixedBaseExpFullRangeDefault(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !p.FixedBaseExp(k).Equal(p.Generator().Exp(k)) {
+	want := p.Generator().Exp(k)
+	if !p.FixedBaseExp(k).Equal(want) {
 		t.Fatal("fixed-base mismatch at paper scale")
+	}
+	// All three kernels must produce byte-identical points through the
+	// table paths at paper scale, exercising both comb representations.
+	for _, kern := range []Kernel{KernelMontgomery, KernelProjective, KernelReference} {
+		cl := tableKernelClone(t, p, kern)
+		if !bytes.Equal(cl.FixedBaseExp(k).Marshal(), want.Marshal()) {
+			t.Fatalf("kernel %d: FixedBaseExp disagrees at paper scale", kern)
+		}
+	}
+}
+
+// tableKernelClone builds an independent Params value with the same
+// constants as p but running kernel k, the way benchmarks compare kernels.
+func tableKernelClone(t *testing.T, p *Params, k Kernel) *Params {
+	t.Helper()
+	q, r, h, gx, gy := p.Export()
+	cl, err := NewParams(q, r, h, gx, gy)
+	if err != nil {
+		t.Fatalf("clone params: %v", err)
+	}
+	cl.SetKernel(k)
+	return cl
+}
+
+// TestTableExpAllKernels pins FixedBaseExp and ExpTable.Exp bit-identical
+// across all three kernels: the Montgomery comb, the big.Int Jacobian
+// tables, and the plain reference exponentiation must agree byte for byte
+// on random and edge-case scalars.
+func TestTableExpAllKernels(t *testing.T) {
+	p := Test()
+	a, _ := p.RandomScalar(rand.Reader)
+	base := p.Generator().Exp(a)
+	scalars := []*big.Int{
+		new(big.Int),
+		big.NewInt(1),
+		big.NewInt(2),
+		new(big.Int).Sub(p.R, big.NewInt(1)),
+		new(big.Int).Set(p.R),
+		new(big.Int).Neg(big.NewInt(5)),
+	}
+	for i := 0; i < 8; i++ {
+		k, _ := p.RandomScalar(rand.Reader)
+		scalars = append(scalars, k)
+	}
+	kernels := []Kernel{KernelMontgomery, KernelProjective, KernelReference}
+	clones := make([]*Params, len(kernels))
+	tables := make([]*ExpTable, len(kernels))
+	for i, kern := range kernels {
+		clones[i] = tableKernelClone(t, p, kern)
+		b, err := clones[i].UnmarshalG(base.Marshal())
+		if err != nil {
+			t.Fatal(err)
+		}
+		tables[i] = clones[i].PrepareExp(b)
+	}
+	for _, k := range scalars {
+		wantFixed := p.Generator().Exp(k).Marshal()
+		wantTable := base.Exp(k).Marshal()
+		for i, kern := range kernels {
+			if got := clones[i].FixedBaseExp(k).Marshal(); !bytes.Equal(got, wantFixed) {
+				t.Fatalf("kernel %d: FixedBaseExp(%v) disagrees", kern, k)
+			}
+			if got := tables[i].Exp(k).Marshal(); !bytes.Equal(got, wantTable) {
+				t.Fatalf("kernel %d: ExpTable.Exp(%v) disagrees", kern, k)
+			}
+		}
+	}
+}
+
+// TestTableExpKernelFlip flips the kernel under live tables: a table built
+// while the Montgomery kernel was active must keep answering correctly
+// after SetKernel switches the Params to a big.Int kernel, and vice versa —
+// each representation is built lazily under its own sync.Once.
+func TestTableExpKernelFlip(t *testing.T) {
+	p := tableKernelClone(t, Test(), KernelMontgomery)
+	a, _ := p.RandomScalar(rand.Reader)
+	base := p.Generator().Exp(a)
+	tbl := p.PrepareExp(base)
+	k, _ := p.RandomScalar(rand.Reader)
+	want := base.Exp(k).Marshal()
+	wantFixed := p.Generator().Exp(k).Marshal()
+	for _, kern := range []Kernel{KernelMontgomery, KernelProjective, KernelReference, KernelMontgomery} {
+		p.SetKernel(kern)
+		if got := tbl.Exp(k).Marshal(); !bytes.Equal(got, want) {
+			t.Fatalf("kernel %d after flip: ExpTable.Exp disagrees", kern)
+		}
+		if got := p.FixedBaseExp(k).Marshal(); !bytes.Equal(got, wantFixed) {
+			t.Fatalf("kernel %d after flip: FixedBaseExp disagrees", kern)
+		}
+	}
+}
+
+// TestTableExpOversizedModulus covers the q > fpMaxLimbs·64 fallback: the
+// Montgomery kernel demotes to the projective big.Int path because no
+// fpContext fits, and the table entry points must still answer correctly.
+func TestTableExpOversizedModulus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("oversized-prime generation in -short mode")
+	}
+	p, err := GenerateParams(32, fpMaxLimbs*64+32, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetKernel(KernelMontgomery)
+	if p.fpc != nil {
+		t.Fatal("oversized modulus unexpectedly fit the fixed-width kernel")
+	}
+	if p.activeKernel() != KernelProjective {
+		t.Fatal("oversized Montgomery selection did not demote to projective")
+	}
+	a, _ := p.RandomScalar(rand.Reader)
+	base := p.Generator().Exp(a)
+	tbl := p.PrepareExp(base)
+	for _, k := range []*big.Int{new(big.Int), big.NewInt(1), new(big.Int).Sub(p.R, big.NewInt(1))} {
+		if !p.FixedBaseExp(k).Equal(p.Generator().Exp(k)) {
+			t.Fatalf("oversized modulus: FixedBaseExp(%v) disagrees", k)
+		}
+		if !tbl.Exp(k).Equal(base.Exp(k)) {
+			t.Fatalf("oversized modulus: ExpTable.Exp(%v) disagrees", k)
+		}
+	}
+	k, _ := p.RandomScalar(rand.Reader)
+	if !p.FixedBaseExp(k).Equal(p.Generator().Exp(k)) || !tbl.Exp(k).Equal(base.Exp(k)) {
+		t.Fatal("oversized modulus: random-scalar table exponentiation disagrees")
+	}
+}
+
+// TestCombExpMontAllocs pins the zero-allocation contract of the limb comb
+// at paper scale: once the table exists and the scalar is reduced, an
+// exponentiation touches no heap — the only allocations in the public
+// FixedBaseExp/Exp wrappers are the scalar reduction and the big.Int
+// result boundary.
+func TestCombExpMontAllocs(t *testing.T) {
+	p := Default()
+	k, _ := p.RandomScalar(rand.Reader)
+	kk := new(big.Int).Mod(k, p.R)
+	fixed := p.fixedTable().montRows(p)
+	a, _ := p.RandomScalar(rand.Reader)
+	tbl := p.PrepareExp(p.Generator().Exp(a))
+	comb := tbl.montTable()
+	var out montAffine
+	if a := testing.AllocsPerRun(20, func() { p.combExpMont(&out, fixed, kk) }); a != 0 {
+		t.Fatalf("combExpMont over the generator table allocates %v/op", a)
+	}
+	if a := testing.AllocsPerRun(20, func() { p.combExpMont(&out, comb, kk) }); a != 0 {
+		t.Fatalf("combExpMont over an ExpTable comb allocates %v/op", a)
 	}
 }
 

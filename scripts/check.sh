@@ -26,8 +26,15 @@ echo "== cloud suite on the sharded file backend (MAACS_STORE=sharded-file)"
 MAACS_STORE=sharded-file go test -count=1 ./internal/cloud/
 echo "== go test -race ./internal/pairing"
 go test -race -count=1 ./internal/pairing
+echo "== table/comb differential race gate: all kernels through FixedBaseExp/ExpTable"
+go test -race -count=2 -run 'TestTableExp|TestFixedBaseExp|TestPrepareExpMatchesExp|TestScalarNormalization' ./internal/pairing
+go test -race -count=2 -run 'TestExpCache' ./internal/engine
+echo "== alloc pins: comb evaluation + field primitives (race off: AllocsPerRun)"
+go test -count=1 -run 'TestCombExpMontAllocs|TestHotPathZeroBigIntAllocs' ./internal/pairing
 echo "== bench smoke: pairing kernels"
 go test -run=NoTests -bench=Pair -benchtime=1x ./internal/pairing
 echo "== fuzz smoke: Montgomery field vs math/big"
 go test -run=NoTests -fuzz=FuzzFpMontgomery -fuzztime=5s ./internal/pairing
+echo "== fuzz smoke: Lehmer inversion vs Fermat and ModInverse"
+go test -run=NoTests -fuzz=FuzzFpInvLehmer -fuzztime=5s ./internal/pairing
 echo "== OK"
