@@ -11,6 +11,7 @@
 //	maacs-bench -what reencrypt-batch  # per-ciphertext vs batched submission
 //	maacs-bench -what shardiso      # cross-owner fetch latency, mem vs sharded
 //	maacs-bench -what walcommit     # durable put throughput + fsyncs/op vs writers
+//	maacs-bench -what load          # open-loop load vs a live server, both transports
 //	maacs-bench -points 2,5,8 -trials 3
 //	maacs-bench -fast               # small test curve (CI smoke run)
 //	maacs-bench -csv dir            # also write CSV series into dir
@@ -28,10 +29,20 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"time"
 
 	"maacs/internal/bench"
 	"maacs/internal/pairing"
 )
+
+// benchModes is the canonical list of experiments -what accepts. A mode not
+// on this list is an error, not a silent no-op: the old behaviour of
+// ignoring unknown names let typos (and stale scripts naming removed
+// experiments) report success while running nothing.
+var benchModes = []string{
+	"tables", "fig3", "fig4", "revocation", "ablation", "scale", "engine",
+	"reencrypt-batch", "shardiso", "walcommit", "pairing", "load",
+}
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -42,7 +53,7 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("maacs-bench", flag.ContinueOnError)
-	what := fs.String("what", "tables,fig3,fig4,revocation,ablation,scale,engine,reencrypt-batch,shardiso,walcommit,pairing", "comma-separated experiments to run")
+	what := fs.String("what", strings.Join(benchModes, ","), "comma-separated experiments to run")
 	points := fs.String("points", "2,5,8,11,14,17,20", "sweep values for the figures (paper: 2..20)")
 	fixed := fs.Int("fixed", 5, "value of the non-swept axis (paper: 5)")
 	trials := fs.Int("trials", 2, "trials per sweep point (paper: 20)")
@@ -58,6 +69,14 @@ func run(args []string, out io.Writer) error {
 	walcommitJSON := fs.String("walcommit-json", "BENCH_walcommit.json", "output path for the WAL group-commit report")
 	walOps := fs.Int("wal-ops", 256, "durable puts per writer in the WAL group-commit experiment")
 	walSegment := fs.Int64("wal-segment-bytes", 256<<10, "WAL segment rotation threshold during the group-commit experiment")
+	loadJSON := fs.String("load-json", "BENCH_load.json", "output path for the open-loop load report")
+	loadDuration := fs.Duration("load-duration", 2*time.Second, "driving time per load point")
+	loadRates := fs.String("load-rates", "25,50,100,200", "offered rates (ops/sec) of the load saturation sweep")
+	loadOwners := fs.Int("load-owners", 4, "simulated data owners in the load population")
+	loadUsers := fs.Int("load-users", 8, "simulated users in the load population")
+	loadRecords := fs.Int("load-records", 6, "durable records per owner in the load population")
+	loadTransports := fs.String("load-transports", "rpc,http", "transports the load sweep drives")
+	loadProcs := fs.String("load-procs", "", "GOMAXPROCS values to sweep at the highest load rate (empty = skip)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -71,9 +90,20 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	spec := bench.SweepSpec{Params: params, Rnd: rand.Reader, Xs: xs, Fixed: *fixed, Trials: *trials}
+	valid := make(map[string]bool, len(benchModes))
+	for _, m := range benchModes {
+		valid[m] = true
+	}
 	want := make(map[string]bool)
 	for _, w := range strings.Split(*what, ",") {
-		want[strings.TrimSpace(w)] = true
+		w = strings.TrimSpace(w)
+		if w == "" {
+			continue
+		}
+		if !valid[w] {
+			return fmt.Errorf("unknown -what %q (valid: %s)", w, strings.Join(benchModes, ", "))
+		}
+		want[w] = true
 	}
 
 	fmt.Fprintf(out, "maacs-bench: |r|=%d bits, |q|=%d bits, points=%v, fixed=%d, trials=%d\n\n",
@@ -246,6 +276,53 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "  wrote %s\n\n", *walcommitJSON)
 	}
 
+	if want["load"] {
+		rates, err := parseRates(*loadRates)
+		if err != nil {
+			return fmt.Errorf("load: %w", err)
+		}
+		var procs []int
+		if *loadProcs != "" {
+			if procs, err = parsePoints(*loadProcs); err != nil {
+				return fmt.Errorf("load: %w", err)
+			}
+		}
+		var transports []string
+		for _, tr := range strings.Split(*loadTransports, ",") {
+			if tr = strings.TrimSpace(tr); tr != "" {
+				transports = append(transports, tr)
+			}
+		}
+		report, err := bench.MeasureLoad(bench.LoadSpec{
+			Params:          params,
+			Rnd:             rand.Reader,
+			Owners:          *loadOwners,
+			Users:           *loadUsers,
+			RecordsPerOwner: *loadRecords,
+			Duration:        *loadDuration,
+			Rates:           rates,
+			Transports:      transports,
+			Procs:           procs,
+			Window:          *batchWindow,
+		})
+		if err != nil {
+			return fmt.Errorf("load: %w", err)
+		}
+		report.Render(out)
+		f, err := os.Create(*loadJSON)
+		if err != nil {
+			return err
+		}
+		if err := report.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "  wrote %s\n\n", *loadJSON)
+	}
+
 	if want["pairing"] {
 		report, err := bench.MeasurePairing(params, rand.Reader, *fixed, *trials)
 		if err != nil {
@@ -322,6 +399,18 @@ func ablation(out io.Writer, params *pairing.Params, n int) error {
 	fmt.Fprintf(out, "%-46s %14s %6.1fx\n", "aggregated multi-pairing (2 Millers, extension)", fast, float64(slow)/float64(fast))
 	fmt.Fprintln(out)
 	return nil
+}
+
+func parseRates(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad offered rate %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 func parsePoints(s string) ([]int, error) {

@@ -19,6 +19,9 @@ func TestBenchToolSmoke(t *testing.T) {
 		"-shardiso-json", filepath.Join(dir, "shardiso.json"),
 		"-pairing-json", filepath.Join(dir, "pairing.json"),
 		"-walcommit-json", filepath.Join(dir, "walcommit.json"),
+		"-load-json", filepath.Join(dir, "load.json"),
+		"-load-duration", "100ms", "-load-rates", "80",
+		"-load-owners", "2", "-load-users", "2", "-load-records", "2",
 	}, &sb)
 	if err != nil {
 		t.Fatal(err)
@@ -29,9 +32,26 @@ func TestBenchToolSmoke(t *testing.T) {
 		"Fig3a", "Fig3b", "Fig4a", "Fig4b", "shape:",
 		"Revocation", "pirretti", "Ablation", "pairing_pp",
 		"key-distribution cost vs population",
+		"open-loop load", "wrote " + filepath.Join(dir, "load.json"),
 	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("output missing %q", want)
+		}
+	}
+}
+
+// TestBenchToolRejectsUnknownMode pins the -what contract: an experiment
+// name not on the canonical list must be an error naming the valid set, not
+// a silent run-nothing success (the old behaviour).
+func TestBenchToolRejectsUnknownMode(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-fast", "-what", "tables,walcomit"}, &sb)
+	if err == nil {
+		t.Fatal("unknown -what mode accepted")
+	}
+	for _, want := range []string{`"walcomit"`, "valid:", "walcommit", "load"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q missing %q", err, want)
 		}
 	}
 }

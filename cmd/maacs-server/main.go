@@ -11,6 +11,7 @@
 //	maacs-server -addr 127.0.0.1:7744 -fast                  # small test curve
 //	maacs-server -addr 127.0.0.1:7744 -workers 8             # engine pool width
 //	maacs-server -addr 127.0.0.1:7744 -batch-window 32       # streaming window
+//	maacs-server -batch-window 32 -batch-window-target 50ms  # adaptive windows
 //	maacs-server -store file -data-dir /var/lib/maacs        # durable records
 //	maacs-server -store file -data-dir /var/lib/maacs -shards 8
 //
@@ -68,6 +69,7 @@ type config struct {
 	addr, httpAddr    string
 	fast              bool
 	batchWindow       int
+	batchWindowTarget time.Duration
 	store             string
 	dataDir           string
 	shards            int
@@ -87,6 +89,8 @@ func main() {
 	workers := flag.Int("workers", 0, "engine pool width (0 = GOMAXPROCS)")
 	flag.IntVar(&cfg.batchWindow, "batch-window", 64,
 		"max update-info sets fused into one engine run per batch window (0 = whole batch)")
+	flag.DurationVar(&cfg.batchWindowTarget, "batch-window-target", 0,
+		"adaptive windowing: grow/shrink windows after the first toward this wall time per window (0 = fixed windows)")
 	flag.StringVar(&cfg.store, "store", "mem",
 		"storage backend: mem (process-lifetime maps) or file (WAL-backed, crash-safe)")
 	flag.StringVar(&cfg.dataDir, "data-dir", "",
@@ -160,6 +164,7 @@ func run(cfg config) error {
 	}
 	server := cloud.NewServerWithStore(sys, cloud.NewAccounting(), store)
 	server.SetBatchWindow(cfg.batchWindow)
+	server.SetBatchWindowTarget(cfg.batchWindowTarget)
 	info := server.StoreInfo()
 	fmt.Printf("maacs-server: store %s, %d shard(s), %d record(s) loaded, wal %d bytes\n",
 		info.Backend, info.Shards, info.Records, info.WALBytes)

@@ -1,0 +1,105 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"maacs/internal/pairing"
+)
+
+// TestMeasureLoadSmoke drives the full open-loop harness — population build,
+// live RPC and HTTP servers, every op of the mix — at a tiny scale. It is
+// the check.sh load gate and runs under -race, so it doubles as a
+// concurrency check on the whole serving path.
+func TestMeasureLoadSmoke(t *testing.T) {
+	spec := LoadSpec{
+		Params:          pairing.Test(),
+		Owners:          2,
+		Users:           2,
+		RecordsPerOwner: 2,
+		Duration:        150 * time.Millisecond,
+		Rates:           []float64{200},
+		Transports:      []string{"rpc", "http"},
+		Window:          2,
+		InFlight:        8,
+		Seed:            7,
+	}
+	report, err := MeasureLoad(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Points) != 2 {
+		t.Fatalf("got %d points, want one per transport", len(report.Points))
+	}
+	seen := map[string]bool{}
+	for _, pt := range report.Points {
+		seen[pt.Transport] = true
+		var total uint64
+		for op, st := range pt.Ops {
+			total += st.Ops
+			if st.Errors > 0 {
+				t.Errorf("%s/%s: %d errors under healthy load", pt.Transport, op, st.Errors)
+			}
+			if st.Ops > 0 && st.Hist.Count != st.Ops {
+				t.Errorf("%s/%s: histogram count %d != ops %d", pt.Transport, op, st.Hist.Count, st.Ops)
+			}
+			if st.Ops > 0 && (st.P50 <= 0 || st.P99 < st.P50) {
+				t.Errorf("%s/%s: implausible quantiles p50=%g p99=%g", pt.Transport, op, st.P50, st.P99)
+			}
+		}
+		if total == 0 {
+			t.Errorf("%s: no operations completed", pt.Transport)
+		}
+		if pt.AchievedPerSec <= 0 {
+			t.Errorf("%s: achieved rate %g", pt.Transport, pt.AchievedPerSec)
+		}
+		// The read ops must always have flowed; they dominate the mix.
+		if pt.Ops[loadOpFetch].Ops == 0 {
+			t.Errorf("%s: no fetches completed", pt.Transport)
+		}
+	}
+	if !seen["rpc"] || !seen["http"] {
+		t.Fatalf("transports covered: %v, want rpc and http", seen)
+	}
+
+	// The report must round-trip as JSON and render without panicking.
+	var buf bytes.Buffer
+	if err := report.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back LoadReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("report does not round-trip: %v", err)
+	}
+	if len(back.Points) != len(report.Points) {
+		t.Fatalf("round-trip lost points: %d != %d", len(back.Points), len(report.Points))
+	}
+	report.Render(&buf)
+}
+
+func TestLoadMixValidation(t *testing.T) {
+	if _, err := newOpPicker(LoadMix{"warp": 1}); err == nil {
+		t.Fatal("unknown op accepted")
+	}
+	if _, err := newOpPicker(LoadMix{loadOpFetch: -1}); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+	if _, err := newOpPicker(LoadMix{loadOpFetch: 0}); err == nil {
+		t.Fatal("all-zero mix accepted")
+	}
+	p, err := newOpPicker(LoadMix{loadOpFetch: 3, loadOpStore: 1, loadOpDelete: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.ops) != 2 {
+		t.Fatalf("zero-weight op not dropped: %v", p.ops)
+	}
+	for r := 0; r < p.sum; r++ {
+		op := p.pick(r)
+		if op != loadOpFetch && op != loadOpStore {
+			t.Fatalf("pick(%d) = %q", r, op)
+		}
+	}
+}

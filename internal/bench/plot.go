@@ -32,7 +32,7 @@ func (s *Series) Plot(w io.Writer, height int) {
 	const cellW = 6
 	grid := make([][]byte, height)
 	for r := range grid {
-		grid[r] = bytes(' ', cols*cellW)
+		grid[r] = repeatByte(' ', cols*cellW)
 	}
 	plotAt := func(col int, d time.Duration, mark byte) {
 		row := height - 1 - int(float64(d)/float64(maxY)*float64(height-1))
@@ -74,7 +74,7 @@ func (s *Series) Plot(w io.Writer, height int) {
 	fmt.Fprintf(w, "%s (%s)\n", strings.TrimRight(xt.String(), " "), s.XLabel)
 }
 
-func bytes(b byte, n int) []byte {
+func repeatByte(b byte, n int) []byte {
 	out := make([]byte, n)
 	for i := range out {
 		out[i] = b

@@ -10,6 +10,7 @@ package cloud
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"maacs/internal/engine"
 )
@@ -27,17 +28,42 @@ const (
 	ChanCAUser      Channel = "CA↔User"
 )
 
+// chanTally is one channel's counters. The cells are atomics so the lock-free
+// fetch path never serializes on the meter.
+type chanTally struct {
+	bytes atomic.Int64
+	msgs  atomic.Int64
+}
+
 // Accounting tallies bytes and message counts per channel. Safe for
-// concurrent use.
+// concurrent use: the channel set is guarded by a RWMutex (there are only
+// five channels, created on first touch), while the counters themselves are
+// atomic — concurrent Adds on an existing channel take only a read lock.
 type Accounting struct {
-	mu    sync.Mutex
-	bytes map[Channel]int
-	msgs  map[Channel]int
+	mu      sync.RWMutex
+	tallies map[Channel]*chanTally
 }
 
 // NewAccounting returns an empty meter.
 func NewAccounting() *Accounting {
-	return &Accounting{bytes: make(map[Channel]int), msgs: make(map[Channel]int)}
+	return &Accounting{tallies: make(map[Channel]*chanTally)}
+}
+
+// tally returns the channel's counter cell, creating it on first touch.
+func (a *Accounting) tally(ch Channel) *chanTally {
+	a.mu.RLock()
+	t := a.tallies[ch]
+	a.mu.RUnlock()
+	if t != nil {
+		return t
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if t = a.tallies[ch]; t == nil {
+		t = &chanTally{}
+		a.tallies[ch] = t
+	}
+	return t
 }
 
 // Add records one message of n bytes on the channel. A nil receiver is a
@@ -46,10 +72,9 @@ func (a *Accounting) Add(ch Channel, n int) {
 	if a == nil {
 		return
 	}
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	a.bytes[ch] += n
-	a.msgs[ch]++
+	t := a.tally(ch)
+	t.bytes.Add(int64(n))
+	t.msgs.Add(1)
 }
 
 // Bytes returns the byte total for a channel.
@@ -57,9 +82,13 @@ func (a *Accounting) Bytes(ch Channel) int {
 	if a == nil {
 		return 0
 	}
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.bytes[ch]
+	a.mu.RLock()
+	t := a.tallies[ch]
+	a.mu.RUnlock()
+	if t == nil {
+		return 0
+	}
+	return int(t.bytes.Load())
 }
 
 // Messages returns the message count for a channel.
@@ -67,9 +96,13 @@ func (a *Accounting) Messages(ch Channel) int {
 	if a == nil {
 		return 0
 	}
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.msgs[ch]
+	a.mu.RLock()
+	t := a.tallies[ch]
+	a.mu.RUnlock()
+	if t == nil {
+		return 0
+	}
+	return int(t.msgs.Load())
 }
 
 // OwnerStats is one data owner's slice of the server's counters: what it
@@ -129,11 +162,11 @@ func (a *Accounting) Snapshot() map[Channel]ChannelStats {
 	if a == nil {
 		return nil
 	}
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	out := make(map[Channel]ChannelStats, len(a.bytes))
-	for ch, n := range a.bytes {
-		out[ch] = ChannelStats{Bytes: n, Messages: a.msgs[ch]}
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	out := make(map[Channel]ChannelStats, len(a.tallies))
+	for ch, t := range a.tallies {
+		out[ch] = ChannelStats{Bytes: int(t.bytes.Load()), Messages: int(t.msgs.Load())}
 	}
 	return out
 }
@@ -145,8 +178,7 @@ func (a *Accounting) Reset() {
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	a.bytes = make(map[Channel]int)
-	a.msgs = make(map[Channel]int)
+	a.tallies = make(map[Channel]*chanTally)
 }
 
 // Channels returns the channels seen so far, sorted.
@@ -154,10 +186,10 @@ func (a *Accounting) Channels() []Channel {
 	if a == nil {
 		return nil
 	}
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	out := make([]Channel, 0, len(a.bytes))
-	for ch := range a.bytes {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	out := make([]Channel, 0, len(a.tallies))
+	for ch := range a.tallies {
 		out = append(out, ch)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })

@@ -1,0 +1,61 @@
+package cloud
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestFetchComponentAsNoAliasing is the regression test for the fetch-path
+// aliasing bug: FetchComponentAs used to return a shallow struct copy whose
+// Sealed slice and CT internals (Versions map, Rows elements) aliased the
+// stored record, so a caller scribbling over its download corrupted the
+// server's state for every later reader. The fix deep-copies the component;
+// this test fails on the old code at the "sealed payload" check.
+func TestFetchComponentAsNoAliasing(t *testing.T) {
+	env, owner := hospitalEnv(t)
+	uploadPatientRecord(t, owner)
+
+	before := marshalRecord(t, env.Server, "patient-7")
+
+	comp, err := env.Server.FetchComponentAs("patient-7", "diagnosis", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A hostile (or merely careless) client mutates everything reachable
+	// from its copy of the download.
+	for i := range comp.Sealed {
+		comp.Sealed[i] ^= 0xff
+	}
+	for aid := range comp.CT.Versions {
+		comp.CT.Versions[aid] += 100
+	}
+	comp.CT.Policy = "mangled"
+	comp.CT.Rows = comp.CT.Rows[:0]
+
+	if after := marshalRecord(t, env.Server, "patient-7"); !bytes.Equal(before, after) {
+		t.Fatal("mutating a fetched component corrupted the stored record")
+	}
+
+	// The whole-record path must give the same isolation.
+	rec, err := env.Server.FetchAs("patient-7", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rec.Components {
+		for j := range rec.Components[i].Sealed {
+			rec.Components[i].Sealed[j] ^= 0xff
+		}
+		for aid := range rec.Components[i].CT.Versions {
+			rec.Components[i].CT.Versions[aid] += 100
+		}
+	}
+	if after := marshalRecord(t, env.Server, "patient-7"); !bytes.Equal(before, after) {
+		t.Fatal("mutating a fetched record corrupted the stored record")
+	}
+
+	// And a mutated download must still leave the record decryptable.
+	doctor := addUser(t, env, "dr-alias", map[string][]string{"med": {"doctor"}})
+	if _, err := doctor.Download("patient-7", "diagnosis"); err != nil {
+		t.Fatalf("record no longer decryptable after client-side mutation: %v", err)
+	}
+}

@@ -1,0 +1,123 @@
+package cloud
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// TestRPCBatchResumeFromCursor kills a windowed batch mid-way and completes
+// it through the server-held cursor: net/rpc drops the reply on a non-nil
+// error, so a mid-batch failure arrives as a *BatchFailedError carrying the
+// partial report plus a cursor, and ResumeReEncryptBatch commits exactly the
+// uncommitted suffix. The failure is injected through the server's commit
+// hook: just before the second window commits, the owner's records are
+// deleted and re-stored with equal values but fresh pointers, so the
+// window's ReplaceIfUnchanged sees a conflict — the transient kind of
+// failure a resume exists for.
+func TestRPCBatchResumeFromCursor(t *testing.T) {
+	env, remote := rpcFixture(t)
+	if _, err := env.AddAuthority("med", []string{"doctor", "nurse"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := env.AddAuthority("trial", []string{"researcher", "admin"}); err != nil {
+		t.Fatal(err)
+	}
+	owner, err := env.AddOwner("hospital")
+	if err != nil {
+		t.Fatal(err)
+	}
+	uploadPatientRecord(t, owner)
+	uploadSecondRecord(t, owner)
+	ownerID := owner.Owner.ID()
+
+	uk, uis := revocationInputs(t, env, owner)
+	items := perCiphertextItems(uk, uis)
+	if len(items) != 5 {
+		t.Fatalf("corpus has %d items, want 5", len(items))
+	}
+
+	// Reference: the same batch run to completion on a pristine copy.
+	var seed bytes.Buffer
+	if err := env.Server.Snapshot(&seed); err != nil {
+		t.Fatal(err)
+	}
+	ref := NewServer(env.Sys, nil)
+	if err := ref.Restore(bytes.NewReader(seed.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.ReEncryptBatchWindowed(ownerID, items, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Sabotage exactly the second window's commit.
+	var commits atomic.Int32
+	env.Server.commitHook = func() {
+		if commits.Add(1) != 2 {
+			return
+		}
+		for _, id := range []string{"patient-7", "patient-8"} {
+			rec, err := env.Server.FetchAs(id, "")
+			if err != nil {
+				t.Errorf("hook fetch %s: %v", id, err)
+				return
+			}
+			if _, err := env.Server.Delete(id, ownerID); err != nil {
+				t.Errorf("hook delete %s: %v", id, err)
+				return
+			}
+			if err := env.Server.Store(rec); err != nil {
+				t.Errorf("hook re-store %s: %v", id, err)
+				return
+			}
+		}
+	}
+
+	report, err := remote.ReEncryptBatchWindowed(ownerID, items, 1)
+	var failed *BatchFailedError
+	if !errors.As(err, &failed) {
+		t.Fatalf("got %v (%T), want *BatchFailedError", err, err)
+	}
+	if report == nil {
+		t.Fatal("no partial report alongside the failure")
+	}
+	if report.NextItem != 1 {
+		t.Fatalf("NextItem %d, want 1 (first window committed, second conflicted)", report.NextItem)
+	}
+	if len(report.Committed) == 0 {
+		t.Fatalf("committed prefix empty: %+v", report)
+	}
+	if failed.Cursor == "" || failed.Cursor != report.Cursor {
+		t.Fatalf("cursor mismatch: error %q, report %q", failed.Cursor, report.Cursor)
+	}
+
+	// Resume commits items[1:] and reports NextItem in the original frame.
+	rep2, err := remote.ResumeReEncryptBatch(failed.Cursor, 0)
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if rep2.NextItem != len(items) {
+		t.Fatalf("resumed NextItem %d, want %d", rep2.NextItem, len(items))
+	}
+	if rep2.Ciphertexts != 4 {
+		t.Fatalf("resume re-encrypted %d ciphertexts, want the 4 uncommitted", rep2.Ciphertexts)
+	}
+	if got := report.Ciphertexts + rep2.Ciphertexts; got != 5 {
+		t.Fatalf("batch + resume cover %d ciphertexts, want 5", got)
+	}
+
+	// The combined runs produce exactly the reference state.
+	for _, id := range []string{"patient-7", "patient-8"} {
+		if !bytes.Equal(marshalRecord(t, env.Server, id), marshalRecord(t, ref, id)) {
+			t.Fatalf("record %s diverged from the uninterrupted reference run", id)
+		}
+	}
+
+	// Cursors are one-shot.
+	if _, err := remote.ResumeReEncryptBatch(failed.Cursor, 0); err == nil ||
+		!strings.Contains(err.Error(), "unknown batch cursor") {
+		t.Fatalf("spent cursor resumed: %v", err)
+	}
+}

@@ -64,14 +64,19 @@ type HTTPBatchReEncryptRequest struct {
 }
 
 // HTTPBatchReEncryptResponse reports per-item and total work, the windowing
-// actually used, the committed record IDs, and the summed engine activity.
+// actually used (WindowSizes lists every window's item count, which vary
+// under adaptive sizing), the committed record IDs, and the summed engine
+// activity. NextItem is the index of the first unprocessed item — always
+// len(items) on success.
 type HTTPBatchReEncryptResponse struct {
 	Items       []ReEncryptResult `json:"items"`
 	Ciphertexts int               `json:"ciphertexts"`
 	Rows        int               `json:"rows"`
 	Window      int               `json:"window"`
+	WindowSizes []int             `json:"window_sizes,omitempty"`
 	Windows     int               `json:"windows"`
 	Committed   []string          `json:"committed"`
+	NextItem    int               `json:"next_item"`
 	Engine      engine.Stats      `json:"engine"`
 }
 
@@ -94,12 +99,14 @@ type HTTPMetrics struct {
 }
 
 // httpError is the JSON error envelope. A mid-batch re-encryption failure
-// additionally names the record IDs that committed before the failing window,
-// so the client can resubmit only the remainder.
+// additionally names the record IDs that committed before the failing window
+// and the index of the first uncommitted item, so the client can resubmit
+// only items[next_item:].
 type httpError struct {
 	Error     string   `json:"error"`
 	Committed []string `json:"committed,omitempty"`
 	Windows   int      `json:"windows,omitempty"`
+	NextItem  int      `json:"next_item,omitempty"`
 }
 
 // NewHTTPHandler exposes the server over HTTP/JSON.
@@ -325,6 +332,7 @@ func (h *httpGateway) reencryptBatch(w http.ResponseWriter, r *http.Request) {
 		if report != nil {
 			e.Committed = report.Committed
 			e.Windows = report.Windows
+			e.NextItem = report.NextItem
 		}
 		writeJSON(w, statusFor(err), e)
 		return
@@ -334,8 +342,10 @@ func (h *httpGateway) reencryptBatch(w http.ResponseWriter, r *http.Request) {
 		Ciphertexts: report.Ciphertexts,
 		Rows:        report.Rows,
 		Window:      report.Window,
+		WindowSizes: report.WindowSizes,
 		Windows:     report.Windows,
 		Committed:   report.Committed,
+		NextItem:    report.NextItem,
 		Engine:      report.Engine,
 	})
 }

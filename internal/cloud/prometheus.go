@@ -51,6 +51,17 @@ func label(key, value string) string {
 	return "{" + key + `="` + escapeLabel(value) + `"}`
 }
 
+// labels2 renders a two-label block, both values escaped.
+func labels2(k1, v1, k2, v2 string) string {
+	return "{" + k1 + `="` + escapeLabel(v1) + `",` + k2 + `="` + escapeLabel(v2) + `"}`
+}
+
+// floatVal renders a bucket boundary the way Prometheus clients do: shortest
+// representation that round-trips.
+func floatVal(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
 func escapeLabel(s string) string {
 	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
 	return r.Replace(s)
@@ -99,6 +110,25 @@ func WritePrometheus(w io.Writer, m HTTPMetrics) error {
 	b.sample("maacs_engine_cache_misses_total", label("cache", "prepared"), uintVal(m.Engine.PreparedMisses))
 	b.family("maacs_engine_wall_seconds_total", "counter", "Summed wall time of re-encryption fan-outs.")
 	b.sample("maacs_engine_wall_seconds_total", "", secondsVal(m.Engine.WallNs))
+
+	if len(m.Durations) > 0 {
+		ops := make([]string, 0, len(m.Durations))
+		for op := range m.Durations {
+			ops = append(ops, op)
+		}
+		sort.Strings(ops)
+		const durName = "maacs_request_duration_seconds"
+		b.family(durName, "histogram", "Request latency by operation.")
+		for _, op := range ops {
+			s := m.Durations[op]
+			for _, bk := range s.Buckets {
+				b.sample(durName+"_bucket", labels2("op", op, "le", floatVal(bk.LE)), uintVal(bk.Count))
+			}
+			b.sample(durName+"_bucket", labels2("op", op, "le", "+Inf"), uintVal(s.Count))
+			b.sample(durName+"_sum", label("op", op), secondsVal(s.SumNs))
+			b.sample(durName+"_count", label("op", op), uintVal(s.Count))
+		}
+	}
 
 	b.family("maacs_wal_bytes", "gauge", "Committed write-ahead log bytes not yet compacted (0 for memory backends).")
 	b.sample("maacs_wal_bytes", "", strconv.FormatInt(m.Store.WALBytes, 10))

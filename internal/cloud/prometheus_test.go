@@ -1,6 +1,7 @@
 package cloud
 
 import (
+	"strconv"
 	"strings"
 	"testing"
 
@@ -9,8 +10,9 @@ import (
 
 // TestWritePrometheusGolden pins the full text exposition for a handcrafted
 // metrics snapshot: family order, HELP/TYPE headers, per-owner and
-// per-channel label sets (sorted), label escaping, and nanosecond→second
-// conversion. Any drift in the scrape format fails byte-for-byte.
+// per-channel label sets (sorted), label escaping, histogram bucket/sum/count
+// rendering, and nanosecond→second conversion. Any drift in the scrape format
+// fails byte-for-byte.
 func TestWritePrometheusGolden(t *testing.T) {
 	m := HTTPMetrics{
 		Metrics: Metrics{
@@ -43,6 +45,17 @@ func TestWritePrometheusGolden(t *testing.T) {
 			Users: map[string]UserStats{
 				"alice": {RecordFetches: 4, ComponentFetches: 9, FetchedBytes: 1536},
 				"bob":   {ComponentFetches: 2, FetchedBytes: 512},
+			},
+			Durations: map[string]HistogramSnapshot{
+				"fetch": {
+					Buckets: []HistogramBucket{{LE: 1e-5, Count: 2}, {LE: 2e-5, Count: 5}},
+					Count:   5, SumNs: 60_000,
+				},
+				// An overflow observation: +Inf exceeds the last finite bucket.
+				"reencrypt": {
+					Buckets: []HistogramBucket{{LE: 0.08192, Count: 2}},
+					Count:   3, SumNs: 2_000_000_000,
+				},
 			},
 		},
 		Store: StoreInfo{
@@ -103,6 +116,17 @@ maacs_engine_cache_misses_total{cache="prepared"} 2
 # HELP maacs_engine_wall_seconds_total Summed wall time of re-encryption fan-outs.
 # TYPE maacs_engine_wall_seconds_total counter
 maacs_engine_wall_seconds_total 1.5
+# HELP maacs_request_duration_seconds Request latency by operation.
+# TYPE maacs_request_duration_seconds histogram
+maacs_request_duration_seconds_bucket{op="fetch",le="1e-05"} 2
+maacs_request_duration_seconds_bucket{op="fetch",le="2e-05"} 5
+maacs_request_duration_seconds_bucket{op="fetch",le="+Inf"} 5
+maacs_request_duration_seconds_sum{op="fetch"} 6e-05
+maacs_request_duration_seconds_count{op="fetch"} 5
+maacs_request_duration_seconds_bucket{op="reencrypt",le="0.08192"} 2
+maacs_request_duration_seconds_bucket{op="reencrypt",le="+Inf"} 3
+maacs_request_duration_seconds_sum{op="reencrypt"} 2
+maacs_request_duration_seconds_count{op="reencrypt"} 3
 # HELP maacs_wal_bytes Committed write-ahead log bytes not yet compacted (0 for memory backends).
 # TYPE maacs_wal_bytes gauge
 maacs_wal_bytes 8192
@@ -216,6 +240,110 @@ func TestWritePrometheusEmpty(t *testing.T) {
 		if !typed[name] {
 			t.Fatalf("sample %q precedes its TYPE header", line)
 		}
+	}
+}
+
+// TestPrometheusHistogramExposition lints the histogram families of a live
+// server's exposition: every `*_bucket` family must come with `_sum` and
+// `_count` samples for the same label set, bucket counts must be cumulative
+// (non-decreasing in le order) and end in a `+Inf` bucket equal to `_count`.
+// This is the histogram-exposition gate check.sh runs.
+func TestPrometheusHistogramExposition(t *testing.T) {
+	env, owner := hospitalEnv(t)
+	uploadPatientRecord(t, owner)
+	doctor := addUser(t, env, "dr-bob", map[string][]string{"med": {"doctor"}})
+	if _, err := doctor.DownloadRecord("patient-7"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := doctor.Download("patient-7", "diagnosis"); err != nil {
+		t.Fatal(err)
+	}
+	m := HTTPMetrics{Metrics: env.Server.Metrics(), Store: env.Server.StoreInfo()}
+	var buf strings.Builder
+	if err := WritePrometheus(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "# TYPE maacs_request_duration_seconds histogram\n") {
+		t.Fatalf("no histogram family in exposition:\n%s", out)
+	}
+
+	// Collect per-series state keyed by the label block minus the le label.
+	type series struct {
+		buckets  []uint64
+		lastLE   string
+		sum      bool
+		count    uint64
+		hasCount bool
+	}
+	all := map[string]*series{}
+	get := func(key string) *series {
+		s := all[key]
+		if s == nil {
+			s = &series{}
+			all[key] = s
+		}
+		return s
+	}
+	for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		name, labels, _ := strings.Cut(fields[0], "{")
+		switch {
+		case strings.HasSuffix(name, "_bucket"):
+			base := strings.TrimSuffix(name, "_bucket")
+			le, rest := "", make([]string, 0, 2)
+			for _, kv := range strings.Split(strings.TrimSuffix(labels, "}"), ",") {
+				if v, ok := strings.CutPrefix(kv, `le="`); ok {
+					le = strings.TrimSuffix(v, `"`)
+				} else {
+					rest = append(rest, kv)
+				}
+			}
+			if le == "" {
+				t.Fatalf("bucket sample without le label: %q", line)
+			}
+			v, err := strconv.ParseUint(fields[1], 10, 64)
+			if err != nil {
+				t.Fatalf("bad bucket value %q: %v", line, err)
+			}
+			s := get(base + "|" + strings.Join(rest, ","))
+			if n := len(s.buckets); n > 0 && v < s.buckets[n-1] {
+				t.Fatalf("bucket counts not cumulative at %q", line)
+			}
+			s.buckets = append(s.buckets, v)
+			s.lastLE = le
+		case strings.HasSuffix(name, "_sum"):
+			get(strings.TrimSuffix(name, "_sum") + "|" + strings.TrimSuffix(labels, "}")).sum = true
+		case strings.HasSuffix(name, "_count"):
+			s := get(strings.TrimSuffix(name, "_count") + "|" + strings.TrimSuffix(labels, "}"))
+			v, err := strconv.ParseUint(fields[1], 10, 64)
+			if err != nil {
+				t.Fatalf("bad count value %q: %v", line, err)
+			}
+			s.count, s.hasCount = v, true
+		}
+	}
+	checked := 0
+	for key, s := range all {
+		if len(s.buckets) == 0 {
+			continue
+		}
+		checked++
+		if !s.sum || !s.hasCount {
+			t.Errorf("series %q has buckets but sum=%v count=%v", key, s.sum, s.hasCount)
+		}
+		if s.lastLE != "+Inf" {
+			t.Errorf("series %q does not end in +Inf (last le %q)", key, s.lastLE)
+		}
+		if s.hasCount && s.buckets[len(s.buckets)-1] != s.count {
+			t.Errorf("series %q +Inf bucket %d != count %d", key, s.buckets[len(s.buckets)-1], s.count)
+		}
+	}
+	if checked < 2 {
+		t.Fatalf("expected histogram series for fetch and fetch_component, checked %d", checked)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"crypto/rand"
 	"errors"
 	"runtime"
+	"strings"
 	"sync"
 	"testing"
 
@@ -134,6 +135,96 @@ func TestFetchDuringReEncryptNoRace(t *testing.T) {
 		if report.Ciphertexts != 5 {
 			t.Fatalf("round %d re-encrypted %d ciphertexts, want 5", round, report.Ciphertexts)
 		}
+	}
+}
+
+// TestMixedTrafficMetricsNoRace hammers the lock-free serving paths the load
+// harness exercises — attributed fetches (per-user counters), component
+// fetches, metrics snapshots, Prometheus rendering and accounting reads — all
+// while revocation re-encryptions stream through the store. Run under -race
+// by scripts/check.sh; this is the regression test for the counter races on
+// the lock-free read paths (noteDownload, acct.Add, the per-user stats map).
+func TestMixedTrafficMetricsNoRace(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 4 {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	}
+	env, owner := hospitalEnv(t)
+	uploadPatientRecord(t, owner)
+	if _, err := owner.Upload("patient-8", []UploadComponent{
+		{Label: "name", Data: []byte("Bill"), Policy: "med:doctor"},
+		{Label: "diagnosis", Data: []byte("flu"), Policy: "med:doctor OR med:nurse"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ownerID := owner.Owner.ID()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	hammer := func(f func(i int)) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+					f(i)
+				}
+			}
+		}()
+	}
+	// Attributed downloads from rotating users: exercises the atomic server
+	// counters and the per-user sync.Map rows.
+	for g := 0; g < 2; g++ {
+		g := g
+		hammer(func(i int) {
+			user := []string{"u-ann", "u-bob", "u-cho"}[(g+i)%3]
+			if _, err := env.Server.FetchAs("patient-7", user); err != nil {
+				t.Errorf("fetch: %v", err)
+			}
+			if _, err := env.Server.FetchComponentAs("patient-8", "diagnosis", user); err != nil {
+				t.Errorf("fetch component: %v", err)
+			}
+		})
+	}
+	// Metrics scrapers: snapshot the counters and render the exposition while
+	// the writers run.
+	hammer(func(int) {
+		m := HTTPMetrics{Metrics: env.Server.Metrics(), Store: env.Server.StoreInfo(), Channels: env.Acct.Snapshot()}
+		var buf strings.Builder
+		if err := WritePrometheus(&buf, m); err != nil {
+			t.Errorf("prometheus: %v", err)
+		}
+		_ = env.Acct.Bytes(ChanServerUser)
+		_ = env.Acct.Messages(ChanServerOwner)
+	})
+
+	// Foreground: streamed re-encryptions with small windows, racing the
+	// readers above for the same slots and counters.
+	for round := 0; round < 3; round++ {
+		uk, uis := revocationInputs(t, env, owner)
+		if _, err := env.Server.ReEncryptBatchWindowed(ownerID, perCiphertextItems(uk, uis), 2); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// Sanity: the hammered counters are consistent with each other.
+	m := env.Server.Metrics()
+	if m.RecordFetches == 0 || m.ComponentFetches == 0 || m.FetchedBytes == 0 {
+		t.Fatalf("hammer recorded nothing: %+v", m)
+	}
+	var users uint64
+	for _, u := range m.Users {
+		users += u.RecordFetches
+	}
+	if users != m.RecordFetches {
+		t.Fatalf("per-user fetches %d != total %d", users, m.RecordFetches)
+	}
+	if m.Durations["fetch"].Count != m.RecordFetches {
+		t.Fatalf("fetch histogram count %d != fetches %d", m.Durations["fetch"].Count, m.RecordFetches)
 	}
 }
 

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"maacs/internal/core"
 	"maacs/internal/engine"
@@ -31,6 +33,17 @@ type StoredComponent struct {
 	Sealed []byte
 }
 
+// clone deep-copies the component: the ciphertext, the sealed payload and
+// their backing arrays. Fetch paths hand clones to callers so no write into a
+// returned component can ever reach the stored record.
+func (c *StoredComponent) clone() StoredComponent {
+	return StoredComponent{
+		Label:  c.Label,
+		CT:     c.CT.Clone(),
+		Sealed: append([]byte(nil), c.Sealed...),
+	}
+}
+
 // Record is an owner's uploaded data item.
 type Record struct {
 	ID         string
@@ -38,17 +51,30 @@ type Record struct {
 	Components []StoredComponent
 }
 
-// snapshot copies the record shell and its component slice. Stored
-// *core.Ciphertext values are immutable (a re-encryption commit swaps the
-// pointer in a cloned record rather than mutating the pointee), so sharing
-// the pointers is safe: stored records never change after they are read from
-// the store.
+// snapshot copies the record shell and its component slice, sharing the
+// component pointees. The stores use it for copy-on-write commits, where both
+// sides stay under the store's immutability contract; anything handed to an
+// external caller must use deepCopy instead.
 func (r *Record) snapshot() *Record {
 	return &Record{
 		ID:         r.ID,
 		OwnerID:    r.OwnerID,
 		Components: append([]StoredComponent(nil), r.Components...),
 	}
+}
+
+// deepCopy clones the record and every component, so the result shares no
+// memory with the stored record at all.
+func (r *Record) deepCopy() *Record {
+	cp := &Record{
+		ID:         r.ID,
+		OwnerID:    r.OwnerID,
+		Components: make([]StoredComponent, len(r.Components)),
+	}
+	for i := range r.Components {
+		cp.Components[i] = r.Components[i].clone()
+	}
+	return cp
 }
 
 // ReEncryptItem is one update-info set of a (possibly batched) re-encryption
@@ -87,14 +113,29 @@ type BatchReport struct {
 	// Ciphertexts and Rows total the committed work.
 	Ciphertexts int `json:"ciphertexts"`
 	Rows        int `json:"rows"`
-	// Window is the item cap per engine run this batch ran with (0 = the
-	// whole batch fused into one run).
+	// Window is the item cap per engine run this batch started with (0 = the
+	// whole batch fused into one run). Under adaptive sizing later windows
+	// may differ; WindowSizes holds what actually ran.
 	Window int `json:"window"`
 	// Windows counts the engine runs performed (committed windows plus, on
 	// failure, none for the failing window).
 	Windows int `json:"windows"`
+	// WindowSizes lists the item count of each committed window in order —
+	// under adaptive sizing (SetBatchWindowTarget) this is the evidence of
+	// how the server rescaled the batch.
+	WindowSizes []int `json:"window_sizes,omitempty"`
+	// NextItem is the index of the first item whose window did not commit:
+	// len(Items) after a fully committed batch, the failing window's first
+	// item after a mid-batch failure. A client resumes by resubmitting
+	// items[NextItem:] (the RPC transport holds them server-side under
+	// BatchReport.Cursor).
+	NextItem int `json:"next_item"`
 	// Committed lists the record IDs whose components were replaced, sorted.
 	Committed []string `json:"committed"`
+	// Cursor, set only by the RPC transport on a mid-batch failure, names the
+	// server-held remainder of this batch; CloudServer.ReEncryptBatchResume
+	// continues from it without resubmitting committed items.
+	Cursor string `json:"cursor,omitempty"`
 	// Engine sums the engine activity of every committed window's run.
 	Engine engine.Stats `json:"engine"`
 }
@@ -133,7 +174,23 @@ type Metrics struct {
 	// attributed downloads — transport callers that do not identify a user
 	// count in the cumulative counters alone).
 	Users map[string]UserStats `json:"users,omitempty"`
+	// Durations holds the per-operation request-latency histograms (store,
+	// fetch, fetch_component, delete, reencrypt), in the cumulative le form
+	// the Prometheus exposition renders. Operations never invoked are absent.
+	Durations map[string]HistogramSnapshot `json:"durations,omitempty"`
 }
+
+// Operation labels of the request-duration histograms.
+const (
+	opStore          = "store"
+	opFetch          = "fetch"
+	opFetchComponent = "fetch_component"
+	opDelete         = "delete"
+	opReEncrypt      = "reencrypt"
+)
+
+// durationOps lists the instrumented operations in exposition order.
+var durationOps = []string{opStore, opFetch, opFetchComponent, opDelete, opReEncrypt}
 
 // Server is the cloud storage server: it stores records, serves downloads,
 // and performs proxy re-encryption during revocation. It holds no secret key
@@ -151,12 +208,35 @@ type Server struct {
 	acct  *Accounting
 	store Store
 
+	// The download counters live outside the mutex: fetches are the lock-free
+	// hot path, so their counters are atomics and the per-user rows live in a
+	// sync.Map of atomic cells (noteDownload takes no lock at all).
+	recordFetches    atomic.Uint64
+	componentFetches atomic.Uint64
+	fetchedBytes     atomic.Uint64
+	userRows         sync.Map // uid → *userCounters
+
+	// durs holds one latency histogram per operation. The map is built once
+	// in NewServerWithStore and never written again, so lookups are lock-free.
+	durs map[string]*LatencyHistogram
+
+	// commitHook, when non-nil, runs between a re-encryption window's compute
+	// and its commit; tests use it to inject commit-time conflicts.
+	commitHook func()
+
 	mu            sync.Mutex // guards everything below; never held across store/engine calls
 	metrics       Metrics
 	owners        map[string]*OwnerStats
-	users         map[string]*UserStats
 	window        int
+	windowTarget  time.Duration
 	snapshotLimit int64
+}
+
+// userCounters is one user's lock-free download counter row.
+type userCounters struct {
+	recordFetches    atomic.Uint64
+	componentFetches atomic.Uint64
+	fetchedBytes     atomic.Uint64
 }
 
 // defaultStore, when non-nil, overrides the backend NewServer installs. The
@@ -179,13 +259,24 @@ func NewServer(sys *core.System, acct *Accounting) *Server {
 // backend. A backend reopened from disk serves its previous records
 // immediately.
 func NewServerWithStore(sys *core.System, acct *Accounting, store Store) *Server {
+	durs := make(map[string]*LatencyHistogram, len(durationOps))
+	for _, op := range durationOps {
+		durs[op] = &LatencyHistogram{}
+	}
 	return &Server{
 		sys:    sys,
 		acct:   acct,
 		store:  store,
+		durs:   durs,
 		owners: make(map[string]*OwnerStats),
-		users:  make(map[string]*UserStats),
 	}
+}
+
+// observe records one request's latency under its operation label. Every
+// request counts, successful or not — latency is a serving property, unlike
+// the meter-on-success accounting counters.
+func (s *Server) observe(op string, start time.Time) {
+	s.durs[op].Observe(time.Since(start))
 }
 
 // Close flushes and releases the storage backend (a file-backed store fsyncs
@@ -216,6 +307,29 @@ func (s *Server) BatchWindow() int {
 	return s.window
 }
 
+// SetBatchWindowTarget enables adaptive window sizing for windowed batches:
+// after each committed window the server rescales the next window so one
+// engine run takes roughly d of wall time, using the previous window's
+// measured per-item cost. d <= 0 disables adaptation (windows stay at the
+// requested fixed size). The target only applies to windowed submissions —
+// an unwindowed batch (window <= 0) still fuses everything into one run.
+func (s *Server) SetBatchWindowTarget(d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if d < 0 {
+		d = 0
+	}
+	s.windowTarget = d
+}
+
+// BatchWindowTarget reports the adaptive window wall-time target
+// (0 = adaptation disabled).
+func (s *Server) BatchWindowTarget() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.windowTarget
+}
+
 // ownerStatsLocked returns the mutable per-owner counter row, creating it on
 // first touch. Caller holds s.mu.
 func (s *Server) ownerStatsLocked(ownerID string) *OwnerStats {
@@ -227,44 +341,38 @@ func (s *Server) ownerStatsLocked(ownerID string) *OwnerStats {
 	return os
 }
 
-// userStatsLocked returns the mutable per-user counter row, creating it on
-// first touch. Caller holds s.mu.
-func (s *Server) userStatsLocked(userID string) *UserStats {
-	us := s.users[userID]
-	if us == nil {
-		us = &UserStats{}
-		s.users[userID] = us
-	}
-	return us
-}
-
 // noteDownload folds one successful download into the cumulative counters
-// and, when the request named a user, into that user's row.
+// and, when the request named a user, into that user's row. Downloads are the
+// lock-free read path, so every counter here is an atomic: a fetch never
+// contends with a metrics snapshot or a re-encryption commit.
 func (s *Server) noteDownload(userID string, size int, component bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	if component {
-		s.metrics.ComponentFetches++
+		s.componentFetches.Add(1)
 	} else {
-		s.metrics.RecordFetches++
+		s.recordFetches.Add(1)
 	}
-	s.metrics.FetchedBytes += uint64(size)
+	s.fetchedBytes.Add(uint64(size))
 	if userID == "" {
 		return
 	}
-	us := s.userStatsLocked(userID)
-	if component {
-		us.ComponentFetches++
-	} else {
-		us.RecordFetches++
+	row, ok := s.userRows.Load(userID)
+	if !ok {
+		row, _ = s.userRows.LoadOrStore(userID, &userCounters{})
 	}
-	us.FetchedBytes += uint64(size)
+	uc := row.(*userCounters)
+	if component {
+		uc.componentFetches.Add(1)
+	} else {
+		uc.recordFetches.Add(1)
+	}
+	uc.fetchedBytes.Add(uint64(size))
 }
 
 // Store uploads a record (Server↔Owner channel). Rejected duplicates are not
 // metered: the upload never happened, so it must not inflate the Table IV
 // communication tally.
 func (s *Server) Store(rec *Record) error {
+	defer s.observe(opStore, time.Now())
 	size := 0
 	for _, c := range rec.Components {
 		size += c.CT.Size(s.sys.Params) + len(c.Sealed)
@@ -288,15 +396,17 @@ func (s *Server) Fetch(recordID string) (*Record, error) {
 
 // FetchAs downloads a whole record (Server↔User channel), attributing the
 // download to userID (empty = unattributed transport caller). The returned
-// record is a snapshot: concurrent re-encryptions never alias into it. The
+// record is a deep copy: concurrent re-encryptions never alias into it, and
+// no write into the returned components can reach the stored record. The
 // read takes no server lock at all — stored records are immutable, so the
 // store's lookup is the only synchronization a download needs.
 func (s *Server) FetchAs(recordID, userID string) (*Record, error) {
+	defer s.observe(opFetch, time.Now())
 	rec, ok := s.store.Get(recordID)
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrRecordNotFound, recordID)
 	}
-	cp := rec.snapshot()
+	cp := rec.deepCopy()
 	size := 0
 	for _, c := range cp.Components {
 		size += c.CT.Size(s.sys.Params) + len(c.Sealed)
@@ -315,15 +425,18 @@ func (s *Server) FetchComponent(recordID, label string) (*StoredComponent, error
 // FetchComponentAs downloads a single component by label — the fine-grained
 // access path (different users decrypt different numbers of components) —
 // attributing the download to userID (empty = unattributed). The component
-// is copied from the immutable stored record.
+// is deep-copied from the immutable stored record, symmetric with FetchAs: a
+// caller writing into the returned Sealed bytes or CT cannot corrupt the
+// store.
 func (s *Server) FetchComponentAs(recordID, label, userID string) (*StoredComponent, error) {
+	defer s.observe(opFetchComponent, time.Now())
 	rec, ok := s.store.Get(recordID)
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrRecordNotFound, recordID)
 	}
 	for i := range rec.Components {
 		if rec.Components[i].Label == label {
-			c := rec.Components[i]
+			c := rec.Components[i].clone()
 			size := c.CT.Size(s.sys.Params) + len(c.Sealed)
 			s.acct.Add(ChanServerUser, size)
 			s.noteDownload(userID, size, true)
@@ -337,6 +450,7 @@ func (s *Server) FetchComponentAs(recordID, label, userID string) (*StoredCompon
 // the claimed owner against the stored record (the paper's server executes
 // owners' tasks correctly).
 func (s *Server) Delete(recordID, ownerID string) (*Record, error) {
+	defer s.observe(opDelete, time.Now())
 	return s.store.Delete(recordID, ownerID)
 }
 
@@ -379,15 +493,16 @@ func (s *Server) Metrics() Metrics {
 	}
 
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	m := s.metrics
-	m.Records = records
 	m.Owners = make(map[string]OwnerStats, len(s.owners))
 	for id, os := range s.owners {
 		row := *os
 		row.Records = perOwner[id]
 		m.Owners[id] = row
 	}
+	s.mu.Unlock()
+
+	m.Records = records
 	// Owners whose records arrived via Restore have no counter row yet; they
 	// still show up with their record count.
 	for id, n := range perOwner {
@@ -395,9 +510,31 @@ func (s *Server) Metrics() Metrics {
 			m.Owners[id] = OwnerStats{Records: n}
 		}
 	}
-	m.Users = make(map[string]UserStats, len(s.users))
-	for id, us := range s.users {
-		m.Users[id] = *us
+	// The download counters and per-user rows are atomics outside the mutex.
+	m.RecordFetches = s.recordFetches.Load()
+	m.ComponentFetches = s.componentFetches.Load()
+	m.FetchedBytes = s.fetchedBytes.Load()
+	m.Users = make(map[string]UserStats)
+	s.userRows.Range(func(k, v any) bool {
+		uc := v.(*userCounters)
+		m.Users[k.(string)] = UserStats{
+			RecordFetches:    uc.recordFetches.Load(),
+			ComponentFetches: uc.componentFetches.Load(),
+			FetchedBytes:     uc.fetchedBytes.Load(),
+		}
+		return true
+	})
+	if len(m.Users) == 0 {
+		m.Users = nil
+	}
+	m.Durations = make(map[string]HistogramSnapshot, len(durationOps))
+	for _, op := range durationOps {
+		if snap := s.durs[op].Snapshot(); snap.Count > 0 {
+			m.Durations[op] = snap
+		}
+	}
+	if len(m.Durations) == 0 {
+		m.Durations = nil
 	}
 	return m
 }
@@ -442,6 +579,7 @@ func (s *Server) ReEncryptBatch(ownerID string, items []ReEncryptItem) (*BatchRe
 // committed and the returned BatchReport names exactly the committed record
 // IDs alongside the error.
 func (s *Server) ReEncryptBatchWindowed(ownerID string, items []ReEncryptItem, window int) (*BatchReport, error) {
+	defer s.observe(opReEncrypt, time.Now())
 	// An update-info set applies to exactly one stored slot; overlapping
 	// items would make two jobs race for the same slot (and the fused run
 	// cannot order chained version bumps), so reject them up front.
@@ -464,6 +602,10 @@ func (s *Server) ReEncryptBatchWindowed(ownerID string, items []ReEncryptItem, w
 		return nil, fmt.Errorf("%w: %q has no stored records", ErrUnknownOwner, ownerID)
 	}
 
+	// Adaptive sizing only applies to windowed submissions: an unwindowed
+	// batch explicitly asks for one fused run, so the target never splits it.
+	target := s.BatchWindowTarget()
+	adaptive := target > 0 && window > 0
 	if window <= 0 || window > len(items) {
 		window = len(items)
 	}
@@ -473,26 +615,59 @@ func (s *Server) ReEncryptBatchWindowed(ownerID string, items []ReEncryptItem, w
 		Committed: []string{},
 	}
 	committed := make(map[string]bool)
-	for start := 0; start < len(items); start += window {
-		end := start + window
+	size := window
+	for start := 0; start < len(items); {
+		end := start + size
 		if end > len(items) {
 			end = len(items)
 		}
-		if err := s.reencryptWindow(ownerID, items, start, end, claimed, report, committed); err != nil {
+		stats, err := s.reencryptWindow(ownerID, items, start, end, claimed, report, committed)
+		if err != nil {
 			s.mu.Lock()
 			s.metrics.ReEncryptFailures++
 			s.ownerStatsLocked(ownerID).ReEncryptFailures++
 			s.mu.Unlock()
 			report.Committed = sortedKeys(committed)
+			report.NextItem = start
 			return report, err
 		}
+		report.WindowSizes = append(report.WindowSizes, end-start)
+		if adaptive && end < len(items) {
+			size = nextWindowSize(size, end-start, stats.WallNs, target)
+		}
+		start = end
 	}
 	report.Committed = sortedKeys(committed)
+	report.NextItem = len(items)
 	s.mu.Lock()
 	s.metrics.ReEncryptRequests++
 	s.ownerStatsLocked(ownerID).ReEncryptRequests++
 	s.mu.Unlock()
 	return report, nil
+}
+
+// nextWindowSize rescales an adaptive window from the previous window's
+// measured engine wall time: the next window aims for target wall time at the
+// observed per-item cost. Growth is capped at 4× per step so one anomalously
+// fast window cannot balloon the next commit, and the result never drops
+// below one item.
+func nextWindowSize(prev, did int, wallNs int64, target time.Duration) int {
+	if prev < 1 {
+		prev = 1
+	}
+	next := prev * 4
+	if did > 0 {
+		if perItem := wallNs / int64(did); perItem > 0 {
+			next = int(int64(target) / perItem)
+		}
+	}
+	if next > prev*4 {
+		next = prev * 4
+	}
+	if next < 1 {
+		next = 1
+	}
+	return next
 }
 
 // windowWork is one slot of a window's snapshot: where the result commits
@@ -510,8 +685,10 @@ type windowWork struct {
 // snapshot from the store, compute with no lock held, commit-or-reject
 // through ReplaceIfUnchanged. On success the window's work is folded into
 // report, the committed set, the accounting meter and the cumulative +
-// per-owner metrics; on error nothing from this window is applied.
-func (s *Server) reencryptWindow(ownerID string, items []ReEncryptItem, start, end int, claimed map[string]int, report *BatchReport, committed map[string]bool) error {
+// per-owner metrics, and the run's engine stats are returned so adaptive
+// sizing can rescale the next window; on error nothing from this window is
+// applied.
+func (s *Server) reencryptWindow(ownerID string, items []ReEncryptItem, start, end int, claimed map[string]int, report *BatchReport, committed map[string]bool) (engine.Stats, error) {
 	// Snapshot the window's affected slots in stable record order. Stored
 	// records and their ciphertexts are immutable, so the captured pointers
 	// stay valid without any lock.
@@ -549,19 +726,22 @@ func (s *Server) reencryptWindow(ownerID string, items []ReEncryptItem, start, e
 		})
 	})
 	if err != nil {
-		return err
+		return engine.Stats{}, err
 	}
 
 	// Commit only if every slot still holds the ciphertext this window was
 	// computed from; a concurrent writer (another batch, a delete) means the
 	// results would overwrite state they were not derived from. The store
 	// applies the whole window atomically under its (shard's) lock.
+	if s.commitHook != nil {
+		s.commitHook()
+	}
 	swaps := make([]CTSwap, len(work))
 	for j, w := range work {
 		swaps[j] = CTSwap{RecordID: w.recID, Index: w.idx, Expect: w.ct, New: reencs[j]}
 	}
 	if err := s.store.ReplaceIfUnchanged(ownerID, swaps); err != nil {
-		return err
+		return engine.Stats{}, err
 	}
 
 	winCts, winRows := 0, 0
@@ -597,7 +777,7 @@ func (s *Server) reencryptWindow(ownerID string, items []ReEncryptItem, start, e
 	os.ReEncryptedCiphertexts += uint64(winCts)
 	os.ReEncryptedRows += uint64(winRows)
 	os.Engine = os.Engine.Add(stats)
-	return nil
+	return stats, nil
 }
 
 // sortedKeys returns the map's keys in sorted order.

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strings"
 	"testing"
+	"time"
 
 	"maacs/internal/core"
 )
@@ -128,6 +129,118 @@ func TestReEncryptBatchWindowedMatchesUnwindowed(t *testing.T) {
 	}
 	if o.Engine.Jobs == 0 || o.Engine.WallNs <= 0 {
 		t.Fatalf("owner engine stats empty: %+v", o.Engine)
+	}
+}
+
+// TestReEncryptBatchAdaptiveMatchesFixed is the differential test for
+// adaptive window sizing: with a wall-time target set, the server rescales
+// each window from the previous window's measured engine wall time — but the
+// stored ciphertexts must come out bit-identical to a fixed-window run and to
+// the unwindowed fused run. Sizing changes scheduling, never output.
+func TestReEncryptBatchAdaptiveMatchesFixed(t *testing.T) {
+	env, owner := hospitalEnv(t)
+	uploadPatientRecord(t, owner)
+	uploadSecondRecord(t, owner)
+	ownerID := owner.Owner.ID()
+
+	uk, uis := revocationInputs(t, env, owner)
+	items := perCiphertextItems(uk, uis)
+
+	var seed bytes.Buffer
+	if err := env.Server.Snapshot(&seed); err != nil {
+		t.Fatal(err)
+	}
+	fresh := func() *Server {
+		s := NewServer(env.Sys, nil)
+		if err := s.Restore(bytes.NewReader(seed.Bytes())); err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	fixed, adaptive, unwin := fresh(), fresh(), fresh()
+
+	repF, err := fixed.ReEncryptBatchWindowed(ownerID, items, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A generous target lets the adaptive run grow past the initial window; a
+	// tiny target would shrink back to 1-item windows. Either way the output
+	// must not change.
+	adaptive.SetBatchWindowTarget(time.Minute)
+	repA, err := adaptive.ReEncryptBatchWindowed(ownerID, items, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repU, err := unwin.ReEncryptBatchWindowed(ownerID, items, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for name, rep := range map[string]*BatchReport{"fixed": repF, "adaptive": repA, "unwindowed": repU} {
+		total := 0
+		for _, sz := range rep.WindowSizes {
+			total += sz
+		}
+		if total != len(items) || len(rep.WindowSizes) != rep.Windows {
+			t.Fatalf("%s run: window sizes %v across %d windows do not cover %d items",
+				name, rep.WindowSizes, rep.Windows, len(items))
+		}
+		if rep.NextItem != len(items) {
+			t.Fatalf("%s run: NextItem %d, want %d", name, rep.NextItem, len(items))
+		}
+	}
+	if repF.WindowSizes[0] != 2 || repA.WindowSizes[0] != 2 {
+		t.Fatalf("first window must honour the submitted cap: fixed %v, adaptive %v",
+			repF.WindowSizes, repA.WindowSizes)
+	}
+	// The unwindowed run ignores the target entirely.
+	if repU.Windows != 1 {
+		t.Fatalf("unwindowed run split into %d windows", repU.Windows)
+	}
+
+	var sf, sa, su bytes.Buffer
+	for _, c := range []struct {
+		s *Server
+		b *bytes.Buffer
+	}{{fixed, &sf}, {adaptive, &sa}, {unwin, &su}} {
+		if err := c.s.Snapshot(c.b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(sf.Bytes(), sa.Bytes()) {
+		t.Fatal("adaptive windowing diverged from fixed windowing")
+	}
+	if !bytes.Equal(sf.Bytes(), su.Bytes()) {
+		t.Fatal("windowed runs diverged from the unwindowed run")
+	}
+	if bytes.Equal(sf.Bytes(), seed.Bytes()) {
+		t.Fatal("re-encryption did not change the stored ciphertexts")
+	}
+}
+
+// TestNextWindowSize pins the adaptive resizing rule: scale to the target at
+// the observed per-item cost, grow at most 4x per step, never below one item.
+func TestNextWindowSize(t *testing.T) {
+	cases := []struct {
+		prev   int
+		did    int
+		wallNs int64
+		target time.Duration
+		want   int
+	}{
+		{2, 2, int64(20 * time.Millisecond), 100 * time.Millisecond, 8},   // 10ms/item → 10 items, capped at 4x
+		{4, 4, int64(4 * time.Millisecond), 100 * time.Millisecond, 16},   // 1ms/item → 100, capped at 16
+		{8, 8, int64(800 * time.Millisecond), 100 * time.Millisecond, 1},  // 100ms/item → 1
+		{8, 8, int64(400 * time.Millisecond), 100 * time.Millisecond, 2},  // 50ms/item → 2
+		{3, 3, 0, 100 * time.Millisecond, 12},                             // no measurement → grow 4x
+		{0, 0, 0, 100 * time.Millisecond, 4},                              // degenerate prev clamps to 1, then 4x
+		{5, 5, int64(50 * time.Millisecond), 50 * time.Millisecond, 5},    // on target → hold
+	}
+	for _, c := range cases {
+		if got := nextWindowSize(c.prev, c.did, c.wallNs, c.target); got != c.want {
+			t.Errorf("nextWindowSize(%d, %d, %d, %v) = %d, want %d",
+				c.prev, c.did, c.wallNs, c.target, got, c.want)
+		}
 	}
 }
 

@@ -24,6 +24,10 @@ echo "== cloud suite on the file backend (MAACS_STORE=file)"
 MAACS_STORE=file go test -count=1 ./internal/cloud/
 echo "== cloud suite on the sharded file backend (MAACS_STORE=sharded-file)"
 MAACS_STORE=sharded-file go test -count=1 ./internal/cloud/
+echo "== load-smoke gate: open-loop harness vs live server, both transports"
+go test -race -count=1 -run 'TestMeasureLoadSmoke' ./internal/bench/
+echo "== histogram-exposition lint: /metrics le-buckets well formed"
+go test -count=1 -run 'TestPrometheusHistogram' ./internal/cloud/
 echo "== go test -race ./internal/pairing"
 go test -race -count=1 ./internal/pairing
 echo "== table/comb differential race gate: all kernels through FixedBaseExp/ExpTable"
