@@ -12,6 +12,8 @@
 //	maacs-bench -what shardiso      # cross-owner fetch latency, mem vs sharded
 //	maacs-bench -what walcommit     # durable put throughput + fsyncs/op vs writers
 //	maacs-bench -what load          # open-loop load vs a live server, both transports
+//	maacs-bench -what load -load-mix fetch=60,fetch_component=30,store=5,delete=3,reencrypt=1,revoke=1
+//	maacs-bench -what fetchpath     # cached vs uncached serving cost of the read path
 //	maacs-bench -points 2,5,8 -trials 3
 //	maacs-bench -fast               # small test curve (CI smoke run)
 //	maacs-bench -csv dir            # also write CSV series into dir
@@ -41,7 +43,7 @@ import (
 // experiments) report success while running nothing.
 var benchModes = []string{
 	"tables", "fig3", "fig4", "revocation", "ablation", "scale", "engine",
-	"reencrypt-batch", "shardiso", "walcommit", "pairing", "load",
+	"reencrypt-batch", "shardiso", "walcommit", "pairing", "load", "fetchpath",
 }
 
 func main() {
@@ -77,6 +79,9 @@ func run(args []string, out io.Writer) error {
 	loadRecords := fs.Int("load-records", 6, "durable records per owner in the load population")
 	loadTransports := fs.String("load-transports", "rpc,http", "transports the load sweep drives")
 	loadProcs := fs.String("load-procs", "", "GOMAXPROCS values to sweep at the highest load rate (empty = skip)")
+	loadMix := fs.String("load-mix", "", "op mix for the load sweep as op=weight pairs (empty = built-in default mix)")
+	fetchpathJSON := fs.String("fetchpath-json", "BENCH_fetchpath.json", "output path for the cached-vs-uncached read-path report")
+	fetchpathIters := fs.Int("fetchpath-iters", 0, "timed iterations per fetchpath row (0 = built-in default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -293,6 +298,10 @@ func run(args []string, out io.Writer) error {
 				transports = append(transports, tr)
 			}
 		}
+		mix, err := parseLoadMix(*loadMix)
+		if err != nil {
+			return fmt.Errorf("load: %w", err)
+		}
 		report, err := bench.MeasureLoad(bench.LoadSpec{
 			Params:          params,
 			Rnd:             rand.Reader,
@@ -304,6 +313,7 @@ func run(args []string, out io.Writer) error {
 			Transports:      transports,
 			Procs:           procs,
 			Window:          *batchWindow,
+			Mix:             mix,
 		})
 		if err != nil {
 			return fmt.Errorf("load: %w", err)
@@ -321,6 +331,32 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(out, "  wrote %s\n\n", *loadJSON)
+	}
+
+	if want["fetchpath"] {
+		report, err := bench.MeasureFetchPath(bench.FetchPathSpec{
+			Params:          params,
+			Rnd:             rand.Reader,
+			Owners:          *loadOwners,
+			RecordsPerOwner: *loadRecords,
+			Iters:           *fetchpathIters,
+		})
+		if err != nil {
+			return fmt.Errorf("fetchpath: %w", err)
+		}
+		report.Render(out)
+		f, err := os.Create(*fetchpathJSON)
+		if err != nil {
+			return err
+		}
+		if err := report.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "  wrote %s\n\n", *fetchpathJSON)
 	}
 
 	if want["pairing"] {
@@ -399,6 +435,32 @@ func ablation(out io.Writer, params *pairing.Params, n int) error {
 	fmt.Fprintf(out, "%-46s %14s %6.1fx\n", "aggregated multi-pairing (2 Millers, extension)", fast, float64(slow)/float64(fast))
 	fmt.Fprintln(out)
 	return nil
+}
+
+// parseLoadMix parses "fetch=60,store=5,..." into a bench.LoadMix. An empty
+// string means the built-in default mix; weight validation (unknown ops,
+// negatives) happens inside the load harness.
+func parseLoadMix(s string) (bench.LoadMix, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	mix := make(bench.LoadMix)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		op, weight, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -load-mix entry %q (want op=weight)", part)
+		}
+		w, err := strconv.Atoi(strings.TrimSpace(weight))
+		if err != nil {
+			return nil, fmt.Errorf("bad -load-mix weight %q", part)
+		}
+		mix[strings.TrimSpace(op)] = w
+	}
+	return mix, nil
 }
 
 func parseRates(s string) ([]float64, error) {

@@ -14,6 +14,8 @@
 //	maacs-server -batch-window 32 -batch-window-target 50ms  # adaptive windows
 //	maacs-server -store file -data-dir /var/lib/maacs        # durable records
 //	maacs-server -store file -data-dir /var/lib/maacs -shards 8
+//	maacs-server -response-cache-bytes 134217728             # read-path cache cap
+//	maacs-server -pprof-addr 127.0.0.1:6060                  # profiling endpoints
 //
 // Storage backends (-store):
 //
@@ -53,6 +55,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	_ "net/http/pprof" // profiling endpoints, served only when -pprof-addr is set
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -75,6 +78,8 @@ type config struct {
 	shards            int
 	walSegmentBytes   int64
 	compactThreshold  int64
+	responseCache     int64
+	pprofAddr         string
 	readHeaderTimeout time.Duration
 	readTimeout       time.Duration
 	writeTimeout      time.Duration
@@ -101,6 +106,10 @@ func main() {
 		"file store: WAL segment rotation threshold in bytes (0 = engine default)")
 	flag.Int64Var(&cfg.compactThreshold, "compact-threshold", 0,
 		"file store: total WAL bytes that wake the background compactor (0 = engine default)")
+	flag.Int64Var(&cfg.responseCache, "response-cache-bytes", cloud.DefaultResponseCacheBytes,
+		"encoded-response cache capacity in bytes; fetches are served from cached renderings until a mutation invalidates them (0 disables)")
+	flag.StringVar(&cfg.pprofAddr, "pprof-addr", "",
+		"optional net/http/pprof listen address (e.g. 127.0.0.1:6060); off when empty")
 	flag.DurationVar(&cfg.readHeaderTimeout, "read-header-timeout", 5*time.Second,
 		"http: max time to read a request's headers")
 	flag.DurationVar(&cfg.readTimeout, "read-timeout", 2*time.Minute,
@@ -165,6 +174,17 @@ func run(cfg config) error {
 	server := cloud.NewServerWithStore(sys, cloud.NewAccounting(), store)
 	server.SetBatchWindow(cfg.batchWindow)
 	server.SetBatchWindowTarget(cfg.batchWindowTarget)
+	server.SetResponseCacheBytes(cfg.responseCache)
+	if cfg.pprofAddr != "" {
+		// The pprof endpoints register on http.DefaultServeMux at import; a
+		// dedicated listener keeps them off the public gateway.
+		go func() {
+			fmt.Printf("maacs-server: pprof on %s\n", cfg.pprofAddr)
+			if err := http.ListenAndServe(cfg.pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "maacs-server: pprof:", err)
+			}
+		}()
+	}
 	info := server.StoreInfo()
 	fmt.Printf("maacs-server: store %s, %d shard(s), %d record(s) loaded, wal %d bytes\n",
 		info.Backend, info.Shards, info.Records, info.WALBytes)

@@ -203,12 +203,12 @@ func (h *httpGateway) storeRecord(w http.ResponseWriter, r *http.Request) {
 }
 
 func (h *httpGateway) fetchRecord(w http.ResponseWriter, r *http.Request) {
-	rec, err := h.server.FetchAs(r.PathValue("id"), r.URL.Query().Get("user"))
+	body, err := h.server.FetchRecordJSON(r.PathValue("id"), r.URL.Query().Get("user"))
 	if err != nil {
 		writeJSON(w, statusFor(err), httpError{Error: err.Error()})
 		return
 	}
-	writeJSON(w, http.StatusOK, toHTTPRecord(rec))
+	writeRawJSON(w, http.StatusOK, body)
 }
 
 func (h *httpGateway) deleteRecord(w http.ResponseWriter, r *http.Request) {
@@ -225,23 +225,19 @@ func (h *httpGateway) deleteRecord(w http.ResponseWriter, r *http.Request) {
 }
 
 func (h *httpGateway) fetchComponent(w http.ResponseWriter, r *http.Request) {
-	comp, err := h.server.FetchComponentAs(r.PathValue("id"), r.PathValue("label"), r.URL.Query().Get("user"))
+	body, err := h.server.FetchComponentJSON(r.PathValue("id"), r.PathValue("label"), r.URL.Query().Get("user"))
 	if err != nil {
 		writeJSON(w, statusFor(err), httpError{Error: err.Error()})
 		return
 	}
-	writeJSON(w, http.StatusOK, HTTPComponent{
-		Label:  comp.Label,
-		CT:     base64.StdEncoding.EncodeToString(comp.CT.Marshal()),
-		Sealed: base64.StdEncoding.EncodeToString(comp.Sealed),
-	})
+	writeRawJSON(w, http.StatusOK, body)
 }
 
 func (h *httpGateway) listCiphertexts(w http.ResponseWriter, r *http.Request) {
 	cts := h.server.CiphertextsOf(r.PathValue("id"))
 	out := make([]string, 0, len(cts))
 	for _, ct := range cts {
-		out = append(out, base64.StdEncoding.EncodeToString(ct.Marshal()))
+		out = append(out, b64Ciphertext(ct))
 	}
 	writeJSON(w, http.StatusOK, map[string][]string{"ciphertexts": out})
 }
@@ -355,8 +351,8 @@ func toHTTPRecord(rec *Record) HTTPRecord {
 	for _, c := range rec.Components {
 		out.Components = append(out.Components, HTTPComponent{
 			Label:  c.Label,
-			CT:     base64.StdEncoding.EncodeToString(c.CT.Marshal()),
-			Sealed: base64.StdEncoding.EncodeToString(c.Sealed),
+			CT:     b64Ciphertext(c.CT),
+			Sealed: b64String(c.Sealed),
 		})
 	}
 	return out
@@ -381,8 +377,22 @@ func statusFor(err error) int {
 	}
 }
 
+// writeJSON marshals v before writing the header, so an encode failure
+// becomes a clean 500 instead of a truncated 200 body. The body matches
+// json.Encoder output byte for byte (trailing newline included), which is
+// also what the response cache serves on the fetch paths.
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	data, err := appendJSONBody(v)
+	if err != nil {
+		status = http.StatusInternalServerError
+		data, _ = appendJSONBody(httpError{Error: "cloud: encode response: " + err.Error()})
+	}
+	writeRawJSON(w, status, data)
+}
+
+// writeRawJSON writes a pre-rendered JSON body.
+func writeRawJSON(w http.ResponseWriter, status int, body []byte) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	_, _ = w.Write(body)
 }

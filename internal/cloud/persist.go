@@ -143,5 +143,12 @@ func (s *Server) Restore(r io.Reader) error {
 	if err := d.Done(); err != nil {
 		return fmt.Errorf("snapshot: %w", err)
 	}
-	return s.store.Restore(records)
+	err = s.store.Restore(records)
+	// Invalidate every record in the batch regardless of outcome: a sharded
+	// restore can commit some shards before failing, and those records are
+	// now live.
+	for _, rec := range records {
+		s.resp.Bump(rec.ID)
+	}
+	return err
 }

@@ -1,0 +1,552 @@
+package cloud
+
+import (
+	"container/list"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"maacs/internal/core"
+	"maacs/internal/wire"
+)
+
+// Encoded-response cache: the zero-serialization read path.
+//
+// The workload is read-dominated — records are written once, re-encrypted
+// rarely, and fetched constantly — and stored records are immutable between
+// commits (ReplaceIfUnchanged swaps whole ciphertext pointers). So instead of
+// deep-copying and re-serializing the record on every download, the server
+// renders each response representation once (the HTTP/JSON body, the net/rpc
+// component set) and serves the cached immutable bytes until a mutation
+// invalidates them.
+//
+// Correctness rests on a per-record monotonic generation:
+//
+//   - Every mutation path (Store, Delete, re-encrypt commits, Restore) bumps
+//     the record's generation AFTER the store commit and BEFORE the mutation
+//     returns to its caller.
+//   - A fetch reads the generation FIRST, then consults or renders. A cached
+//     entry is served only when its tagged generation equals the current one.
+//   - A miss renders from the store and installs the result tagged with the
+//     generation read BEFORE the store read. If a mutation raced the render,
+//     the entry is tagged with the pre-mutation generation and can never be
+//     served once the mutation's bump lands — a stale body is unreachable.
+//
+// A fetch that overlaps a mutation (between the store commit and the bump)
+// may serve either body; that is a legal linearization, not staleness: the
+// mutation has not returned yet. Generations are never removed, so a
+// delete+re-store of the same ID continues the old counter and cached
+// entries from the previous incarnation stay invalid.
+//
+// The cache is byte-bounded with LRU eviction, and misses are single-flight:
+// N concurrent first fetches of a record perform one render.
+
+// DefaultResponseCacheBytes is the cache capacity NewServerWithStore installs;
+// maacs-server overrides it via -response-cache-bytes (0 disables caching).
+const DefaultResponseCacheBytes int64 = 64 << 20
+
+// respEntryOverhead approximates the per-entry bookkeeping footprint (map
+// cells, LRU element, entry struct) charged against the byte budget on top of
+// the payload bytes.
+const respEntryOverhead = 256
+
+// Response kinds — one cache slot per representation of a record or
+// component.
+const (
+	kindRecordJSON uint8 = iota
+	kindComponentJSON
+	kindRecordWire
+	kindComponentWire
+)
+
+// respKey addresses one cached representation. Struct keys keep the hit-path
+// map lookup allocation-free.
+type respKey struct {
+	kind  uint8
+	id    string
+	label string // component kinds only
+}
+
+// respEntry is one rendered response. All fields except elem are immutable
+// after install; callers share the payload and must never write into it.
+type respEntry struct {
+	gen  uint64
+	size int // metered payload size (CT.Size + sealed bytes), mirrors FetchAs
+
+	body    []byte         // JSON kinds: full HTTP body including trailing newline
+	comps   []RPCComponent // wire kinds: marshaled components, shared across replies
+	ownerID string         // wire kinds: RPCFetchReply.OwnerID
+
+	bytes int64         // footprint charged against the capacity
+	elem  *list.Element // LRU position; guarded by the cache mutex
+}
+
+// respFlight coordinates single-flight rendering of one key.
+type respFlight struct {
+	done chan struct{}
+}
+
+// ResponseCacheStats is the cache's observability row, exposed in the
+// /metrics JSON body and as maacs_response_cache_* Prometheus families.
+type ResponseCacheStats struct {
+	// Hits counts fetches served from a cached rendering; Misses counts
+	// renders performed (single-flight: N concurrent first fetches are one
+	// miss, the waiters count as hits once the leader installs).
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	// Evictions counts entries dropped by the LRU byte bound (invalidations
+	// and re-renders do not count).
+	Evictions uint64 `json:"evictions"`
+	// Bytes and Entries describe current occupancy; CapBytes is the
+	// configured bound (0 = caching disabled).
+	Bytes    int64 `json:"bytes"`
+	Entries  int   `json:"entries"`
+	CapBytes int64 `json:"cap_bytes"`
+}
+
+// ResponseCache holds rendered fetch responses keyed by (kind, record,
+// label), bounded by bytes with LRU eviction. The zero value is unusable;
+// construct with NewResponseCache.
+type ResponseCache struct {
+	gens sync.Map // record ID → *atomic.Uint64; cells are never removed
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+
+	mu      sync.Mutex
+	cap     int64
+	bytes   int64
+	entries map[respKey]*respEntry
+	lru     *list.List // of respKey, front = most recent
+	byID    map[string]map[respKey]struct{}
+	flights map[respKey]*respFlight
+}
+
+// NewResponseCache builds a cache bounded at capBytes (<= 0 disables
+// caching: every fetch renders).
+func NewResponseCache(capBytes int64) *ResponseCache {
+	c := &ResponseCache{
+		entries: make(map[respKey]*respEntry),
+		lru:     list.New(),
+		byID:    make(map[string]map[respKey]struct{}),
+		flights: make(map[respKey]*respFlight),
+	}
+	c.SetCapacity(capBytes)
+	return c
+}
+
+// SetCapacity rebounds the cache. Shrinking evicts from the LRU tail;
+// n <= 0 disables caching and drops every entry.
+func (c *ResponseCache) SetCapacity(n int64) {
+	if n < 0 {
+		n = 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cap = n
+	for c.bytes > c.cap {
+		c.evictOldestLocked()
+	}
+}
+
+// Stats snapshots the counters and occupancy.
+func (c *ResponseCache) Stats() ResponseCacheStats {
+	c.mu.Lock()
+	bytes, entries, capBytes := c.bytes, len(c.entries), c.cap
+	c.mu.Unlock()
+	return ResponseCacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Bytes:     bytes,
+		Entries:   entries,
+		CapBytes:  capBytes,
+	}
+}
+
+// genOf reads the record's current generation (0 before the first bump).
+func (c *ResponseCache) genOf(id string) uint64 {
+	if cell, ok := c.gens.Load(id); ok {
+		return cell.(*atomic.Uint64).Load()
+	}
+	return 0
+}
+
+// Bump advances the record's generation and drops its cached responses. Every
+// mutation path calls it after the store commit succeeds (or may have
+// partially succeeded, as in a sharded Restore) and before returning, so no
+// fetch that starts after the mutation completes can see pre-mutation bytes.
+func (c *ResponseCache) Bump(id string) {
+	cell, ok := c.gens.Load(id)
+	if !ok {
+		cell, _ = c.gens.LoadOrStore(id, new(atomic.Uint64))
+	}
+	cell.(*atomic.Uint64).Add(1)
+	c.mu.Lock()
+	for key := range c.byID[id] {
+		c.removeLocked(key, c.entries[key])
+	}
+	c.mu.Unlock()
+}
+
+// lookup serves a cached entry if one exists at the record's current
+// generation, refreshing its LRU position. The hit path performs no
+// allocation.
+func (c *ResponseCache) lookup(key respKey) (*respEntry, bool) {
+	g := c.genOf(key.id) // before the entry read: see the generation protocol
+	c.mu.Lock()
+	e := c.entries[key]
+	if e == nil || e.gen != g {
+		c.mu.Unlock()
+		return nil, false
+	}
+	c.lru.MoveToFront(e.elem)
+	c.mu.Unlock()
+	c.hits.Add(1)
+	return e, true
+}
+
+// fill renders the entry for key, coalescing concurrent misses into one
+// render. The generation is read before render runs, so an entry can never
+// be tagged newer than the state it was rendered from.
+func (c *ResponseCache) fill(key respKey, render func() (*respEntry, error)) (*respEntry, error) {
+	for {
+		g := c.genOf(key.id)
+		c.mu.Lock()
+		if c.cap <= 0 {
+			// Caching disabled: render without installing or counting.
+			c.mu.Unlock()
+			return render()
+		}
+		if e := c.entries[key]; e != nil && e.gen == g {
+			c.lru.MoveToFront(e.elem)
+			c.mu.Unlock()
+			c.hits.Add(1)
+			return e, nil
+		}
+		if fl := c.flights[key]; fl != nil {
+			// Another fetch is rendering this key; wait for it and re-check.
+			c.mu.Unlock()
+			<-fl.done
+			continue
+		}
+		fl := &respFlight{done: make(chan struct{})}
+		c.flights[key] = fl
+		c.mu.Unlock()
+
+		e, err := render()
+		c.mu.Lock()
+		delete(c.flights, key)
+		close(fl.done)
+		if err != nil {
+			c.mu.Unlock()
+			return nil, err
+		}
+		e.gen = g
+		c.misses.Add(1)
+		c.installLocked(key, e)
+		c.mu.Unlock()
+		return e, nil
+	}
+}
+
+// installLocked inserts a rendered entry, replacing any older rendering of
+// the same key and evicting from the LRU tail past the byte bound. Entries
+// larger than the whole capacity are served but not cached.
+func (c *ResponseCache) installLocked(key respKey, e *respEntry) {
+	if e.bytes > c.cap {
+		return
+	}
+	if old := c.entries[key]; old != nil {
+		if old.gen > e.gen {
+			return // a fresher render won the race; keep it
+		}
+		c.removeLocked(key, old)
+	}
+	e.elem = c.lru.PushFront(key)
+	c.entries[key] = e
+	set := c.byID[key.id]
+	if set == nil {
+		set = make(map[respKey]struct{}, 4)
+		c.byID[key.id] = set
+	}
+	set[key] = struct{}{}
+	c.bytes += e.bytes
+	for c.bytes > c.cap {
+		c.evictOldestLocked()
+	}
+}
+
+// evictOldestLocked drops the LRU tail entry and counts the eviction.
+func (c *ResponseCache) evictOldestLocked() {
+	back := c.lru.Back()
+	if back == nil {
+		return
+	}
+	key := back.Value.(respKey)
+	c.removeLocked(key, c.entries[key])
+	c.evictions.Add(1)
+}
+
+// removeLocked unlinks an entry from the map, the LRU list and the per-record
+// index.
+func (c *ResponseCache) removeLocked(key respKey, e *respEntry) {
+	if e == nil {
+		return
+	}
+	delete(c.entries, key)
+	c.lru.Remove(e.elem)
+	c.bytes -= e.bytes
+	if set := c.byID[key.id]; set != nil {
+		delete(set, key)
+		if len(set) == 0 {
+			delete(c.byID, key.id)
+		}
+	}
+}
+
+// ---- pooled encode scratch -------------------------------------------------
+
+// encoderPool recycles wire encoders so the cache-miss render path (and the
+// other serialization sites on the gateway) stop allocating a fresh buffer
+// per ciphertext.
+var encoderPool = sync.Pool{New: func() any { return new(wire.Encoder) }}
+
+// b64Pool recycles base64 destination scratch; the encoded string itself is
+// the only allocation left.
+var b64Pool = sync.Pool{New: func() any { return new([]byte) }}
+
+// b64String base64-encodes raw through pooled scratch.
+func b64String(raw []byte) string {
+	n := base64.StdEncoding.EncodedLen(len(raw))
+	bp := b64Pool.Get().(*[]byte)
+	if cap(*bp) < n {
+		*bp = make([]byte, n)
+	}
+	buf := (*bp)[:n]
+	base64.StdEncoding.Encode(buf, raw)
+	s := string(buf)
+	b64Pool.Put(bp)
+	return s
+}
+
+// b64Ciphertext renders a ciphertext's wire encoding as base64 without an
+// intermediate allocation of the raw encoding.
+func b64Ciphertext(ct *core.Ciphertext) string {
+	e := encoderPool.Get().(*wire.Encoder)
+	e.Reset()
+	ct.MarshalTo(e)
+	s := b64String(e.Bytes())
+	encoderPool.Put(e)
+	return s
+}
+
+// marshalCiphertext is ct.Marshal through the encoder pool: only the returned
+// copy allocates.
+func marshalCiphertext(ct *core.Ciphertext) []byte {
+	e := encoderPool.Get().(*wire.Encoder)
+	e.Reset()
+	ct.MarshalTo(e)
+	out := append([]byte(nil), e.Bytes()...)
+	encoderPool.Put(e)
+	return out
+}
+
+// ---- Server integration ----------------------------------------------------
+
+// SetResponseCacheBytes rebounds the server's encoded-response cache
+// (0 disables caching and drops every cached rendering).
+func (s *Server) SetResponseCacheBytes(n int64) { s.resp.SetCapacity(n) }
+
+// ResponseCacheStats snapshots the encoded-response cache counters.
+func (s *Server) ResponseCacheStats() ResponseCacheStats { return s.resp.Stats() }
+
+// FetchRecordJSON serves a whole record as its canonical HTTP/JSON body
+// (trailing newline included), metered and attributed exactly like FetchAs.
+// The returned bytes are shared and immutable: a cache hit performs zero
+// copies, zero marshals and zero heap allocations.
+func (s *Server) FetchRecordJSON(recordID, userID string) ([]byte, error) {
+	defer s.observe(opFetch, time.Now())
+	key := respKey{kind: kindRecordJSON, id: recordID}
+	e, ok := s.resp.lookup(key)
+	if !ok {
+		var err error
+		e, err = s.resp.fill(key, func() (*respEntry, error) { return s.renderRecordJSON(recordID) })
+		if err != nil {
+			return nil, err
+		}
+	}
+	s.acct.Add(ChanServerUser, e.size)
+	s.noteDownload(userID, e.size, false)
+	return e.body, nil
+}
+
+// FetchComponentJSON serves one component as its canonical HTTP/JSON body,
+// metered like FetchComponentAs. The bytes are shared and immutable.
+func (s *Server) FetchComponentJSON(recordID, label, userID string) ([]byte, error) {
+	defer s.observe(opFetchComponent, time.Now())
+	key := respKey{kind: kindComponentJSON, id: recordID, label: label}
+	e, ok := s.resp.lookup(key)
+	if !ok {
+		var err error
+		e, err = s.resp.fill(key, func() (*respEntry, error) { return s.renderComponentJSON(recordID, label) })
+		if err != nil {
+			return nil, err
+		}
+	}
+	s.acct.Add(ChanServerUser, e.size)
+	s.noteDownload(userID, e.size, true)
+	return e.body, nil
+}
+
+// FetchWire serves a record (label == "") or one component (label != "") in
+// the net/rpc reply shape: the owner ID and the marshaled components. The
+// component slice and its payloads are shared and immutable — callers (the
+// RPC layer, which gob-encodes them onto the connection) must not write into
+// them.
+func (s *Server) FetchWire(recordID, label, userID string) (string, []RPCComponent, error) {
+	if label == "" {
+		return s.fetchRecordWire(recordID, userID)
+	}
+	return s.fetchComponentWire(recordID, label, userID)
+}
+
+func (s *Server) fetchRecordWire(recordID, userID string) (string, []RPCComponent, error) {
+	defer s.observe(opFetch, time.Now())
+	key := respKey{kind: kindRecordWire, id: recordID}
+	e, ok := s.resp.lookup(key)
+	if !ok {
+		var err error
+		e, err = s.resp.fill(key, func() (*respEntry, error) { return s.renderRecordWire(recordID) })
+		if err != nil {
+			return "", nil, err
+		}
+	}
+	s.acct.Add(ChanServerUser, e.size)
+	s.noteDownload(userID, e.size, false)
+	return e.ownerID, e.comps, nil
+}
+
+func (s *Server) fetchComponentWire(recordID, label, userID string) (string, []RPCComponent, error) {
+	defer s.observe(opFetchComponent, time.Now())
+	key := respKey{kind: kindComponentWire, id: recordID, label: label}
+	e, ok := s.resp.lookup(key)
+	if !ok {
+		var err error
+		e, err = s.resp.fill(key, func() (*respEntry, error) { return s.renderComponentWire(recordID, label) })
+		if err != nil {
+			return "", nil, err
+		}
+	}
+	s.acct.Add(ChanServerUser, e.size)
+	s.noteDownload(userID, e.size, true)
+	return e.ownerID, e.comps, nil
+}
+
+// ---- renders (cache-miss path) ---------------------------------------------
+
+// appendJSONBody marshals v into the exact bytes writeJSON produces
+// (json.Marshal plus the trailing newline json.Encoder emits), so cached and
+// uncached HTTP responses are byte-identical.
+func appendJSONBody(v any) ([]byte, error) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// renderRecordJSON builds the HTTP body for a whole record straight from the
+// immutable stored record — render only reads, so no deep copy is taken.
+func (s *Server) renderRecordJSON(recordID string) (*respEntry, error) {
+	rec, ok := s.store.Get(recordID)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrRecordNotFound, recordID)
+	}
+	body, err := appendJSONBody(toHTTPRecord(rec))
+	if err != nil {
+		return nil, err
+	}
+	size := 0
+	for i := range rec.Components {
+		size += rec.Components[i].CT.Size(s.sys.Params) + len(rec.Components[i].Sealed)
+	}
+	return &respEntry{size: size, body: body, bytes: int64(len(body)) + respEntryOverhead}, nil
+}
+
+// renderComponentJSON builds the HTTP body for one component.
+func (s *Server) renderComponentJSON(recordID, label string) (*respEntry, error) {
+	rec, ok := s.store.Get(recordID)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrRecordNotFound, recordID)
+	}
+	for i := range rec.Components {
+		c := &rec.Components[i]
+		if c.Label != label {
+			continue
+		}
+		body, err := appendJSONBody(HTTPComponent{
+			Label:  c.Label,
+			CT:     b64Ciphertext(c.CT),
+			Sealed: b64String(c.Sealed),
+		})
+		if err != nil {
+			return nil, err
+		}
+		size := c.CT.Size(s.sys.Params) + len(c.Sealed)
+		return &respEntry{size: size, body: body, bytes: int64(len(body)) + respEntryOverhead}, nil
+	}
+	return nil, fmt.Errorf("%w: %q/%q", ErrComponentNotFound, recordID, label)
+}
+
+// renderRecordWire builds the RPC reply components for a whole record. The
+// sealed payloads are copied once so the cache owns its memory and no caller
+// of the stored record and no holder of the reply can alias each other.
+func (s *Server) renderRecordWire(recordID string) (*respEntry, error) {
+	rec, ok := s.store.Get(recordID)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrRecordNotFound, recordID)
+	}
+	comps := make([]RPCComponent, len(rec.Components))
+	size := 0
+	footprint := int64(respEntryOverhead)
+	for i := range rec.Components {
+		c := &rec.Components[i]
+		comps[i] = RPCComponent{
+			Label:  c.Label,
+			CT:     marshalCiphertext(c.CT),
+			Sealed: append([]byte(nil), c.Sealed...),
+		}
+		size += c.CT.Size(s.sys.Params) + len(c.Sealed)
+		footprint += int64(len(comps[i].Label) + len(comps[i].CT) + len(comps[i].Sealed))
+	}
+	return &respEntry{size: size, comps: comps, ownerID: rec.OwnerID, bytes: footprint}, nil
+}
+
+// renderComponentWire builds the RPC reply for one component. OwnerID comes
+// from the ciphertext, matching the historical component-fetch reply shape.
+func (s *Server) renderComponentWire(recordID, label string) (*respEntry, error) {
+	rec, ok := s.store.Get(recordID)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrRecordNotFound, recordID)
+	}
+	for i := range rec.Components {
+		c := &rec.Components[i]
+		if c.Label != label {
+			continue
+		}
+		comps := []RPCComponent{{
+			Label:  c.Label,
+			CT:     marshalCiphertext(c.CT),
+			Sealed: append([]byte(nil), c.Sealed...),
+		}}
+		size := c.CT.Size(s.sys.Params) + len(c.Sealed)
+		footprint := int64(respEntryOverhead + len(comps[0].Label) + len(comps[0].CT) + len(comps[0].Sealed))
+		return &respEntry{size: size, comps: comps, ownerID: c.CT.OwnerID, bytes: footprint}, nil
+	}
+	return nil, fmt.Errorf("%w: %q/%q", ErrComponentNotFound, recordID, label)
+}

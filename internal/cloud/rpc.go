@@ -186,27 +186,17 @@ func (s *ServerRPC) Store(args *RPCStoreArgs, _ *struct{}) error {
 	return s.server.Store(rec)
 }
 
-// Fetch handles record and component downloads.
+// Fetch handles record and component downloads through the encoded-response
+// cache: the component payloads are rendered once per record generation and
+// shared across replies. They are immutable — net/rpc only gob-encodes them
+// onto the connection; in-process callers must not write into the reply.
 func (s *ServerRPC) Fetch(args *RPCFetchArgs, reply *RPCFetchReply) error {
-	if args.Label != "" {
-		comp, err := s.server.FetchComponentAs(args.RecordID, args.Label, args.User)
-		if err != nil {
-			return err
-		}
-		reply.OwnerID = comp.CT.OwnerID
-		reply.Components = []RPCComponent{{Label: comp.Label, CT: comp.CT.Marshal(), Sealed: comp.Sealed}}
-		return nil
-	}
-	rec, err := s.server.FetchAs(args.RecordID, args.User)
+	ownerID, comps, err := s.server.FetchWire(args.RecordID, args.Label, args.User)
 	if err != nil {
 		return err
 	}
-	reply.OwnerID = rec.OwnerID
-	for _, comp := range rec.Components {
-		reply.Components = append(reply.Components, RPCComponent{
-			Label: comp.Label, CT: comp.CT.Marshal(), Sealed: comp.Sealed,
-		})
-	}
+	reply.OwnerID = ownerID
+	reply.Components = comps
 	return nil
 }
 
@@ -225,7 +215,7 @@ func (s *ServerRPC) Delete(args *RPCDeleteArgs, _ *struct{}) error {
 // Ciphertexts lists an owner's stored content-key ciphertexts.
 func (s *ServerRPC) Ciphertexts(args *RPCCiphertextsArgs, reply *RPCCiphertextsReply) error {
 	for _, ct := range s.server.CiphertextsOf(args.OwnerID) {
-		reply.Ciphertexts = append(reply.Ciphertexts, ct.Marshal())
+		reply.Ciphertexts = append(reply.Ciphertexts, marshalCiphertext(ct))
 	}
 	return nil
 }

@@ -178,6 +178,9 @@ type Metrics struct {
 	// fetch, fetch_component, delete, reencrypt), in the cumulative le form
 	// the Prometheus exposition renders. Operations never invoked are absent.
 	Durations map[string]HistogramSnapshot `json:"durations,omitempty"`
+	// ResponseCache reports the encoded-response cache serving the
+	// zero-serialization read path.
+	ResponseCache ResponseCacheStats `json:"response_cache"`
 }
 
 // Operation labels of the request-duration histograms.
@@ -219,6 +222,11 @@ type Server struct {
 	// durs holds one latency histogram per operation. The map is built once
 	// in NewServerWithStore and never written again, so lookups are lock-free.
 	durs map[string]*LatencyHistogram
+
+	// resp caches rendered fetch responses per record generation; every
+	// mutation path bumps the record's generation through it (see
+	// respcache.go for the protocol).
+	resp *ResponseCache
 
 	// commitHook, when non-nil, runs between a re-encryption window's compute
 	// and its commit; tests use it to inject commit-time conflicts.
@@ -268,6 +276,7 @@ func NewServerWithStore(sys *core.System, acct *Accounting, store Store) *Server
 		acct:   acct,
 		store:  store,
 		durs:   durs,
+		resp:   NewResponseCache(DefaultResponseCacheBytes),
 		owners: make(map[string]*OwnerStats),
 	}
 }
@@ -380,6 +389,7 @@ func (s *Server) Store(rec *Record) error {
 	if err := s.store.Put(rec); err != nil {
 		return err
 	}
+	s.resp.Bump(rec.ID)
 	s.mu.Lock()
 	s.metrics.StoreRequests++
 	s.ownerStatsLocked(rec.OwnerID).StoreRequests++
@@ -451,7 +461,12 @@ func (s *Server) FetchComponentAs(recordID, label, userID string) (*StoredCompon
 // owners' tasks correctly).
 func (s *Server) Delete(recordID, ownerID string) (*Record, error) {
 	defer s.observe(opDelete, time.Now())
-	return s.store.Delete(recordID, ownerID)
+	rec, err := s.store.Delete(recordID, ownerID)
+	if err != nil {
+		return nil, err
+	}
+	s.resp.Bump(recordID)
+	return rec, nil
 }
 
 // RecordIDs lists stored record IDs in sorted order, so HTTP/RPC responses
@@ -536,6 +551,7 @@ func (s *Server) Metrics() Metrics {
 	if len(m.Durations) == 0 {
 		m.Durations = nil
 	}
+	m.ResponseCache = s.resp.Stats()
 	return m
 }
 
@@ -742,6 +758,16 @@ func (s *Server) reencryptWindow(ownerID string, items []ReEncryptItem, start, e
 	}
 	if err := s.store.ReplaceIfUnchanged(ownerID, swaps); err != nil {
 		return engine.Stats{}, err
+	}
+	// The window committed: invalidate each replaced record's cached
+	// responses before the batch (and so the caller) can observe the commit.
+	// Work is in record order, so consecutive dedup covers every record once.
+	lastBumped := ""
+	for _, w := range work {
+		if w.recID != lastBumped {
+			s.resp.Bump(w.recID)
+			lastBumped = w.recID
+		}
 	}
 
 	winCts, winRows := 0, 0

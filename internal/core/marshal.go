@@ -147,6 +147,13 @@ func UnmarshalPublicKeys(p *pairing.Params, data []byte) (*PublicKeys, error) {
 // expression; versions ship sorted by AID.
 func (ct *Ciphertext) Marshal() []byte {
 	var e wire.Encoder
+	ct.MarshalTo(&e)
+	return e.Bytes()
+}
+
+// MarshalTo appends the ciphertext encoding to e — the form of Marshal for
+// callers that pool encoders across serializations.
+func (ct *Ciphertext) MarshalTo(e *wire.Encoder) {
 	e.String(ct.ID)
 	e.String(ct.OwnerID)
 	e.String(ct.Policy)
@@ -161,7 +168,6 @@ func (ct *Ciphertext) Marshal() []byte {
 	for _, row := range ct.Rows {
 		e.Blob(row.Marshal())
 	}
-	return e.Bytes()
 }
 
 // UnmarshalCiphertext decodes a ciphertext, recompiling the access structure

@@ -26,6 +26,10 @@ type Encoder struct {
 // Bytes returns the encoded message.
 func (e *Encoder) Bytes() []byte { return e.buf }
 
+// Reset empties the encoder while keeping its backing array, so pooled
+// encoders re-encode without reallocating.
+func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
 // Uvarint appends an unsigned varint.
 func (e *Encoder) Uvarint(v uint64) {
 	e.buf = binary.AppendUvarint(e.buf, v)

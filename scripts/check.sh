@@ -26,6 +26,12 @@ echo "== cloud suite on the sharded file backend (MAACS_STORE=sharded-file)"
 MAACS_STORE=sharded-file go test -count=1 ./internal/cloud/
 echo "== load-smoke gate: open-loop harness vs live server, both transports"
 go test -race -count=1 -run 'TestMeasureLoadSmoke' ./internal/bench/
+echo "== response-cache gate: byte differential + stale-generation hammer (race)"
+go test -race -count=2 -run 'TestResponseCacheDifferentialBytes|TestResponseCacheStaleGenerationHammer|TestResponseCacheSingleFlight' ./internal/cloud/
+echo "== response-cache alloc pin: zero-alloc steady-state hit path (race off: AllocsPerRun)"
+go test -count=1 -run 'TestResponseCacheZeroAllocHit' ./internal/cloud/
+echo "== fetchpath bench smoke: cached vs uncached read path"
+go test -count=1 -run 'TestMeasureFetchPathSmoke' ./internal/bench/
 echo "== histogram-exposition lint: /metrics le-buckets well formed"
 go test -count=1 -run 'TestPrometheusHistogram' ./internal/cloud/
 echo "== go test -race ./internal/pairing"
